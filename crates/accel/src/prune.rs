@@ -1,0 +1,164 @@
+//! Magnitude pruning masks.
+
+/// Build a keep-mask retaining the top `(1 - fraction)` of `values` by
+/// absolute magnitude. `mask[i] == true` means parameter `i` survives.
+///
+/// Ties are broken by index (earlier parameters survive), which keeps the
+/// mask deterministic.
+///
+/// # Panics
+///
+/// Panics if `fraction` is not in `[0, 1]`.
+pub fn magnitude_mask(values: &[f32], fraction: f64) -> Vec<bool> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    let n = values.len();
+    let drop = ((n as f64) * fraction).round() as usize;
+    if drop == 0 {
+        return vec![true; n];
+    }
+    if drop >= n {
+        return vec![false; n];
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    // Sort ascending by |value| so the first `drop` indices are pruned.
+    order.sort_by(|&a, &b| {
+        values[a]
+            .abs()
+            .partial_cmp(&values[b].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut mask = vec![true; n];
+    for &i in &order[..drop] {
+        mask[i] = false;
+    }
+    mask
+}
+
+/// Like [`magnitude_mask`], but parameters whose `protected` entry is
+/// `true` always survive (biases, classifier layers). The drop budget is
+/// `fraction` of the *unprotected* parameters, matching how pruning
+/// ratios are quoted for real networks.
+///
+/// # Panics
+///
+/// Panics if `fraction` is not in `[0, 1]` or lengths differ.
+pub fn magnitude_mask_protected(values: &[f32], fraction: f64, protected: &[bool]) -> Vec<bool> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    assert_eq!(values.len(), protected.len(), "protected length mismatch");
+    let candidates: Vec<usize> = (0..values.len()).filter(|&i| !protected[i]).collect();
+    let drop = ((candidates.len() as f64) * fraction).round() as usize;
+    let mut mask = vec![true; values.len()];
+    if drop == 0 {
+        return mask;
+    }
+    let mut order = candidates;
+    order.sort_by(|&a, &b| {
+        values[a]
+            .abs()
+            .partial_cmp(&values[b].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    for &i in order.iter().take(drop) {
+        mask[i] = false;
+    }
+    mask
+}
+
+/// Apply a keep-mask in place: pruned entries are zeroed.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn apply_mask(values: &mut [f32], mask: &[bool]) {
+    assert_eq!(values.len(), mask.len(), "mask length mismatch");
+    for (v, &keep) in values.iter_mut().zip(mask) {
+        if !keep {
+            *v = 0.0;
+        }
+    }
+}
+
+/// Fraction of surviving parameters in a mask.
+pub fn density(mask: &[bool]) -> f64 {
+    if mask.is_empty() {
+        return 0.0;
+    }
+    mask.iter().filter(|&&k| k).count() as f64 / mask.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_keeps_largest() {
+        let vals = [0.1f32, -5.0, 0.01, 3.0, -0.2, 0.0];
+        let mask = magnitude_mask(&vals, 0.5);
+        assert_eq!(mask.iter().filter(|&&k| k).count(), 3);
+        assert!(mask[1] && mask[3]); // |−5| and |3| must survive
+        assert!(!mask[2] && !mask[5]); // |0.01| and 0 must go
+    }
+
+    #[test]
+    fn zero_fraction_keeps_all() {
+        let vals = [1.0f32; 7];
+        assert!(magnitude_mask(&vals, 0.0).iter().all(|&k| k));
+    }
+
+    #[test]
+    fn full_fraction_drops_all() {
+        let vals = [1.0f32; 7];
+        assert!(magnitude_mask(&vals, 1.0).iter().all(|&k| !k));
+    }
+
+    #[test]
+    fn density_matches_fraction() {
+        let vals: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+        for &f in &[0.25f64, 0.5, 0.75] {
+            let d = density(&magnitude_mask(&vals, f));
+            assert!((d - (1.0 - f)).abs() < 0.01, "fraction {f}: density {d}");
+        }
+    }
+
+    #[test]
+    fn apply_mask_zeroes_pruned() {
+        let mut vals = [1.0f32, 2.0, 3.0];
+        apply_mask(&mut vals, &[true, false, true]);
+        assert_eq!(vals, [1.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let vals = [1.0f32; 6];
+        assert_eq!(magnitude_mask(&vals, 0.5), magnitude_mask(&vals, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be")]
+    fn out_of_range_fraction_panics() {
+        let _ = magnitude_mask(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn protected_params_always_survive() {
+        let vals = [0.0f32, 0.001, 5.0, 0.002, 0.003, 4.0];
+        // Protect indices 0 and 3 despite tiny magnitudes.
+        let protected = [true, false, false, true, false, false];
+        let mask = magnitude_mask_protected(&vals, 0.5, &protected);
+        assert!(mask[0] && mask[3], "protected params were pruned");
+        // 50% of the 4 unprotected params (the two smallest) go.
+        assert!(!mask[1] && !mask[4]);
+        assert!(mask[2] && mask[5]);
+    }
+
+    #[test]
+    fn protected_mask_budget_counts_unprotected_only() {
+        let vals: Vec<f32> = (1..=100).map(|i| i as f32).collect();
+        let protected: Vec<bool> = (0..100).map(|i| i < 20).collect();
+        let mask = magnitude_mask_protected(&vals, 0.5, &protected);
+        let pruned = mask.iter().filter(|&&k| !k).count();
+        assert_eq!(pruned, 40); // 50% of the 80 unprotected
+    }
+}

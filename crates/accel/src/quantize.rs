@@ -1,0 +1,114 @@
+//! Uniform symmetric quantization of flat parameter / update buffers.
+
+/// Quantize `values` onto a symmetric uniform grid with `bits` bits and
+/// immediately dequantize, returning the values the aggregator would
+/// reconstruct. This is what actually happens to a quantized update: the
+/// client rounds to the grid, ships integers + a scale, and the server
+/// rebuilds floats.
+///
+/// All-zero and empty inputs pass through unchanged.
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or greater than 16 (8 and 16 are the paper's
+/// levels; anything above 16 would be pointless for f32 payloads).
+pub fn quantize_dequantize(values: &[f32], bits: u32) -> Vec<f32> {
+    assert!((1..=16).contains(&bits), "bits must be in 1..=16");
+    let max_abs = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    if max_abs == 0.0 {
+        return values.to_vec();
+    }
+    let levels = (1i64 << (bits - 1)) - 1; // symmetric signed grid
+    let scale = max_abs / levels as f32;
+    values
+        .iter()
+        .map(|&v| {
+            let q = (v / scale).round().clamp(-(levels as f32), levels as f32);
+            q * scale
+        })
+        .collect()
+}
+
+/// Worst-case quantization error bound for a buffer: half a grid step.
+pub fn quantization_error_bound(values: &[f32], bits: u32) -> f32 {
+    let max_abs = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    let levels = (1i64 << (bits - 1)) - 1;
+    if levels == 0 {
+        return max_abs;
+    }
+    max_abs / levels as f32 / 2.0
+}
+
+/// Wire size in bytes of a `bits`-bit quantized buffer of `n` values:
+/// packed integers plus one f32 scale.
+pub fn quantized_bytes(n: usize, bits: u32) -> usize {
+    (n * bits as usize).div_ceil(8) + 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_error_is_bounded() {
+        let vals: Vec<f32> = (0..256).map(|i| (i as f32 - 128.0) / 37.0).collect();
+        for &bits in &[8u32, 16] {
+            let deq = quantize_dequantize(&vals, bits);
+            let bound = quantization_error_bound(&vals, bits);
+            for (a, b) in vals.iter().zip(&deq) {
+                assert!(
+                    (a - b).abs() <= bound + 1e-6,
+                    "{bits}-bit err {} > bound {bound}",
+                    (a - b).abs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sixteen_bit_is_finer_than_eight_bit() {
+        let vals: Vec<f32> = (0..512)
+            .map(|i| ((i * 37) % 101) as f32 / 13.0 - 3.5)
+            .collect();
+        let err = |bits| -> f32 {
+            quantize_dequantize(&vals, bits)
+                .iter()
+                .zip(&vals)
+                .map(|(a, b)| (a - b).abs())
+                .sum()
+        };
+        assert!(err(16) < err(8) / 10.0);
+    }
+
+    #[test]
+    fn zeros_pass_through() {
+        let vals = vec![0.0f32; 16];
+        assert_eq!(quantize_dequantize(&vals, 8), vals);
+    }
+
+    #[test]
+    fn empty_is_fine() {
+        assert!(quantize_dequantize(&[], 8).is_empty());
+    }
+
+    #[test]
+    fn max_magnitude_is_representable() {
+        let vals = vec![-3.0f32, 1.0, 3.0];
+        let deq = quantize_dequantize(&vals, 8);
+        assert!((deq[2] - 3.0).abs() < 1e-6);
+        assert!((deq[0] + 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wire_size_shrinks_with_bits() {
+        assert_eq!(quantized_bytes(1000, 16), 2004);
+        assert_eq!(quantized_bytes(1000, 8), 1004);
+        assert!(quantized_bytes(1000, 8) < 4 * 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be")]
+    fn zero_bits_panics() {
+        let _ = quantize_dequantize(&[1.0], 0);
+    }
+}

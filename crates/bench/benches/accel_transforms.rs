@@ -1,0 +1,71 @@
+//! Throughput of the acceleration transforms on realistic update sizes.
+//!
+//! These quantify the client-side cost each technique adds — the reason
+//! lossless compression, for instance, trades "more computation" for
+//! "fewer bytes" (paper §4.3).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use float_accel::compress::{compress_f32_update, decompress_f32_update, top_k_sparsify};
+use float_accel::partial::frozen_mask;
+use float_accel::prune::magnitude_mask;
+use float_accel::quantize::quantize_dequantize;
+
+fn update(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| ((i * 2654435761usize) % 10_007) as f32 / 5003.5 - 1.0)
+        .collect()
+}
+
+fn bench_quantize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantize_dequantize");
+    for &n in &[10_000usize, 100_000] {
+        let vals = update(n);
+        group.bench_with_input(BenchmarkId::new("int8", n), &n, |b, _| {
+            b.iter(|| black_box(quantize_dequantize(&vals, 8)))
+        });
+        group.bench_with_input(BenchmarkId::new("int16", n), &n, |b, _| {
+            b.iter(|| black_box(quantize_dequantize(&vals, 16)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_masks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("masks");
+    for &n in &[10_000usize, 100_000] {
+        let vals = update(n);
+        group.bench_with_input(BenchmarkId::new("magnitude_prune_50", n), &n, |b, _| {
+            b.iter(|| black_box(magnitude_mask(&vals, 0.5)))
+        });
+        group.bench_with_input(BenchmarkId::new("frozen_50", n), &n, |b, _| {
+            b.iter(|| black_box(frozen_mask(n, 0.5, 7)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compression");
+    for &n in &[10_000usize, 100_000] {
+        // A sparse update compresses well and is the realistic case.
+        let vals: Vec<f32> = (0..n)
+            .map(|i| if i % 20 == 0 { 0.01 } else { 0.0 })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("compress", n), &n, |b, _| {
+            b.iter(|| black_box(compress_f32_update(&vals).len()))
+        });
+        let compressed = compress_f32_update(&vals);
+        group.bench_with_input(BenchmarkId::new("decompress", n), &n, |b, _| {
+            b.iter(|| black_box(decompress_f32_update(&compressed).map(|v| v.len())))
+        });
+        let dense = update(n);
+        group.bench_with_input(BenchmarkId::new("top_k_10pct", n), &n, |b, _| {
+            b.iter(|| black_box(top_k_sparsify(&dense, 0.1).indices.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantize, bench_masks, bench_compression);
+criterion_main!(benches);

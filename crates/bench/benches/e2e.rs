@@ -1,0 +1,43 @@
+//! End-to-end experiment throughput: one full FL round under each accel
+//! mode, and a complete small experiment. These are the numbers that
+//! determine how long the paper-scale (`--scale paper`) figure
+//! reproductions take.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use float_core::{AccelMode, Experiment, ExperimentConfig, SelectorChoice};
+
+fn bench_small_experiment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("small_experiment_5_rounds");
+    group.sample_size(10);
+    for (name, accel) in [
+        ("off", AccelMode::Off),
+        ("heuristic", AccelMode::Heuristic),
+        ("rlhf", AccelMode::Rlhf),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &accel, |b, &accel| {
+            b.iter(|| {
+                let cfg = ExperimentConfig::small(SelectorChoice::FedAvg, accel, 5);
+                let report = Experiment::new(cfg).expect("valid").run();
+                black_box(report.total_completions)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_async_experiment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("async_experiment_5_aggregations");
+    group.sample_size(10);
+    group.bench_function("fedbuff_off", |b| {
+        b.iter(|| {
+            let cfg = ExperimentConfig::small(SelectorChoice::FedBuff, AccelMode::Off, 5);
+            let report = Experiment::new(cfg).expect("valid").run();
+            black_box(report.total_completions)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_small_experiment, bench_async_experiment);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion companion to Fig. 8: per-decision latency of the RLHF agent
+//! (choose action + Bellman update) at the paper's operating point and at
+//! larger state counts. The paper's claim is < 1 ms per training round
+//! for the whole agent; these benches show individual decisions are
+//! sub-microsecond.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use float_rl::state::Level5;
+use float_rl::{AgentConfig, DeadlineLevel, GlobalState, LocalState, RlhfAgent};
+
+fn states(n: usize) -> Vec<(LocalState, DeadlineLevel)> {
+    let mut out = Vec::with_capacity(n);
+    'outer: for hf in DeadlineLevel::ALL {
+        for cpu in Level5::ALL {
+            for mem in Level5::ALL {
+                for net in Level5::ALL {
+                    out.push((LocalState { cpu, mem, net }, hf));
+                    if out.len() == n {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn bench_decisions(c: &mut Criterion) {
+    let global = GlobalState::from_raw(20, 5, 30);
+    let mut group = c.benchmark_group("rlhf_decision");
+    for &n in &[125usize, 625] {
+        group.bench_with_input(BenchmarkId::new("choose_and_update", n), &n, |b, &n| {
+            let combos = states(n);
+            let mut agent = RlhfAgent::new(AgentConfig::rlhf(8), 7);
+            for (i, &(local, hf)) in combos.iter().enumerate() {
+                agent.feedback(i, global, local, hf, i % 8, 1.0, 0.5, 1, 300);
+            }
+            let mut i = 0usize;
+            b.iter(|| {
+                let (local, hf) = combos[i % combos.len()];
+                let a = agent.choose_action(global, local, hf, 150, 300);
+                agent.feedback(i, global, local, hf, a, 1.0, 0.4, 150, 300);
+                i += 1;
+                black_box(a)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_qtable_serialization(c: &mut Criterion) {
+    let global = GlobalState::from_raw(20, 5, 30);
+    let combos = states(625);
+    let mut agent = RlhfAgent::new(AgentConfig::rlhf(8), 7);
+    for (i, &(local, hf)) in combos.iter().enumerate() {
+        agent.feedback(i, global, local, hf, i % 8, 1.0, 0.5, 1, 300);
+    }
+    c.bench_function("agent_to_json_625_states", |b| {
+        b.iter(|| black_box(agent.to_json().len()))
+    });
+}
+
+criterion_group!(benches, bench_decisions, bench_qtable_serialization);
+criterion_main!(benches);

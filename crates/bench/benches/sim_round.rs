@@ -1,0 +1,63 @@
+//! Throughput of the resource simulator: snapshot sampling and
+//! single-client round execution. These bound how large a population the
+//! simulator can sweep per second.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use float_models::{Architecture, RoundCost};
+use float_sim::{execute_client_round, RoundParams};
+use float_traces::{InterferenceModel, ResourceSampler};
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut sampler = ResourceSampler::new(200, InterferenceModel::paper_dynamic(), 3);
+    let mut round = 0usize;
+    c.bench_function("snapshot_dynamic_interference", |b| {
+        b.iter(|| {
+            let s = sampler.snapshot(round % 200, round / 200);
+            round += 1;
+            black_box(s.effective_gflops)
+        })
+    });
+}
+
+fn bench_round_execution(c: &mut Criterion) {
+    let mut sampler = ResourceSampler::new(64, InterferenceModel::paper_dynamic(), 5);
+    let cost = RoundCost::vanilla(&Architecture::ResNet34.profile(), 90, 5, 20);
+    let params = RoundParams::paper_default();
+    let snapshots: Vec<_> = (0..64).map(|c| sampler.snapshot(c, 0)).collect();
+    let profiles: Vec<_> = (0..64).map(|c| sampler.client(c).profile).collect();
+    let mut i = 0usize;
+    c.bench_function("execute_client_round", |b| {
+        b.iter(|| {
+            let k = i % 64;
+            i += 1;
+            black_box(execute_client_round(
+                &snapshots[k],
+                &profiles[k],
+                &cost,
+                &params,
+                i as u64,
+            ))
+        })
+    });
+}
+
+fn bench_population_generation(c: &mut Criterion) {
+    c.bench_function("resource_sampler_new_200_clients", |b| {
+        b.iter(|| {
+            black_box(ResourceSampler::new(
+                200,
+                InterferenceModel::paper_dynamic(),
+                9,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_snapshot,
+    bench_round_execution,
+    bench_population_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Throughput of the proxy-model training substrate: per-epoch local
+//! training, evaluation, and FedAvg aggregation. These bound the wall
+//! time of full 300-round experiments.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use float_core::aggregate::{aggregate, PendingUpdate};
+use float_data::federated::FederatedConfig;
+use float_data::{FederatedDataset, Task};
+use float_tensor::{Mlp, MlpConfig, Sgd};
+
+fn dataset() -> FederatedDataset {
+    FederatedDataset::generate(
+        FederatedConfig {
+            task: Task::Femnist,
+            num_clients: 8,
+            mean_samples: 100,
+            alpha: Some(0.1),
+            test_fraction: 0.25,
+        },
+        3,
+    )
+}
+
+fn bench_local_training(c: &mut Criterion) {
+    let data = dataset();
+    let synth = *data.synthetic();
+    let cfg = MlpConfig::new(synth.feature_dim, &[128], synth.num_classes);
+    c.bench_function("local_train_epoch_batch20", |b| {
+        let mut model = Mlp::new(&cfg, 1);
+        let mut opt = Sgd::new(0.05);
+        let shard = data.train_shard(0);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(model.train_epoch(shard, 20, &mut opt, seed))
+        })
+    });
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    let data = dataset();
+    let synth = *data.synthetic();
+    let cfg = MlpConfig::new(synth.feature_dim, &[128], synth.num_classes);
+    let model = Mlp::new(&cfg, 1);
+    c.bench_function("evaluate_client_shard", |b| {
+        b.iter(|| black_box(model.evaluate(data.test_shard(0)).accuracy))
+    });
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let data = dataset();
+    let synth = *data.synthetic();
+    let cfg = MlpConfig::new(synth.feature_dim, &[128], synth.num_classes);
+    let n = cfg.num_params();
+    let updates: Vec<PendingUpdate> = (0..30)
+        .map(|i| PendingUpdate {
+            client: i,
+            delta: vec![0.001 * i as f32; n],
+            samples: 80 + i,
+            staleness: (i % 4) as u64,
+        })
+        .collect();
+    c.bench_function("aggregate_30_updates", |b| {
+        let mut global = vec![0.0f32; n];
+        b.iter(|| black_box(aggregate(&mut global, &updates)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_local_training,
+    bench_evaluation,
+    bench_aggregation
+);
+criterion_main!(benches);

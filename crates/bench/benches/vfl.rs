@@ -1,0 +1,57 @@
+//! Throughput of the vertical-FL substrate: split-model epochs and
+//! per-party acceleration costing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use float_accel::AccelAction;
+use float_tensor::model::TrainOptions;
+use float_vfl::split::synthetic_vfl;
+use float_vfl::{accelerated_party_cost, SplitModel, VflConfig, VflRound};
+
+fn config() -> VflConfig {
+    VflConfig {
+        party_dims: vec![12, 8, 12],
+        embed_dim: 16,
+        num_classes: 6,
+    }
+}
+
+fn bench_split_epoch(c: &mut Criterion) {
+    let cfg = config();
+    let data = synthetic_vfl(&cfg, 256, 3);
+    let opts = vec![TrainOptions::default(); cfg.num_parties()];
+    c.bench_function("vfl_split_epoch_256x32", |b| {
+        let mut model = SplitModel::new(&cfg, 7);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(model.train_epoch(&data, 32, 0.1, seed, &opts))
+        })
+    });
+}
+
+fn bench_party_costing(c: &mut Criterion) {
+    let round = VflRound::new(256, 12, 16);
+    c.bench_function("vfl_party_cost_all_actions", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for action in [
+                AccelAction::NoOp,
+                AccelAction::Quantize16,
+                AccelAction::Quantize8,
+                AccelAction::Prune25,
+                AccelAction::Prune50,
+                AccelAction::Prune75,
+                AccelAction::Partial25,
+                AccelAction::Partial50,
+                AccelAction::Partial75,
+            ] {
+                acc += accelerated_party_cost(&round, action).upload_bytes;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_split_epoch, bench_party_costing);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! `expfig` — regenerate the FLOAT paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! expfig <figure> [--scale quick|medium|paper] [--json <path>]
+//! expfig all     [--scale quick|medium|paper]
+//! ```
+//!
+//! Figures: `fig2 fig3 fig4 fig5 fig6 fig8 fig9 fig10 fig11 fig12 fig13`.
+//! The default `quick` scale finishes each figure in seconds to a few
+//! minutes; `paper` reproduces the full 200-client, 300-round setup.
+
+use std::io::Write as _;
+
+use float_bench::figs;
+use float_bench::Scale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: expfig <fig2|fig3|fig4|fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|ablate|all> \
+         [--scale quick|medium|paper] [--json <path>]"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    figure: String,
+    scale: Scale,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        usage();
+    }
+    let figure = argv[0].clone();
+    let mut scale = Scale::Quick;
+    let mut json = None;
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = argv
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| usage());
+            }
+            "--json" => {
+                i += 1;
+                json = Some(argv.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    Args {
+        figure,
+        scale,
+        json,
+    }
+}
+
+/// Run one figure; returns `(rendered text, json value)`.
+fn run_figure(name: &str, scale: Scale) -> Option<(String, serde_json::Value)> {
+    fn to_json<T: serde::Serialize>(v: &T) -> serde_json::Value {
+        serde_json::to_value(v).expect("figure results serialize")
+    }
+    Some(match name {
+        "fig2" => {
+            let r = figs::fig2::run(scale);
+            (r.render(), to_json(&r))
+        }
+        "fig3" => {
+            let r = figs::fig3::run(scale);
+            (r.render(), to_json(&r))
+        }
+        "fig4" => {
+            let r = figs::fig4::run(scale);
+            (r.render(), to_json(&r))
+        }
+        "fig5" => {
+            let r = figs::fig5::run(scale);
+            (r.render(), to_json(&r))
+        }
+        "fig6" => {
+            let r = figs::fig6::run(scale);
+            (r.render(), to_json(&r))
+        }
+        "fig8" => {
+            let r = figs::fig8::run();
+            (r.render(), to_json(&r))
+        }
+        "fig9" => {
+            let r = figs::fig9::run(scale);
+            (r.render(), to_json(&r))
+        }
+        "fig10" => {
+            let r = figs::fig10::run(scale);
+            (r.render(), to_json(&r))
+        }
+        "fig11" => {
+            let r = figs::fig11::run(scale);
+            (r.render(), to_json(&r))
+        }
+        "fig12" => {
+            let r = figs::fig12::run(scale);
+            (r.render(), to_json(&r))
+        }
+        "fig13" => {
+            let r = figs::fig13::run(scale);
+            (r.render(), to_json(&r))
+        }
+        "ablate" => {
+            let r = figs::ablations::run(scale);
+            (r.render(), to_json(&r))
+        }
+        _ => return None,
+    })
+}
+
+const ALL_FIGS: [&str; 12] = [
+    "fig2", "fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "ablate",
+];
+
+fn main() {
+    let args = parse_args();
+    let figures: Vec<&str> = if args.figure == "all" {
+        ALL_FIGS.to_vec()
+    } else {
+        vec![args.figure.as_str()]
+    };
+    let mut all_json = serde_json::Map::new();
+    for name in figures {
+        let Some((text, json)) = run_figure(name, args.scale) else {
+            usage();
+        };
+        println!("{text}");
+        all_json.insert(name.to_string(), json);
+    }
+    if let Some(path) = args.json {
+        let mut f =
+            std::fs::File::create(&path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+        let body = serde_json::to_string_pretty(&serde_json::Value::Object(all_json))
+            .expect("figure results serialize");
+        f.write_all(body.as_bytes())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote JSON results to {path}");
+    }
+}

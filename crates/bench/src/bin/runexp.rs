@@ -1,0 +1,175 @@
+//! `runexp` — run a single FLOAT experiment from the command line and
+//! print (or dump) its report.
+//!
+//! ```text
+//! runexp [--task femnist|cifar10|openimage|speech|emnist]
+//!        [--selector fedavg|oort|refl|fedbuff]
+//!        [--accel off|heuristic|rl|rlhf|rlhf-ext|static:<action>]
+//!        [--rounds N] [--clients N] [--cohort N] [--alpha F | --iid]
+//!        [--interference none|static|dynamic|network]
+//!        [--seed N] [--json <path>]
+//! ```
+//!
+//! Defaults reproduce a quick FLOAT(FedAvg) FEMNIST run.
+
+use float_accel::{AccelAction, ActionCatalogue};
+use float_core::{AccelMode, Experiment, ExperimentConfig, SelectorChoice};
+use float_data::Task;
+use float_traces::InterferenceModel;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: runexp [--task T] [--selector S] [--accel A] [--rounds N] \
+         [--clients N] [--cohort N] [--alpha F | --iid] \
+         [--interference I] [--seed N] [--json PATH]\n\
+         run `runexp --help` for option values"
+    );
+    std::process::exit(2);
+}
+
+fn parse_task(s: &str) -> Option<Task> {
+    Task::ALL.iter().copied().find(|t| t.name() == s)
+}
+
+fn parse_selector(s: &str) -> Option<SelectorChoice> {
+    SelectorChoice::ALL_EXTENDED
+        .iter()
+        .copied()
+        .find(|c| c.name() == s)
+}
+
+fn parse_accel(s: &str) -> Option<AccelMode> {
+    match s {
+        "off" => Some(AccelMode::Off),
+        "heuristic" => Some(AccelMode::Heuristic),
+        "rl" => Some(AccelMode::Rl),
+        "rlhf" => Some(AccelMode::Rlhf),
+        "rlhf-ext" => Some(AccelMode::RlhfExtended),
+        _ => {
+            let action_name = s.strip_prefix("static:")?;
+            let cat = ActionCatalogue::paper();
+            let action = cat.iter().find(|a| a.name() == action_name)?;
+            cat.index_of(action).map(AccelMode::Static)
+        }
+    }
+}
+
+fn parse_interference(s: &str) -> Option<InterferenceModel> {
+    match s {
+        "none" => Some(InterferenceModel::None),
+        "static" => Some(InterferenceModel::paper_static()),
+        "dynamic" => Some(InterferenceModel::paper_dynamic()),
+        "network" => Some(InterferenceModel::unstable_network()),
+        _ => None,
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        let actions: Vec<&str> = ActionCatalogue::paper()
+            .iter()
+            .map(AccelAction::name)
+            .collect();
+        eprintln!(
+            "tasks: emnist femnist cifar10 openimage speech\n\
+             selectors: fedavg oort refl fedbuff tifl\n\
+             accel: off heuristic rl rlhf rlhf-ext static:<{}>\n\
+             interference: none static dynamic network",
+            actions.join("|")
+        );
+        std::process::exit(0);
+    }
+
+    let mut cfg =
+        ExperimentConfig::paper_e2e(Task::Femnist, SelectorChoice::FedAvg, AccelMode::Rlhf, 40);
+    cfg.num_clients = 60;
+    cfg.cohort_size = 15;
+    cfg.async_concurrency = 40;
+    cfg.async_buffer = 15;
+    cfg.mean_samples = 80;
+    cfg.local_epochs = 3;
+    cfg.eval_every = 8;
+    let mut json_path: Option<String> = None;
+
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--task" => cfg.task = parse_task(&value(&mut i)).unwrap_or_else(|| usage()),
+            "--selector" => {
+                cfg.selector = parse_selector(&value(&mut i)).unwrap_or_else(|| usage())
+            }
+            "--accel" => cfg.accel = parse_accel(&value(&mut i)).unwrap_or_else(|| usage()),
+            "--rounds" => cfg.rounds = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--clients" => cfg.num_clients = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--cohort" => cfg.cohort_size = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--alpha" => cfg.alpha = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--iid" => cfg.alpha = None,
+            "--interference" => {
+                cfg.interference = parse_interference(&value(&mut i)).unwrap_or_else(|| usage())
+            }
+            "--seed" => cfg.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--json" => json_path = Some(value(&mut i)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let report = match Experiment::new(cfg) {
+        Ok(e) => e.run(),
+        Err(msg) => {
+            eprintln!("invalid configuration: {msg}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("=== {} ===", report.label);
+    println!(
+        "accuracy: top10% {:.4}  mean {:.4}  bottom10% {:.4}",
+        report.accuracy.top10, report.accuracy.mean, report.accuracy.bottom10
+    );
+    println!(
+        "participation: {} completed / {} dropped ({} clients never selected, {} never completed)",
+        report.total_completions,
+        report.total_dropouts,
+        report.never_selected(),
+        report.never_completed()
+    );
+    let r = &report.resources;
+    println!(
+        "resources: compute {:.2}h (+{:.2}h wasted) | comm {:.2}h (+{:.2}h wasted) | mem {:.4}TB (+{:.4}TB wasted)",
+        r.useful_compute_h,
+        r.wasted_compute_h,
+        r.useful_comm_h,
+        r.wasted_comm_h,
+        r.useful_memory_tb,
+        r.wasted_memory_tb
+    );
+    println!(
+        "energy: {:.0} J useful, {:.0} J wasted | wall-clock {:.2} h",
+        r.useful_energy_j, r.wasted_energy_j, report.wall_clock_h
+    );
+    if !report.technique_stats.is_empty() {
+        let mut names: Vec<&String> = report.technique_stats.keys().collect();
+        names.sort();
+        println!("techniques:");
+        for n in names {
+            let t = report.technique_stats[n];
+            println!(
+                "  {n:<10} {:>5} ok {:>5} fail  ({:.0}%)",
+                t.successes,
+                t.failures,
+                t.success_rate() * 100.0
+            );
+        }
+    }
+    if let Some(path) = json_path {
+        let body = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(&path, body).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote report JSON to {path}");
+    }
+}

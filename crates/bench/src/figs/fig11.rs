@@ -1,0 +1,46 @@
+//! Figure 11 — the RLHF ablation study: FLOAT-RL (no human feedback) vs
+//! FLOAT-RLHF (with human feedback), under dynamic on-device interference
+//! on FEMNIST.
+//!
+//! The paper's findings this reproduces: adding the human-feedback
+//! (deadline difference) signal gives ~10 % more accuracy and ~2× fewer
+//! dropouts, and FLOAT-RL over-selects aggressive-but-poorly-targeted
+//! configurations, producing a worse success-to-dropout ratio.
+
+use serde::{Deserialize, Serialize};
+
+use float_core::AccelMode;
+
+use crate::figs::fig6::{render_rows, run_modes, Fig6Row};
+use crate::scale::Scale;
+
+/// Full Fig. 11 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig11 {
+    /// Rows: FLOAT-RL then FLOAT-RLHF.
+    pub rows: Vec<Fig6Row>,
+}
+
+/// Run the Fig. 11 ablation at the given scale.
+pub fn run(scale: Scale) -> Fig11 {
+    Fig11 {
+        rows: run_modes(scale, &[AccelMode::Rl, AccelMode::Rlhf], 0.01),
+    }
+}
+
+impl Fig11 {
+    /// `(rl, rlhf)` rows, if both are present.
+    pub fn pair(&self) -> Option<(&Fig6Row, &Fig6Row)> {
+        let rl = self.rows.iter().find(|r| r.mode == "float-rl")?;
+        let rlhf = self.rows.iter().find(|r| r.mode == "float-rlhf")?;
+        Some((rl, rlhf))
+    }
+
+    /// Paper-style text rendering.
+    pub fn render(&self) -> String {
+        render_rows(
+            "Figure 11 — RLHF ablation (FLOAT-RL vs FLOAT-RLHF, FEMNIST dynamic interference)",
+            &self.rows,
+        )
+    }
+}

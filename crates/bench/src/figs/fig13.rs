@@ -1,0 +1,38 @@
+//! Figure 13 — end-to-end performance on the complex OpenImage task with
+//! ShuffleNet-v2 costs (the paper's "performance on complex datasets"
+//! study).
+//!
+//! Identical grid to Fig. 12 but on the hardest task: vanilla vs FLOAT
+//! across all four selectors. The paper reports 8–39 % accuracy gains and
+//! large multiplicative resource-efficiency improvements, with FedAvg the
+//! weakest baseline (no selection intelligence) and FedBuff paying for
+//! over-selection with resource waste.
+
+use serde::{Deserialize, Serialize};
+
+use float_data::Task;
+
+use crate::figs::fig12::{run_tasks, E2e};
+use crate::scale::Scale;
+
+/// Full Fig. 13 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig13 {
+    /// The OpenImage end-to-end grid.
+    pub e2e: E2e,
+}
+
+/// Run the Fig. 13 grid at the given scale.
+pub fn run(scale: Scale) -> Fig13 {
+    Fig13 {
+        e2e: run_tasks(scale, &[Task::OpenImage]),
+    }
+}
+
+impl Fig13 {
+    /// Paper-style text rendering.
+    pub fn render(&self) -> String {
+        self.e2e
+            .render_with_title("Figure 13 — end-to-end on OpenImage (ShuffleNet-v2 costs)")
+    }
+}

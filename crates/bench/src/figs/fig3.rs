@@ -1,0 +1,143 @@
+//! Figure 3 — accuracy of client-selection techniques with and without
+//! dropouts.
+//!
+//! For each algorithm, two runs: the "no dropouts (ND)" counterfactual in
+//! which every started client completes, and the realistic "dropouts (D)"
+//! run under dynamic interference. Reported per run: Top-10 %, average,
+//! and Bottom-10 % client accuracy. The paper's finding: every algorithm
+//! loses accuracy to dropouts, REFL most of all; FedBuff is the most
+//! resilient thanks to over-selection.
+
+use serde::{Deserialize, Serialize};
+
+use float_core::{AccelMode, Experiment, SelectorChoice};
+use float_data::Task;
+
+use crate::scale::Scale;
+use crate::{f, table};
+
+/// One `(algorithm, scenario)` row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3Row {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// `"ND"` (no dropouts) or `"D"` (with dropouts).
+    pub scenario: String,
+    /// Mean accuracy of the top decile of clients.
+    pub top10: f64,
+    /// Mean accuracy over all clients.
+    pub mean: f64,
+    /// Mean accuracy of the bottom decile of clients.
+    pub bottom10: f64,
+    /// Dropout events over the run.
+    pub dropouts: u64,
+}
+
+/// Full Fig. 3 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3 {
+    /// Rows: 2 per algorithm (ND then D).
+    pub rows: Vec<Fig3Row>,
+}
+
+/// Run the Fig. 3 experiment at the given scale.
+pub fn run(scale: Scale) -> Fig3 {
+    let mut rows = Vec::new();
+    for &sel in &SelectorChoice::ALL {
+        for &nd in &[true, false] {
+            let mut cfg = scale.config(Task::Emnist, sel, AccelMode::Off);
+            cfg.alpha = Some(0.05);
+            cfg.assume_no_dropouts = nd;
+            let report = Experiment::new(cfg).expect("scaled config valid").run();
+            rows.push(Fig3Row {
+                algorithm: sel.name().to_string(),
+                scenario: if nd { "ND" } else { "D" }.to_string(),
+                top10: report.accuracy.top10,
+                mean: report.accuracy.mean,
+                bottom10: report.accuracy.bottom10,
+                dropouts: report.total_dropouts,
+            });
+        }
+    }
+    Fig3 { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(algorithm: &str, scenario: &str, mean: f64) -> Fig3Row {
+        Fig3Row {
+            algorithm: algorithm.into(),
+            scenario: scenario.into(),
+            top10: 1.0,
+            mean,
+            bottom10: 0.5,
+            dropouts: 10,
+        }
+    }
+
+    #[test]
+    fn dropout_penalty_subtracts_scenarios() {
+        let fig = Fig3 {
+            rows: vec![row("fedavg", "ND", 0.9), row("fedavg", "D", 0.8)],
+        };
+        assert!((fig.dropout_penalty("fedavg").unwrap() - 0.1).abs() < 1e-12);
+        assert!(fig.dropout_penalty("oort").is_none());
+    }
+
+    #[test]
+    fn render_lists_both_scenarios() {
+        let fig = Fig3 {
+            rows: vec![row("refl", "ND", 0.9), row("refl", "D", 0.7)],
+        };
+        let out = fig.render();
+        assert!(out.contains("ND") && out.contains("refl"));
+    }
+}
+
+impl Fig3 {
+    /// Accuracy lost to dropouts (`mean(ND) − mean(D)`) for `algorithm`,
+    /// or `None` if either run is missing.
+    pub fn dropout_penalty(&self, algorithm: &str) -> Option<f64> {
+        let get = |sc: &str| {
+            self.rows
+                .iter()
+                .find(|r| r.algorithm == algorithm && r.scenario == sc)
+                .map(|r| r.mean)
+        };
+        Some(get("ND")? - get("D")?)
+    }
+
+    /// Paper-style text rendering.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.algorithm.clone(),
+                    r.scenario.clone(),
+                    f(r.top10),
+                    f(r.mean),
+                    f(r.bottom10),
+                    r.dropouts.to_string(),
+                ]
+            })
+            .collect();
+        format!(
+            "Figure 3 — accuracy with (D) vs without (ND) dropouts\n{}",
+            table(
+                &[
+                    "algorithm",
+                    "scenario",
+                    "top10%",
+                    "mean",
+                    "bottom10%",
+                    "dropouts"
+                ],
+                &rows,
+            )
+        )
+    }
+}

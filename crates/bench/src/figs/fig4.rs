@@ -1,0 +1,154 @@
+//! Figure 4 — compute and communication resource variations across the
+//! three interference scenarios.
+//!
+//! Samples the effective per-client compute throughput (GFLOP/s) and
+//! network bandwidth (Mbit/s) distributions under No / Static / Dynamic
+//! interference and reports summary statistics. The paper uses this to
+//! motivate focusing on the dynamic scenario: without interference there
+//! is ample bandwidth, static interference shaves a fixed share, dynamic
+//! interference covers the full space of realistic availabilities.
+
+use serde::{Deserialize, Serialize};
+
+use float_traces::{InterferenceModel, ResourceSampler};
+
+use crate::scale::Scale;
+use crate::{f, table};
+
+/// Distribution summary of a resource under one scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4Row {
+    /// Scenario name.
+    pub scenario: String,
+    /// Which resource (`"compute-gflops"` or `"network-mbps"`).
+    pub resource: String,
+    /// Mean of the effective resource.
+    pub mean: f64,
+    /// Standard deviation.
+    pub std: f64,
+    /// 10th percentile.
+    pub p10: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Coefficient of variation of the *temporal* series of a single
+    /// client, averaged over clients — the fluctuation FLOAT reacts to.
+    pub temporal_cv: f64,
+}
+
+/// Full Fig. 4 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4 {
+    /// Six rows: 3 scenarios × 2 resources.
+    pub rows: Vec<Fig4Row>,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn summarize(scenario: &str, resource: &str, per_client: &[Vec<f64>]) -> Fig4Row {
+    let mut all: Vec<f64> = per_client.iter().flatten().copied().collect();
+    all.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = all.len().max(1) as f64;
+    let mean = all.iter().sum::<f64>() / n;
+    let var = all.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    // Temporal CV: per-client coefficient of variation across rounds.
+    let mut cv_acc = 0.0;
+    let mut cv_n = 0usize;
+    for series in per_client {
+        if series.len() < 2 {
+            continue;
+        }
+        let m = series.iter().sum::<f64>() / series.len() as f64;
+        if m <= 0.0 {
+            continue;
+        }
+        let v = series.iter().map(|x| (x - m).powi(2)).sum::<f64>() / series.len() as f64;
+        cv_acc += v.sqrt() / m;
+        cv_n += 1;
+    }
+    Fig4Row {
+        scenario: scenario.to_string(),
+        resource: resource.to_string(),
+        mean,
+        std: var.sqrt(),
+        p10: percentile(&all, 0.1),
+        p50: percentile(&all, 0.5),
+        p90: percentile(&all, 0.9),
+        temporal_cv: if cv_n == 0 { 0.0 } else { cv_acc / cv_n as f64 },
+    }
+}
+
+/// Run the Fig. 4 sampling at the given scale.
+pub fn run(scale: Scale) -> Fig4 {
+    let (clients, rounds) = match scale {
+        Scale::Quick => (60, 60),
+        Scale::Medium => (100, 150),
+        Scale::Paper => (200, 300),
+    };
+    let scenarios = [
+        InterferenceModel::None,
+        InterferenceModel::paper_static(),
+        InterferenceModel::paper_dynamic(),
+    ];
+    let mut rows = Vec::new();
+    for scenario in scenarios {
+        let mut sampler = ResourceSampler::new(clients, scenario, 99);
+        let mut compute: Vec<Vec<f64>> = vec![Vec::with_capacity(rounds); clients];
+        let mut network: Vec<Vec<f64>> = vec![Vec::with_capacity(rounds); clients];
+        for c in 0..clients {
+            for r in 0..rounds {
+                let s = sampler.snapshot(c, r);
+                compute[c].push(s.effective_gflops);
+                network[c].push(s.effective_mbps);
+            }
+        }
+        rows.push(summarize(scenario.name(), "compute-gflops", &compute));
+        rows.push(summarize(scenario.name(), "network-mbps", &network));
+    }
+    Fig4 { rows }
+}
+
+impl Fig4 {
+    /// Paper-style text rendering.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.scenario.clone(),
+                    r.resource.clone(),
+                    f(r.mean),
+                    f(r.std),
+                    f(r.p10),
+                    f(r.p50),
+                    f(r.p90),
+                    f(r.temporal_cv),
+                ]
+            })
+            .collect();
+        format!(
+            "Figure 4 — resource variation across interference scenarios\n{}",
+            table(
+                &[
+                    "scenario",
+                    "resource",
+                    "mean",
+                    "std",
+                    "p10",
+                    "p50",
+                    "p90",
+                    "temporal-cv"
+                ],
+                &rows,
+            )
+        )
+    }
+}

@@ -1,0 +1,141 @@
+//! Figure 6 — heuristics vs FLOAT.
+//!
+//! FedAvg as the base selector, FEMNIST with Dirichlet α = 0.01, dynamic
+//! on-device interference. Three runs: vanilla FedAvg, the §4.4 rule-based
+//! heuristic, and full FLOAT (RLHF). Reported: (left) accuracy and
+//! successful/dropped clients, (mid) compute/communication/memory
+//! inefficiency, (right) per-technique success and failure counts.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use float_core::{AccelMode, Experiment, SelectorChoice, TechniqueStats};
+use float_data::Task;
+
+use crate::scale::Scale;
+use crate::{f, table};
+
+/// One mode's aggregate metrics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6Row {
+    /// Acceleration mode name.
+    pub mode: String,
+    /// Mean client accuracy.
+    pub accuracy: f64,
+    /// Total successful participations.
+    pub successful: u64,
+    /// Total dropouts.
+    pub dropped: u64,
+    /// Wasted compute hours (the paper's compute inefficiency).
+    pub wasted_compute_h: f64,
+    /// Wasted communication hours.
+    pub wasted_comm_h: f64,
+    /// Wasted memory terabytes.
+    pub wasted_memory_tb: f64,
+    /// Per-technique success/failure counts.
+    pub techniques: HashMap<String, TechniqueStats>,
+}
+
+/// Full Fig. 6 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6 {
+    /// Rows: vanilla, heuristic, FLOAT.
+    pub rows: Vec<Fig6Row>,
+}
+
+/// Run the Fig. 6 experiments at the given scale. Also used (with
+/// different modes) by Fig. 11.
+pub fn run_modes(scale: Scale, modes: &[AccelMode], alpha: f64) -> Vec<Fig6Row> {
+    modes
+        .iter()
+        .map(|&mode| {
+            let mut cfg = scale.config(Task::Femnist, SelectorChoice::FedAvg, mode);
+            cfg.alpha = Some(alpha);
+            let report = Experiment::new(cfg).expect("scaled config valid").run();
+            Fig6Row {
+                mode: mode.name().to_string(),
+                accuracy: report.accuracy.mean,
+                successful: report.total_completions,
+                dropped: report.total_dropouts,
+                wasted_compute_h: report.resources.wasted_compute_h,
+                wasted_comm_h: report.resources.wasted_comm_h,
+                wasted_memory_tb: report.resources.wasted_memory_tb,
+                techniques: report.technique_stats,
+            }
+        })
+        .collect()
+}
+
+/// Run the Fig. 6 comparison (vanilla vs heuristic vs FLOAT-RLHF).
+pub fn run(scale: Scale) -> Fig6 {
+    Fig6 {
+        rows: run_modes(
+            scale,
+            &[AccelMode::Off, AccelMode::Heuristic, AccelMode::Rlhf],
+            0.01,
+        ),
+    }
+}
+
+/// Shared rendering for Fig. 6 / Fig. 11 row sets.
+pub fn render_rows(title: &str, rows: &[Fig6Row]) -> String {
+    let main: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.clone(),
+                f(r.accuracy),
+                r.successful.to_string(),
+                r.dropped.to_string(),
+                f(r.wasted_compute_h),
+                f(r.wasted_comm_h),
+                f(r.wasted_memory_tb),
+            ]
+        })
+        .collect();
+    let mut tech_rows: Vec<Vec<String>> = Vec::new();
+    for r in rows {
+        let mut names: Vec<&String> = r.techniques.keys().collect();
+        names.sort();
+        for name in names {
+            let t = r.techniques[name];
+            tech_rows.push(vec![
+                r.mode.clone(),
+                name.clone(),
+                t.successes.to_string(),
+                t.failures.to_string(),
+                f(t.success_rate()),
+            ]);
+        }
+    }
+    format!(
+        "{title}\n{}\nPer-technique success/failure counts\n{}",
+        table(
+            &[
+                "mode",
+                "accuracy",
+                "successful",
+                "dropped",
+                "waste-compute-h",
+                "waste-comm-h",
+                "waste-mem-tb",
+            ],
+            &main,
+        ),
+        table(
+            &["mode", "technique", "successes", "failures", "rate"],
+            &tech_rows,
+        )
+    )
+}
+
+impl Fig6 {
+    /// Paper-style text rendering.
+    pub fn render(&self) -> String {
+        render_rows(
+            "Figure 6 — heuristics vs FLOAT (FedAvg base, FEMNIST α=0.01)",
+            &self.rows,
+        )
+    }
+}

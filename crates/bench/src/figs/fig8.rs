@@ -1,0 +1,121 @@
+//! Figure 8 — RLHF agent overhead as the state space grows.
+//!
+//! Measures the Q-table's resident memory and the per-decision latency
+//! (choose action + Bellman update) as the number of materialized states
+//! sweeps past the paper's operating point (125 local-state combinations,
+//! 8 actions). Paper claims: memory < 0.2 MB, per-round agent time < 1 ms.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use float_rl::{AgentConfig, DeadlineLevel, GlobalState, LocalState, RlhfAgent};
+
+use crate::{f, table};
+
+/// Overhead at one state-count point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig8Row {
+    /// Number of distinct states materialized in the Q-table.
+    pub states: usize,
+    /// Resident Q-table memory, bytes.
+    pub memory_bytes: usize,
+    /// Mean choose+update latency, microseconds.
+    pub decision_us: f64,
+}
+
+/// Full Fig. 8 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig8 {
+    /// Sweep rows, ascending in state count.
+    pub rows: Vec<Fig8Row>,
+    /// The paper's operating point for reference (125 states, 8 actions).
+    pub paper_point_states: usize,
+}
+
+/// Enumerate `n` distinct `(local, hf)` state combinations.
+fn states(n: usize) -> Vec<(LocalState, DeadlineLevel)> {
+    let mut out = Vec::with_capacity(n);
+    'outer: for hf in DeadlineLevel::ALL {
+        for cpu in float_rl::state::Level5::ALL {
+            for mem in float_rl::state::Level5::ALL {
+                for net in float_rl::state::Level5::ALL {
+                    out.push((LocalState { cpu, mem, net }, hf));
+                    if out.len() == n {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Run the Fig. 8 overhead sweep.
+pub fn run() -> Fig8 {
+    let global = GlobalState::from_raw(20, 5, 30);
+    let sweep = [5usize, 25, 125, 250, 625];
+    let mut rows = Vec::new();
+    for &n in &sweep {
+        let mut agent = RlhfAgent::new(AgentConfig::rlhf(8), 7);
+        let combos = states(n);
+        // Touch every state once so the table is fully materialized.
+        for (i, &(local, hf)) in combos.iter().enumerate() {
+            agent.feedback(i, global, local, hf, i % 8, 1.0, 0.5, 1, 300);
+        }
+        // Timed decision loop over the materialized states.
+        let iters = 20_000usize;
+        let start = Instant::now();
+        for i in 0..iters {
+            let (local, hf) = combos[i % combos.len()];
+            let a = agent.choose_action(global, local, hf, 100, 300);
+            agent.feedback(i, global, local, hf, a, 1.0, 0.5, 100, 300);
+        }
+        let decision_us = start.elapsed().as_secs_f64() * 1e6 / iters as f64;
+        rows.push(Fig8Row {
+            states: n,
+            memory_bytes: agent.memory_bytes(),
+            decision_us,
+        });
+    }
+    Fig8 {
+        rows,
+        paper_point_states: 125,
+    }
+}
+
+impl Fig8 {
+    /// Whether the paper's overhead bounds hold at the operating point.
+    pub fn paper_bounds_hold(&self) -> bool {
+        self.rows
+            .iter()
+            .find(|r| r.states == self.paper_point_states)
+            .map(|r| r.memory_bytes < 200_000 && r.decision_us < 1000.0)
+            .unwrap_or(false)
+    }
+
+    /// Paper-style text rendering.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.states.to_string(),
+                    r.memory_bytes.to_string(),
+                    f(r.decision_us),
+                    if r.states == self.paper_point_states {
+                        "<- paper operating point".to_string()
+                    } else {
+                        String::new()
+                    },
+                ]
+            })
+            .collect();
+        format!(
+            "Figure 8 — RLHF agent overhead vs number of states (8 actions)\n{}\npaper bounds (mem < 0.2 MB, decision < 1 ms at 125 states): {}\n",
+            table(&["states", "memory-bytes", "decision-us", ""], &rows),
+            if self.paper_bounds_hold() { "HOLD" } else { "VIOLATED" }
+        )
+    }
+}

@@ -1,0 +1,14 @@
+//! One module per reproduced figure of the paper's evaluation.
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig8;
+pub mod fig9;

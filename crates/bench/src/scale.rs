@@ -1,0 +1,101 @@
+//! Experiment scaling: paper-scale vs quick runs.
+
+use serde::{Deserialize, Serialize};
+
+use float_core::{AccelMode, ExperimentConfig, SelectorChoice};
+use float_data::Task;
+
+/// How large to run the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Scaled-down runs that finish in minutes (default): 60 clients,
+    /// 15 per round, 40 rounds.
+    Quick,
+    /// Mid-size runs: 100 clients, 20 per round, 120 rounds.
+    Medium,
+    /// The paper's configuration: 200 clients, 30 per round, 300 rounds.
+    Paper,
+}
+
+impl Scale {
+    /// Parse from a CLI token.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "medium" => Some(Scale::Medium),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Build the baseline configuration for a `(task, selector, accel)`
+    /// triple at this scale.
+    pub fn config(
+        self,
+        task: Task,
+        selector: SelectorChoice,
+        accel: AccelMode,
+    ) -> ExperimentConfig {
+        let mut c = ExperimentConfig::paper_e2e(task, selector, accel, self.rounds());
+        match self {
+            Scale::Quick => {
+                c.num_clients = 60;
+                c.cohort_size = 15;
+                c.async_concurrency = 40;
+                c.async_buffer = 15;
+                c.mean_samples = 80;
+                c.local_epochs = 3;
+                c.eval_every = 8;
+            }
+            Scale::Medium => {
+                c.num_clients = 100;
+                c.cohort_size = 20;
+                c.async_concurrency = 60;
+                c.async_buffer = 20;
+                c.mean_samples = 100;
+                c.eval_every = 10;
+            }
+            Scale::Paper => {}
+        }
+        c
+    }
+
+    /// Number of rounds at this scale.
+    pub fn rounds(self) -> usize {
+        match self {
+            Scale::Quick => 40,
+            Scale::Medium => 120,
+            Scale::Paper => 300,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn configs_validate_at_all_scales() {
+        for scale in [Scale::Quick, Scale::Medium, Scale::Paper] {
+            for sel in SelectorChoice::ALL {
+                let c = scale.config(Task::Femnist, sel, AccelMode::Rlhf);
+                c.validate().expect("scaled config must validate");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_scale_matches_paper_numbers() {
+        let c = Scale::Paper.config(Task::Femnist, SelectorChoice::FedAvg, AccelMode::Off);
+        assert_eq!(c.num_clients, 200);
+        assert_eq!(c.cohort_size, 30);
+        assert_eq!(c.rounds, 300);
+    }
+}

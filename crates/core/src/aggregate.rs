@@ -1,0 +1,143 @@
+//! Model-update aggregation: synchronous FedAvg and asynchronous
+//! FedBuff-style buffered aggregation with staleness discounting.
+
+use serde::{Deserialize, Serialize};
+
+/// One client's contribution awaiting aggregation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PendingUpdate {
+    /// Contributing client.
+    pub client: usize,
+    /// Parameter delta against the model version the client started from.
+    pub delta: Vec<f32>,
+    /// Training samples backing the update (FedAvg weighting).
+    pub samples: usize,
+    /// How many aggregations happened between launch and arrival
+    /// (0 for synchronous updates).
+    pub staleness: u64,
+}
+
+/// Weighted-average aggregation of deltas into the global parameters.
+///
+/// Synchronous FedAvg: weight by sample count. Asynchronous updates are
+/// additionally discounted by `1 / sqrt(1 + staleness)` — the polynomial
+/// staleness weighting FedBuff uses.
+///
+/// Returns the number of updates applied (0 leaves `global` untouched).
+///
+/// # Panics
+///
+/// Panics if an update's delta length differs from `global.len()` —
+/// aggregating mismatched models is a programming error, not a runtime
+/// condition.
+pub fn aggregate(global: &mut [f32], updates: &[PendingUpdate]) -> usize {
+    if updates.is_empty() {
+        return 0;
+    }
+    let mut total_weight = 0.0f64;
+    for u in updates {
+        assert_eq!(
+            u.delta.len(),
+            global.len(),
+            "client {} delta has wrong length",
+            u.client
+        );
+        total_weight += weight(u);
+    }
+    if total_weight <= 0.0 {
+        return 0;
+    }
+    let mut acc = vec![0.0f64; global.len()];
+    for u in updates {
+        let w = weight(u) / total_weight;
+        for (a, &d) in acc.iter_mut().zip(&u.delta) {
+            *a += w * f64::from(d);
+        }
+    }
+    for (g, a) in global.iter_mut().zip(&acc) {
+        *g += *a as f32;
+    }
+    updates.len()
+}
+
+/// FedAvg weight with FedBuff staleness discount.
+fn weight(u: &PendingUpdate) -> f64 {
+    (u.samples.max(1) as f64) / (1.0 + u.staleness as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(client: usize, delta: Vec<f32>, samples: usize, staleness: u64) -> PendingUpdate {
+        PendingUpdate {
+            client,
+            delta,
+            samples,
+            staleness,
+        }
+    }
+
+    #[test]
+    fn equal_weights_average() {
+        let mut g = vec![0.0f32; 2];
+        aggregate(
+            &mut g,
+            &[upd(0, vec![1.0, 0.0], 10, 0), upd(1, vec![0.0, 1.0], 10, 0)],
+        );
+        assert!((g[0] - 0.5).abs() < 1e-6);
+        assert!((g[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sample_weighting_skews_average() {
+        let mut g = vec![0.0f32];
+        aggregate(
+            &mut g,
+            &[upd(0, vec![1.0], 30, 0), upd(1, vec![0.0], 10, 0)],
+        );
+        assert!((g[0] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn staleness_discounts_contribution() {
+        let mut g = vec![0.0f32];
+        aggregate(
+            &mut g,
+            &[upd(0, vec![1.0], 10, 8), upd(1, vec![0.0], 10, 0)],
+        );
+        // Stale update weight 10/3, fresh 10 → stale share = 1/4.
+        assert!((g[0] - 0.25).abs() < 1e-6, "got {}", g[0]);
+    }
+
+    #[test]
+    fn empty_updates_leave_global() {
+        let mut g = vec![3.0f32, 4.0];
+        assert_eq!(aggregate(&mut g, &[]), 0);
+        assert_eq!(g, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn aggregation_is_incremental() {
+        // Applying the mean delta moves the global model, preserving the
+        // base: g' = g + mean(delta).
+        let mut g = vec![10.0f32];
+        aggregate(&mut g, &[upd(0, vec![2.0], 1, 0)]);
+        assert!((g[0] - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn mismatched_delta_panics() {
+        let mut g = vec![0.0f32; 3];
+        aggregate(&mut g, &[upd(0, vec![1.0], 1, 0)]);
+    }
+
+    #[test]
+    fn zero_sample_updates_still_count_minimally() {
+        let mut g = vec![0.0f32];
+        let n = aggregate(&mut g, &[upd(0, vec![1.0], 0, 0)]);
+        assert_eq!(n, 1);
+        assert!((g[0] - 1.0).abs() < 1e-6);
+    }
+}

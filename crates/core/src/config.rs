@@ -1,0 +1,326 @@
+//! Experiment configuration and paper presets.
+
+use serde::{Deserialize, Serialize};
+
+use float_data::federated::FederatedConfig;
+use float_data::Task;
+use float_models::Architecture;
+use float_traces::InterferenceModel;
+
+/// Which client-selection algorithm drives the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SelectorChoice {
+    /// Uniform random (FedAvg).
+    FedAvg,
+    /// Utility-guided (Oort).
+    Oort,
+    /// Availability-window prediction (REFL).
+    Refl,
+    /// Asynchronous buffered (FedBuff).
+    FedBuff,
+    /// Tier-based (TiFL) — an extension baseline beyond the paper's four.
+    Tifl,
+}
+
+impl SelectorChoice {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SelectorChoice::FedAvg => "fedavg",
+            SelectorChoice::Oort => "oort",
+            SelectorChoice::Refl => "refl",
+            SelectorChoice::FedBuff => "fedbuff",
+            SelectorChoice::Tifl => "tifl",
+        }
+    }
+
+    /// The paper's four baselines (TiFL is an extension and excluded so
+    /// figure grids keep the paper's layout).
+    pub const ALL: [SelectorChoice; 4] = [
+        SelectorChoice::FedAvg,
+        SelectorChoice::Oort,
+        SelectorChoice::Refl,
+        SelectorChoice::FedBuff,
+    ];
+
+    /// All selectors including extensions.
+    pub const ALL_EXTENDED: [SelectorChoice; 5] = [
+        SelectorChoice::FedAvg,
+        SelectorChoice::Oort,
+        SelectorChoice::Refl,
+        SelectorChoice::FedBuff,
+        SelectorChoice::Tifl,
+    ];
+}
+
+/// How acceleration actions are chosen for selected clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccelMode {
+    /// No acceleration — the vanilla baseline.
+    Off,
+    /// A fixed action applied to every client every round (the §4.3
+    /// "static optimization" baselines, Fig. 5). The index refers to
+    /// [`float_accel::ActionCatalogue::paper`].
+    Static(usize),
+    /// The §4.4 rule-based heuristic.
+    Heuristic,
+    /// Q-learning agent without human feedback (FLOAT-RL, Fig. 11).
+    Rl,
+    /// Full FLOAT: Q-learning with human feedback (FLOAT-RLHF).
+    Rlhf,
+    /// FLOAT-RLHF over the *extended* action catalogue — the paper's
+    /// eight actions plus no-op, lossless compression, and top-k
+    /// sparsification (RQ5: "adding a new acceleration technique
+    /// increases the actions by one, expanding the exploration space by
+    /// S").
+    RlhfExtended,
+}
+
+impl AccelMode {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AccelMode::Off => "off",
+            AccelMode::Static(_) => "static",
+            AccelMode::Heuristic => "heuristic",
+            AccelMode::Rl => "float-rl",
+            AccelMode::Rlhf => "float-rlhf",
+            AccelMode::RlhfExtended => "float-rlhf-ext",
+        }
+    }
+}
+
+/// Full description of one experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Benchmark task (dataset stand-in).
+    pub task: Task,
+    /// Dirichlet α controlling label skew (`None` ⇒ IID).
+    pub alpha: Option<f64>,
+    /// Cost-model architecture (latency/bytes/memory source).
+    pub arch: Architecture,
+    /// Total number of clients.
+    pub num_clients: usize,
+    /// Clients sampled per synchronous round.
+    pub cohort_size: usize,
+    /// Concurrent clients for FedBuff.
+    pub async_concurrency: usize,
+    /// FedBuff aggregation buffer size.
+    pub async_buffer: usize,
+    /// Number of training rounds (synchronous) or aggregations (async).
+    pub rounds: usize,
+    /// Local epochs per client round.
+    pub local_epochs: usize,
+    /// Local batch size.
+    pub batch_size: usize,
+    /// Local SGD learning rate.
+    pub learning_rate: f32,
+    /// Mean training samples per client.
+    pub mean_samples: usize,
+    /// Round deadline in seconds.
+    pub deadline_s: f64,
+    /// Interference scenario.
+    pub interference: InterferenceModel,
+    /// Client-selection algorithm.
+    pub selector: SelectorChoice,
+    /// Acceleration mode.
+    pub accel: AccelMode,
+    /// Evaluate per-client accuracy every this many rounds (and always at
+    /// the final round).
+    pub eval_every: usize,
+    /// Weight of the participation-success objective in the RLHF reward
+    /// (paper Eq. 2 `w_p`). The §7 "Limitations" knob: in resource-rich
+    /// deployments users can shift weight toward accuracy.
+    pub reward_w_participation: f64,
+    /// Weight of the accuracy-improvement objective (`w_a`).
+    pub reward_w_accuracy: f64,
+    /// Per-second hazard rate of stochastic mid-round client failures.
+    pub failure_hazard_per_s: f64,
+    /// Counterfactual switch for the Fig. 3 "no dropouts (ND)" analysis:
+    /// every selected, available client is treated as completing
+    /// regardless of deadline, memory, or failures.
+    pub assume_no_dropouts: bool,
+    /// Root seed; every stochastic subsystem derives from it.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The paper's end-to-end setup (§6.1) scaled to the proxy substrate:
+    /// 200 clients, 30 per round, 5 local epochs, batch 20, Dirichlet 0.1,
+    /// dynamic on-device interference, ResNet-34 costs.
+    ///
+    /// `rounds` is a parameter because the full 300-round runs belong in
+    /// benches/examples, while tests use short horizons.
+    pub fn paper_e2e(
+        task: Task,
+        selector: SelectorChoice,
+        accel: AccelMode,
+        rounds: usize,
+    ) -> Self {
+        ExperimentConfig {
+            task,
+            alpha: Some(0.1),
+            arch: Architecture::ResNet34,
+            num_clients: 200,
+            cohort_size: 30,
+            async_concurrency: 100,
+            async_buffer: 30,
+            rounds,
+            local_epochs: 5,
+            batch_size: 20,
+            learning_rate: 0.05,
+            mean_samples: 120,
+            deadline_s: 1800.0,
+            interference: InterferenceModel::paper_dynamic(),
+            selector,
+            accel,
+            eval_every: 10,
+            reward_w_participation: 0.5,
+            reward_w_accuracy: 0.5,
+            failure_hazard_per_s: 2.0e-5,
+            assume_no_dropouts: false,
+            seed: 20240422,
+        }
+    }
+
+    /// A small, fast configuration for tests and the quickstart example.
+    pub fn small(selector: SelectorChoice, accel: AccelMode, rounds: usize) -> Self {
+        ExperimentConfig {
+            task: Task::Cifar10,
+            alpha: Some(0.1),
+            arch: Architecture::ResNet18,
+            num_clients: 40,
+            cohort_size: 10,
+            async_concurrency: 20,
+            async_buffer: 8,
+            rounds,
+            local_epochs: 2,
+            batch_size: 16,
+            learning_rate: 0.05,
+            mean_samples: 60,
+            deadline_s: 1800.0,
+            interference: InterferenceModel::paper_dynamic(),
+            selector,
+            accel,
+            eval_every: 5,
+            reward_w_participation: 0.5,
+            reward_w_accuracy: 0.5,
+            failure_hazard_per_s: 2.0e-5,
+            assume_no_dropouts: false,
+            seed: 7,
+        }
+    }
+
+    /// Derived federated-dataset configuration.
+    pub fn federated_config(&self) -> FederatedConfig {
+        FederatedConfig {
+            task: self.task,
+            num_clients: self.num_clients,
+            mean_samples: self.mean_samples,
+            alpha: self.alpha,
+            test_fraction: 0.25,
+        }
+    }
+
+    /// Validate internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_clients == 0 {
+            return Err("num_clients must be positive".into());
+        }
+        if self.cohort_size == 0 || self.cohort_size > self.num_clients {
+            return Err(format!(
+                "cohort_size {} must be in 1..={}",
+                self.cohort_size, self.num_clients
+            ));
+        }
+        if self.rounds == 0 {
+            return Err("rounds must be positive".into());
+        }
+        if self.async_buffer == 0 || self.async_buffer > self.async_concurrency {
+            return Err(format!(
+                "async_buffer {} must be in 1..={}",
+                self.async_buffer, self.async_concurrency
+            ));
+        }
+        if self.batch_size == 0 || self.local_epochs == 0 {
+            return Err("batch_size and local_epochs must be positive".into());
+        }
+        if !(self.deadline_s > 0.0) {
+            return Err("deadline must be positive".into());
+        }
+        if let Some(a) = self.alpha {
+            if !(a > 0.0) {
+                return Err("alpha must be positive".into());
+            }
+        }
+        if self.eval_every == 0 {
+            return Err("eval_every must be positive".into());
+        }
+        if !(self.failure_hazard_per_s >= 0.0) {
+            return Err("failure hazard must be non-negative".into());
+        }
+        if !(self.reward_w_participation >= 0.0 && self.reward_w_accuracy >= 0.0)
+            || self.reward_w_participation + self.reward_w_accuracy <= 0.0
+        {
+            return Err("reward weights must be non-negative and not both zero".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_preset_is_valid_and_matches_paper_numbers() {
+        let c = ExperimentConfig::paper_e2e(
+            Task::Femnist,
+            SelectorChoice::FedAvg,
+            AccelMode::Rlhf,
+            300,
+        );
+        c.validate().expect("paper preset must validate");
+        assert_eq!(c.num_clients, 200);
+        assert_eq!(c.cohort_size, 30);
+        assert_eq!(c.local_epochs, 5);
+        assert_eq!(c.batch_size, 20);
+        assert_eq!(c.async_concurrency, 100);
+        assert_eq!(c.async_buffer, 30);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let base = ExperimentConfig::small(SelectorChoice::FedAvg, AccelMode::Off, 5);
+        let mut c = base;
+        c.cohort_size = 0;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.cohort_size = c.num_clients + 1;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.rounds = 0;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.async_buffer = c.async_concurrency + 1;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.alpha = Some(0.0);
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.deadline_s = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn selector_names_unique() {
+        let mut names: Vec<_> = SelectorChoice::ALL_EXTENDED.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+}

@@ -1,0 +1,258 @@
+//! Evaluation metrics matching the paper (§6.1 "Metrics"): top-10 % /
+//! average / bottom-10 % client accuracy, dropout counts, per-technique
+//! success/failure statistics, and resource-inefficiency totals.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use float_accel::AccelAction;
+use float_sim::LedgerTotals;
+
+/// Summary of per-client accuracies: the paper's three-way split designed
+/// to expose selection bias (top clients fine, bottom clients starved).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracySummary {
+    /// Mean accuracy of the best-performing 10 % of clients.
+    pub top10: f64,
+    /// Mean accuracy across all clients.
+    pub mean: f64,
+    /// Mean accuracy of the worst-performing 10 % of clients.
+    pub bottom10: f64,
+}
+
+impl AccuracySummary {
+    /// Compute the three-way summary from per-client accuracies.
+    ///
+    /// Empty input yields all zeros. The decile is at least one client.
+    pub fn from_accuracies(accs: &[f64]) -> Self {
+        if accs.is_empty() {
+            return AccuracySummary {
+                top10: 0.0,
+                mean: 0.0,
+                bottom10: 0.0,
+            };
+        }
+        let mut sorted = accs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = sorted.len();
+        let decile = (n / 10).max(1);
+        let bottom10 = sorted[..decile].iter().sum::<f64>() / decile as f64;
+        let top10 = sorted[n - decile..].iter().sum::<f64>() / decile as f64;
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        AccuracySummary {
+            top10,
+            mean,
+            bottom10,
+        }
+    }
+}
+
+/// Success / failure counts of one acceleration technique (Fig. 6 and 11,
+/// right panels).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TechniqueStats {
+    /// Client-rounds where the technique was applied and the client
+    /// completed.
+    pub successes: u64,
+    /// Client-rounds where the technique was applied and the client
+    /// dropped.
+    pub failures: u64,
+}
+
+impl TechniqueStats {
+    /// Success rate in `[0, 1]`; `0.0` when never applied.
+    pub fn success_rate(&self) -> f64 {
+        let total = self.successes + self.failures;
+        if total == 0 {
+            0.0
+        } else {
+            self.successes as f64 / total as f64
+        }
+    }
+}
+
+/// One row of the per-round log.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round (or async aggregation) index.
+    pub round: usize,
+    /// Clients tasked this round.
+    pub selected: usize,
+    /// Clients whose updates were aggregated.
+    pub completed: usize,
+    /// Clients that dropped.
+    pub dropped: usize,
+    /// Virtual wall-clock at the end of the round, seconds.
+    pub clock_s: f64,
+    /// Mean client accuracy, if this was an evaluation round.
+    pub mean_accuracy: Option<f64>,
+    /// Mean RLHF reward over the round's feedback events (None when the
+    /// agent is off).
+    pub mean_reward: Option<f64>,
+}
+
+/// Full result of one experiment run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Label, e.g. `"float-rlhf(fedavg)/femnist"`.
+    pub label: String,
+    /// Final accuracy summary over all clients.
+    pub accuracy: AccuracySummary,
+    /// Per-client final accuracies (for distribution plots).
+    pub client_accuracies: Vec<f64>,
+    /// Count of selections per client (Fig. 2a "C").
+    pub selected_count: Vec<u64>,
+    /// Count of successful participations per client (Fig. 2a "S").
+    pub completed_count: Vec<u64>,
+    /// Total dropout events across the run.
+    pub total_dropouts: u64,
+    /// Total completion events across the run.
+    pub total_completions: u64,
+    /// Resource ledger totals.
+    pub resources: LedgerTotals,
+    /// Final virtual wall-clock, hours.
+    pub wall_clock_h: f64,
+    /// Per-technique success/failure statistics, keyed by action name.
+    pub technique_stats: HashMap<String, TechniqueStats>,
+    /// Per-round log.
+    pub rounds: Vec<RoundRecord>,
+}
+
+impl ExperimentReport {
+    /// Number of clients never selected during the run — the selection
+    /// bias measure behind Fig. 2a.
+    pub fn never_selected(&self) -> usize {
+        self.selected_count.iter().filter(|&&c| c == 0).count()
+    }
+
+    /// Number of clients that never completed a round.
+    pub fn never_completed(&self) -> usize {
+        self.completed_count.iter().filter(|&&c| c == 0).count()
+    }
+
+    /// Record one technique outcome.
+    pub fn record_technique(&mut self, action: AccelAction, success: bool) {
+        let e = self
+            .technique_stats
+            .entry(action.name().to_string())
+            .or_default();
+        if success {
+            e.successes += 1;
+        } else {
+            e.failures += 1;
+        }
+    }
+
+    /// Mean reward across rounds that reported one (RLHF convergence
+    /// trajectory, Fig. 9).
+    pub fn reward_trajectory(&self) -> Vec<(usize, f64)> {
+        self.rounds
+            .iter()
+            .filter_map(|r| r.mean_reward.map(|w| (r.round, w)))
+            .collect()
+    }
+
+    /// Serialize the per-round log as JSON Lines (one round per line) —
+    /// the analog of the paper artifact's per-round log files, convenient
+    /// for `jq`/pandas post-processing.
+    pub fn round_log_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.rounds {
+            out.push_str(&serde_json::to_string(r).expect("RoundRecord serializes"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_uniform_accuracies() {
+        let accs = vec![0.5; 20];
+        let s = AccuracySummary::from_accuracies(&accs);
+        assert!((s.top10 - 0.5).abs() < 1e-12);
+        assert!((s.mean - 0.5).abs() < 1e-12);
+        assert!((s.bottom10 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_separates_deciles() {
+        // 10 clients: accuracies 0.0..0.9.
+        let accs: Vec<f64> = (0..10).map(|i| i as f64 / 10.0).collect();
+        let s = AccuracySummary::from_accuracies(&accs);
+        assert!((s.bottom10 - 0.0).abs() < 1e-12);
+        assert!((s.top10 - 0.9).abs() < 1e-12);
+        assert!((s.mean - 0.45).abs() < 1e-12);
+        assert!(s.top10 > s.mean && s.mean > s.bottom10);
+    }
+
+    #[test]
+    fn summary_of_empty_is_zero() {
+        let s = AccuracySummary::from_accuracies(&[]);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn summary_handles_fewer_than_ten() {
+        let s = AccuracySummary::from_accuracies(&[0.2, 0.8]);
+        assert!((s.bottom10 - 0.2).abs() < 1e-12);
+        assert!((s.top10 - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_log_jsonl_is_one_valid_object_per_line() {
+        let report = ExperimentReport {
+            label: "t".into(),
+            accuracy: AccuracySummary::from_accuracies(&[0.5]),
+            client_accuracies: vec![0.5],
+            selected_count: vec![1],
+            completed_count: vec![1],
+            total_dropouts: 0,
+            total_completions: 1,
+            resources: Default::default(),
+            wall_clock_h: 1.0,
+            technique_stats: Default::default(),
+            rounds: vec![
+                RoundRecord {
+                    round: 0,
+                    selected: 3,
+                    completed: 2,
+                    dropped: 1,
+                    clock_s: 100.0,
+                    mean_accuracy: Some(0.4),
+                    mean_reward: None,
+                },
+                RoundRecord {
+                    round: 1,
+                    selected: 3,
+                    completed: 3,
+                    dropped: 0,
+                    clock_s: 200.0,
+                    mean_accuracy: None,
+                    mean_reward: Some(0.7),
+                },
+            ],
+        };
+        let jsonl = report.round_log_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON line");
+            assert!(v.get("round").is_some());
+        }
+    }
+
+    #[test]
+    fn technique_stats_rate() {
+        let t = TechniqueStats {
+            successes: 3,
+            failures: 1,
+        };
+        assert!((t.success_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(TechniqueStats::default().success_rate(), 0.0);
+    }
+}

@@ -1,0 +1,843 @@
+//! The FLOAT experiment runtime: wires datasets, traces, selection,
+//! acceleration, simulation, training, and aggregation into one
+//! deterministic run (Algorithm 1 of the paper plus the surrounding FL
+//! loop).
+
+use std::collections::BinaryHeap;
+
+use float_accel::apply::transform_update;
+use float_accel::{apply_action_protected, AccelAction, ActionCatalogue, ErrorFeedback};
+use float_data::FederatedDataset;
+use float_models::RoundCost;
+use float_rl::{AgentConfig, DeadlineLevel, GlobalState, LocalState, RlhfAgent};
+use float_select::{
+    ClientSelector, FedAvgSelector, FedBuffSelector, HeuristicPolicy, OortSelector, ReflSelector,
+    SelectionFeedback, TiflSelector,
+};
+use float_sim::{
+    estimate_round_time_s, execute_client_round, ResourceLedger, RoundParams, SimClock,
+};
+use float_tensor::model::TrainOptions;
+use float_tensor::rng::split_seed;
+use float_tensor::{Mlp, MlpConfig, Sgd};
+use float_traces::{ResourceSampler, ResourceSnapshot};
+
+use crate::aggregate::{aggregate, PendingUpdate};
+use crate::config::{AccelMode, ExperimentConfig, SelectorChoice};
+use crate::metrics::{AccuracySummary, ExperimentReport, RoundRecord};
+
+/// Hidden width of the proxy model used for the accuracy side of the
+/// simulation. Kept modest so full 300-round runs stay fast.
+const PROXY_HIDDEN: usize = 128;
+
+/// A fully assembled experiment, ready to run.
+pub struct Experiment {
+    config: ExperimentConfig,
+    data: FederatedDataset,
+    sampler: ResourceSampler,
+    selector: Box<dyn ClientSelector>,
+    catalogue: ActionCatalogue,
+    agent: Option<RlhfAgent>,
+    heuristic: Option<HeuristicPolicy>,
+    global_model: Mlp,
+    /// Exponential moving average of each client's *vanilla-round*
+    /// deadline overrun — the "deadline difference" human-feedback signal
+    /// (Table 1). Tracking the vanilla estimate rather than the last
+    /// accelerated outcome keeps the signal stable: a chronically slow
+    /// client that acceleration rescued still reads as slow.
+    hf_overrun_ema: Vec<f64>,
+    /// Per-client residual memory for error-feedback compression
+    /// (engaged when the extended catalogue's top-k action is chosen).
+    error_feedback: Vec<ErrorFeedback>,
+    /// Prune-protected parameter mask of the proxy model (biases +
+    /// classifier layer), computed once.
+    protected: Vec<bool>,
+    clock: SimClock,
+    ledger: ResourceLedger,
+    report: ExperimentReport,
+}
+
+/// Outcome of executing one client attempt (used by both engines).
+struct Attempt {
+    client: usize,
+    completed: bool,
+    duration_s: f64,
+    was_available: bool,
+    utility: f64,
+    /// Reward fed to the agent (None when agent off or not applicable).
+    reward: Option<f64>,
+    /// Pending update if the client completed.
+    update: Option<PendingUpdate>,
+}
+
+impl Experiment {
+    /// Build an experiment from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration error string if `config.validate()` fails.
+    pub fn new(config: ExperimentConfig) -> Result<Self, String> {
+        config.validate()?;
+        let seed = config.seed;
+        let data = FederatedDataset::generate(config.federated_config(), split_seed(seed, 1));
+        let sampler =
+            ResourceSampler::new(config.num_clients, config.interference, split_seed(seed, 2));
+        let selector: Box<dyn ClientSelector> = match config.selector {
+            SelectorChoice::FedAvg => Box::new(FedAvgSelector::new(split_seed(seed, 3))),
+            SelectorChoice::Oort => Box::new(OortSelector::new(
+                split_seed(seed, 3),
+                config.deadline_s / 2.0,
+            )),
+            SelectorChoice::Refl => {
+                Box::new(ReflSelector::new(split_seed(seed, 3), config.deadline_s))
+            }
+            SelectorChoice::FedBuff => Box::new(FedBuffSelector::new(
+                split_seed(seed, 3),
+                config.async_concurrency,
+                config.async_buffer,
+            )),
+            SelectorChoice::Tifl => Box::new(TiflSelector::new(split_seed(seed, 3))),
+        };
+        let catalogue = match config.accel {
+            AccelMode::RlhfExtended => ActionCatalogue::extended(),
+            _ => ActionCatalogue::paper(),
+        };
+        let agent = match config.accel {
+            AccelMode::Rl => {
+                let mut c = AgentConfig::rl_only(catalogue.len());
+                c.w_participation = config.reward_w_participation;
+                c.w_accuracy = config.reward_w_accuracy;
+                Some(RlhfAgent::new(c, split_seed(seed, 4)))
+            }
+            AccelMode::Rlhf | AccelMode::RlhfExtended => {
+                let mut c = AgentConfig::rlhf(catalogue.len());
+                c.w_participation = config.reward_w_participation;
+                c.w_accuracy = config.reward_w_accuracy;
+                Some(RlhfAgent::new(c, split_seed(seed, 4)))
+            }
+            _ => None,
+        };
+        let heuristic = match config.accel {
+            AccelMode::Heuristic => Some(HeuristicPolicy::new(split_seed(seed, 5))),
+            _ => None,
+        };
+        let synth = *data.synthetic();
+        let global_model = Mlp::new(
+            &MlpConfig::new(synth.feature_dim, &[PROXY_HIDDEN], synth.num_classes),
+            split_seed(seed, 6),
+        );
+        let label = format!(
+            "{}({})/{}",
+            config.accel.name(),
+            config.selector.name(),
+            config.task.name()
+        );
+        let report = ExperimentReport {
+            label,
+            accuracy: AccuracySummary::from_accuracies(&[]),
+            client_accuracies: Vec::new(),
+            selected_count: vec![0; config.num_clients],
+            completed_count: vec![0; config.num_clients],
+            total_dropouts: 0,
+            total_completions: 0,
+            resources: Default::default(),
+            wall_clock_h: 0.0,
+            technique_stats: Default::default(),
+            rounds: Vec::new(),
+        };
+        let protected = global_model.protected_mask();
+        Ok(Experiment {
+            config,
+            data,
+            sampler,
+            selector,
+            catalogue,
+            agent,
+            heuristic,
+            global_model,
+            hf_overrun_ema: vec![0.0; config.num_clients],
+            error_feedback: vec![ErrorFeedback::new(); config.num_clients],
+            protected,
+            clock: SimClock::new(),
+            ledger: ResourceLedger::new(),
+            report,
+        })
+    }
+
+    /// Replace the agent with a pre-trained one (transfer / fine-tuning,
+    /// RQ3 and Fig. 9). The agent's exploration state is reset via
+    /// [`RlhfAgent::begin_fine_tune`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the experiment's accel mode is not RL/RLHF.
+    pub fn install_pretrained_agent(&mut self, mut agent: RlhfAgent) {
+        assert!(
+            matches!(
+                self.config.accel,
+                AccelMode::Rl | AccelMode::Rlhf | AccelMode::RlhfExtended
+            ),
+            "cannot install an agent into accel mode {:?}",
+            self.config.accel
+        );
+        agent.begin_fine_tune(split_seed(self.config.seed, 44));
+        self.agent = Some(agent);
+    }
+
+    /// Borrow the (possibly trained) agent.
+    pub fn agent(&self) -> Option<&RlhfAgent> {
+        self.agent.as_ref()
+    }
+
+    /// Replace the agent with a differently configured one *before*
+    /// running (ablation studies). Unlike
+    /// [`Experiment::install_pretrained_agent`], the agent's state is
+    /// used as-is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accel mode has no agent, or the action counts
+    /// disagree with the experiment's catalogue.
+    pub fn replace_agent(&mut self, agent: RlhfAgent) {
+        assert!(
+            matches!(
+                self.config.accel,
+                AccelMode::Rl | AccelMode::Rlhf | AccelMode::RlhfExtended
+            ),
+            "cannot install an agent into accel mode {:?}",
+            self.config.accel
+        );
+        assert_eq!(
+            agent.config().num_actions,
+            self.catalogue.len(),
+            "agent action count must match the experiment catalogue"
+        );
+        self.agent = Some(agent);
+    }
+
+    /// Take the agent out of a finished experiment (for transfer).
+    pub fn take_agent(&mut self) -> Option<RlhfAgent> {
+        self.agent.take()
+    }
+
+    /// The experiment's configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Run to completion and produce the report.
+    pub fn run(mut self) -> ExperimentReport {
+        if self.config.selector == SelectorChoice::FedBuff {
+            self.run_async();
+        } else {
+            self.run_sync();
+        }
+        self.finalize()
+    }
+
+    /// Run to completion and also return the trained RLHF agent (for the
+    /// transfer / fine-tuning workflow of Fig. 9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accel mode has no agent (Off / Static / Heuristic);
+    /// use [`Experiment::run`] for those.
+    pub fn run_capturing_agent(mut self) -> (ExperimentReport, RlhfAgent) {
+        assert!(
+            matches!(
+                self.config.accel,
+                AccelMode::Rl | AccelMode::Rlhf | AccelMode::RlhfExtended
+            ),
+            "accel mode {:?} trains no agent",
+            self.config.accel
+        );
+        if self.config.selector == SelectorChoice::FedBuff {
+            self.run_async();
+        } else {
+            self.run_sync();
+        }
+        let agent = self.agent.take().expect("RL modes imply an agent");
+        (self.finalize(), agent)
+    }
+
+    // ------------------------------------------------------------------
+    // Shared per-client machinery
+    // ------------------------------------------------------------------
+
+    fn global_state(&self) -> GlobalState {
+        GlobalState::from_raw(
+            self.config.batch_size,
+            self.config.local_epochs,
+            self.config.cohort_size,
+        )
+    }
+
+    /// Clients checked in as available at the start of `round`. Mirrors
+    /// the FedScale/production model: devices that are off, interrupted,
+    /// or below the battery threshold never become selection candidates,
+    /// so dropouts are resource-driven (deadline, memory, mid-round
+    /// failures) rather than trivial no-shows.
+    fn eligible_clients(&mut self, round: usize) -> Vec<usize> {
+        (0..self.config.num_clients)
+            .filter(|&c| self.sampler.snapshot(c, round).available)
+            .collect()
+    }
+
+    /// Decide the acceleration action for a client given its snapshot.
+    fn choose_action(
+        &mut self,
+        client: usize,
+        snap: &ResourceSnapshot,
+        round: usize,
+    ) -> AccelAction {
+        match self.config.accel {
+            AccelMode::Off => AccelAction::NoOp,
+            AccelMode::Static(idx) => self.catalogue.action(idx % self.catalogue.len()),
+            AccelMode::Heuristic => {
+                let h = self
+                    .heuristic
+                    .as_mut()
+                    .expect("heuristic mode implies a policy");
+                h.choose(snap.cpu_fraction, snap.net_fraction)
+            }
+            AccelMode::Rl | AccelMode::Rlhf | AccelMode::RlhfExtended => {
+                let global = self.global_state();
+                let local = LocalState::from_fractions(
+                    snap.cpu_fraction,
+                    snap.mem_fraction,
+                    snap.net_fraction,
+                );
+                let hf = DeadlineLevel::from_overrun(self.hf_overrun_ema[client]);
+                let agent = self.agent.as_mut().expect("RL modes imply an agent");
+                let idx = agent.choose_action(global, local, hf, round, self.config.rounds);
+                self.catalogue.action(idx)
+            }
+        }
+    }
+
+    /// Execute one client attempt: cost the round, simulate it, run real
+    /// local training on completion, and feed back agent/selector signals.
+    fn attempt_client(&mut self, client: usize, round: usize, staleness: u64) -> Attempt {
+        let snap = self.sampler.snapshot(client, round);
+        let shard_len = self.data.train_shard(client).len();
+        let base_cost = RoundCost::vanilla(
+            &self.config.arch.profile(),
+            shard_len,
+            self.config.local_epochs,
+            self.config.batch_size,
+        );
+        // Human feedback: fold this round's *vanilla* overrun estimate into
+        // the client's running deadline-difference profile before deciding.
+        let vanilla_overrun = ((estimate_round_time_s(&snap, &base_cost) - self.config.deadline_s)
+            / self.config.deadline_s)
+            .max(0.0);
+        self.hf_overrun_ema[client] = 0.7 * self.hf_overrun_ema[client] + 0.3 * vanilla_overrun;
+        let action = self.choose_action(client, &snap, round);
+        let global_params = self.global_model.params();
+        let plan = apply_action_protected(
+            action,
+            base_cost,
+            &global_params,
+            split_seed(self.config.seed, (round as u64) << 20 | client as u64),
+            Some(&self.protected),
+        );
+        let round_params = RoundParams {
+            deadline_s: self.config.deadline_s,
+            failure_hazard_per_s: self.config.failure_hazard_per_s,
+        };
+        let profile = self.sampler.client(client).profile;
+        let mut outcome = execute_client_round(
+            &snap,
+            &profile,
+            &plan.cost,
+            &round_params,
+            split_seed(
+                self.config.seed,
+                0xE0 << 56 | (round as u64) << 20 | client as u64,
+            ),
+        );
+        // Fig. 3 "no dropouts" counterfactual: every client that started
+        // finishes, no matter how long it took.
+        if self.config.assume_no_dropouts
+            && outcome.dropped != Some(float_sim::DropReason::Unavailable)
+        {
+            outcome.dropped = None;
+        }
+        self.ledger.record(&outcome);
+        self.sampler.drain_battery(client, outcome.energy_j);
+
+        let global = self.global_state();
+        let local =
+            LocalState::from_fractions(snap.cpu_fraction, snap.mem_fraction, snap.net_fraction);
+        let hf = DeadlineLevel::from_overrun(self.hf_overrun_ema[client]);
+
+        if outcome.completed() {
+            // Real local training with the plan's transform hooks.
+            let (delta, utility, acc_improvement) =
+                self.train_client(client, round, &plan.train_options, action);
+            let reward = self.agent.as_mut().map(|agent| {
+                let idx = self
+                    .catalogue
+                    .index_of(action)
+                    .expect("action came from the catalogue");
+                agent.feedback(
+                    client,
+                    global,
+                    local,
+                    hf,
+                    idx,
+                    1.0,
+                    acc_improvement,
+                    round,
+                    self.config.rounds,
+                );
+                let c = agent.config();
+                c.w_participation + c.w_accuracy * acc_improvement
+            });
+            self.report.record_technique(action, true);
+            Attempt {
+                client,
+                completed: true,
+                duration_s: outcome.total_s(),
+                was_available: snap.available,
+                utility,
+                reward,
+                update: Some(PendingUpdate {
+                    client,
+                    delta,
+                    samples: shard_len,
+                    staleness,
+                }),
+            }
+        } else {
+            let reward = self.agent.as_mut().map(|agent| {
+                let idx = self
+                    .catalogue
+                    .index_of(action)
+                    .expect("action came from the catalogue");
+                agent.feedback_dropout(client, global, local, hf, idx, round, self.config.rounds);
+                0.0
+            });
+            self.report.record_technique(action, false);
+            Attempt {
+                client,
+                completed: false,
+                duration_s: outcome.total_s(),
+                was_available: snap.available,
+                utility: 0.0,
+                reward,
+                update: None,
+            }
+        }
+    }
+
+    /// Run the client's real local training; returns `(delta, utility,
+    /// accuracy_improvement)`.
+    fn train_client(
+        &mut self,
+        client: usize,
+        round: usize,
+        opts: &TrainOptions,
+        action: AccelAction,
+    ) -> (Vec<f32>, f64, f64) {
+        let shard = self.data.train_shard(client).clone();
+        let test = self.data.test_shard(client).clone();
+        let before = self.global_model.evaluate(&test).accuracy as f64;
+        let mut local = self.global_model.clone();
+        let mut opt = Sgd::new(self.config.learning_rate);
+        let mut last_loss = 0.0f32;
+        for e in 0..self.config.local_epochs {
+            last_loss = local.train_epoch_with(
+                &shard,
+                self.config.batch_size,
+                &mut opt,
+                split_seed(
+                    self.config.seed,
+                    (round as u64) << 24 | (client as u64) << 8 | e as u64,
+                ),
+                opts,
+            );
+        }
+        let after = local.evaluate(&test).accuracy as f64;
+        let global_params = self.global_model.params();
+        let local_params = local.params();
+        let mut delta: Vec<f32> = local_params
+            .iter()
+            .zip(&global_params)
+            .map(|(l, g)| l - g)
+            .collect();
+        // Apply the wire transform the acceleration dictates (quantization
+        // grid, pruning zeros, sparsification).
+        let plan = apply_action_protected(
+            action,
+            RoundCost::vanilla(&self.config.arch.profile(), 1, 1, 1),
+            &global_params,
+            split_seed(self.config.seed, (round as u64) << 20 | client as u64),
+            Some(&self.protected),
+        );
+        delta = if action == AccelAction::TopK10 {
+            // Sparsified uploads carry per-client error feedback so the
+            // untransmitted mass is not lost (see float_accel::feedback).
+            self.error_feedback[client].compress(&delta, 0.10)
+        } else {
+            transform_update(action, &delta, &plan)
+        };
+        // Oort's statistical utility: loss magnitude scaled by dataset size.
+        let utility = f64::from(last_loss.max(0.0)) * (shard.len() as f64).sqrt();
+        // Per-round accuracy improvements are a few percent at most, while
+        // participation success is binary; normalize the accuracy objective
+        // to a comparable [0, 1] range (one decile of local accuracy gain
+        // saturates it) so the multi-objective trade-off stays live rather
+        // than participation-dominated.
+        let improvement = ((after - before) * 10.0).clamp(0.0, 1.0);
+        (delta, utility, improvement)
+    }
+
+    fn eval_all_clients(&self) -> Vec<f64> {
+        (0..self.config.num_clients)
+            .map(|c| self.global_model.evaluate(self.data.test_shard(c)).accuracy as f64)
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronous engine (FedAvg / Oort / REFL)
+    // ------------------------------------------------------------------
+
+    fn run_sync(&mut self) {
+        for round in 0..self.config.rounds {
+            let eligible = self.eligible_clients(round);
+            let cohort = self
+                .selector
+                .select(round, &eligible, self.config.cohort_size);
+            let mut attempts = Vec::with_capacity(cohort.len());
+            for &client in &cohort {
+                self.report.selected_count[client] += 1;
+                let a = self.attempt_client(client, round, 0);
+                attempts.push(a);
+            }
+            // Aggregate completed updates.
+            let updates: Vec<PendingUpdate> =
+                attempts.iter().filter_map(|a| a.update.clone()).collect();
+            let mut global = self.global_model.params();
+            aggregate(&mut global, &updates);
+            self.global_model
+                .set_params(&global)
+                .expect("aggregation preserves parameter count");
+
+            // Wall clock: the server waits for the slowest completer, or
+            // the full deadline if anyone missed it.
+            let any_miss = attempts.iter().any(|a| !a.completed && a.was_available);
+            let max_complete = attempts
+                .iter()
+                .filter(|a| a.completed)
+                .map(|a| a.duration_s)
+                .fold(0.0f64, f64::max);
+            let round_wall = if any_miss {
+                self.config.deadline_s
+            } else {
+                max_complete.max(1.0)
+            };
+            self.clock.advance(round_wall);
+            self.sampler.charge_all();
+
+            self.bookkeep_round(round, &attempts);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Asynchronous engine (FedBuff)
+    // ------------------------------------------------------------------
+
+    fn run_async(&mut self) {
+        // Event-driven: each in-flight client has an absolute finish time;
+        // aggregation fires whenever `async_buffer` updates are buffered.
+        #[derive(PartialEq)]
+        struct Finish {
+            at_s: f64,
+            client: usize,
+            completed: bool,
+            attempt_idx: usize,
+        }
+        impl Eq for Finish {}
+        impl Ord for Finish {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Min-heap on time.
+                other
+                    .at_s
+                    .partial_cmp(&self.at_s)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(other.client.cmp(&self.client))
+            }
+        }
+        impl PartialOrd for Finish {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut heap: BinaryHeap<Finish> = BinaryHeap::new();
+        let mut attempts_store: Vec<Attempt> = Vec::new();
+        let mut buffer: Vec<PendingUpdate> = Vec::new();
+        let mut agg_count: u64 = 0;
+        let mut round_attempts: Vec<usize> = Vec::new(); // indices into attempts_store
+                                                         // Launch-time aggregation count per in-flight attempt, to compute
+                                                         // staleness on arrival.
+        let mut launch_agg: Vec<u64> = Vec::new();
+
+        for agg_round in 0..self.config.rounds {
+            // Event loop: keep the in-flight set topped up continuously
+            // (FedBuff never waits to relaunch) and drain completion
+            // events until the aggregation buffer fills.
+            let eligible = self.eligible_clients(agg_round);
+            loop {
+                let launched = self
+                    .selector
+                    .select(agg_round, &eligible, self.config.cohort_size);
+                for client in launched {
+                    self.report.selected_count[client] += 1;
+                    let a = self.attempt_client(client, agg_round, 0);
+                    // Completions arrive when the client finishes. A failed
+                    // client never reports back, so its slot is only
+                    // reclaimed when the server-side timeout (the round
+                    // deadline) fires — this is what bounds FedBuff's
+                    // relaunch churn to the paper's ~5x over-selection.
+                    let slot_free_s = if a.completed {
+                        a.duration_s.max(1.0)
+                    } else {
+                        self.config.deadline_s
+                    };
+                    let finish = Finish {
+                        at_s: self.clock.now_s() + slot_free_s,
+                        client,
+                        completed: a.completed,
+                        attempt_idx: attempts_store.len(),
+                    };
+                    launch_agg.push(agg_count);
+                    attempts_store.push(a);
+                    heap.push(finish);
+                }
+                if buffer.len() >= self.config.async_buffer {
+                    break;
+                }
+                let Some(ev) = heap.pop() else { break };
+                let dt = (ev.at_s - self.clock.now_s()).max(0.0);
+                self.clock.advance(dt);
+                let attempt = &attempts_store[ev.attempt_idx];
+                // Free the slot in the FedBuff selector.
+                self.selector.feedback(
+                    agg_round,
+                    &[SelectionFeedback {
+                        client: ev.client,
+                        completed: ev.completed,
+                        duration_s: attempt.duration_s,
+                        utility: attempt.utility,
+                        was_available: attempt.was_available,
+                    }],
+                );
+                round_attempts.push(ev.attempt_idx);
+                if ev.completed {
+                    if let Some(mut u) = attempts_store[ev.attempt_idx].update.clone() {
+                        u.staleness = agg_count - launch_agg[ev.attempt_idx];
+                        buffer.push(u);
+                    }
+                }
+            }
+            if !buffer.is_empty() {
+                let mut global = self.global_model.params();
+                aggregate(&mut global, &buffer);
+                self.global_model
+                    .set_params(&global)
+                    .expect("aggregation preserves parameter count");
+                buffer.clear();
+                agg_count += 1;
+            }
+            self.sampler.charge_all();
+
+            let round_atts: Vec<&Attempt> =
+                round_attempts.iter().map(|&i| &attempts_store[i]).collect();
+            self.bookkeep_round_refs(agg_round, &round_atts);
+            round_attempts.clear();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Bookkeeping + finalization
+    // ------------------------------------------------------------------
+
+    fn bookkeep_round(&mut self, round: usize, attempts: &[Attempt]) {
+        // Feed the synchronous selector.
+        let fb: Vec<SelectionFeedback> = attempts
+            .iter()
+            .map(|a| SelectionFeedback {
+                client: a.client,
+                completed: a.completed,
+                duration_s: a.duration_s,
+                utility: a.utility,
+                was_available: a.was_available,
+            })
+            .collect();
+        self.selector.feedback(round, &fb);
+        let refs: Vec<&Attempt> = attempts.iter().collect();
+        self.bookkeep_round_refs(round, &refs);
+    }
+
+    fn bookkeep_round_refs(&mut self, round: usize, attempts: &[&Attempt]) {
+        let completed = attempts.iter().filter(|a| a.completed).count();
+        let dropped = attempts.len() - completed;
+        for a in attempts {
+            if a.completed {
+                self.report.completed_count[a.client] += 1;
+                self.report.total_completions += 1;
+            } else {
+                self.report.total_dropouts += 1;
+            }
+        }
+        let rewards: Vec<f64> = attempts.iter().filter_map(|a| a.reward).collect();
+        let mean_reward = if rewards.is_empty() {
+            None
+        } else {
+            Some(rewards.iter().sum::<f64>() / rewards.len() as f64)
+        };
+        let is_eval = round.is_multiple_of(self.config.eval_every) || round + 1 == self.config.rounds;
+        let mean_accuracy = if is_eval {
+            let accs = self.eval_all_clients();
+            Some(accs.iter().sum::<f64>() / accs.len().max(1) as f64)
+        } else {
+            None
+        };
+        self.report.rounds.push(RoundRecord {
+            round,
+            selected: attempts.len(),
+            completed,
+            dropped,
+            clock_s: self.clock.now_s(),
+            mean_accuracy,
+            mean_reward,
+        });
+    }
+
+    fn finalize(mut self) -> ExperimentReport {
+        let accs = self.eval_all_clients();
+        self.report.accuracy = AccuracySummary::from_accuracies(&accs);
+        self.report.client_accuracies = accs;
+        self.report.resources = self.ledger.totals();
+        self.report.wall_clock_h = self.clock.now_hours();
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_small(selector: SelectorChoice, accel: AccelMode, rounds: usize) -> ExperimentReport {
+        let cfg = ExperimentConfig::small(selector, accel, rounds);
+        Experiment::new(cfg).expect("valid config").run()
+    }
+
+    #[test]
+    fn sync_baseline_runs_and_reports() {
+        let r = run_small(SelectorChoice::FedAvg, AccelMode::Off, 8);
+        assert_eq!(r.rounds.len(), 8);
+        assert_eq!(r.client_accuracies.len(), 40);
+        assert!(r.total_completions + r.total_dropouts > 0);
+        assert!(r.wall_clock_h > 0.0);
+        // Selected counts sum to rounds * cohort.
+        let total_selected: u64 = r.selected_count.iter().sum();
+        assert_eq!(total_selected, 8 * 10);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_small(SelectorChoice::FedAvg, AccelMode::Rlhf, 5);
+        let b = run_small(SelectorChoice::FedAvg, AccelMode::Rlhf, 5);
+        assert_eq!(a.total_dropouts, b.total_dropouts);
+        assert_eq!(a.client_accuracies, b.client_accuracies);
+        assert_eq!(a.selected_count, b.selected_count);
+    }
+
+    #[test]
+    fn accuracy_improves_over_rounds() {
+        let r = run_small(SelectorChoice::FedAvg, AccelMode::Off, 20);
+        let evals: Vec<(usize, f64)> = r
+            .rounds
+            .iter()
+            .filter_map(|x| x.mean_accuracy.map(|a| (x.round, a)))
+            .collect();
+        assert!(evals.len() >= 2);
+        let first = evals.first().expect("has evals").1;
+        let last = evals.last().expect("has evals").1;
+        assert!(
+            last > first + 0.05,
+            "no learning: first {first} last {last}"
+        );
+    }
+
+    #[test]
+    fn fedbuff_async_engine_runs() {
+        let r = run_small(SelectorChoice::FedBuff, AccelMode::Off, 6);
+        assert_eq!(r.rounds.len(), 6);
+        assert!(r.total_completions > 0, "no async completions");
+    }
+
+    #[test]
+    fn rlhf_reduces_dropouts_vs_vanilla() {
+        let off = run_small(SelectorChoice::FedAvg, AccelMode::Off, 15);
+        let rlhf = run_small(SelectorChoice::FedAvg, AccelMode::Rlhf, 15);
+        assert!(
+            rlhf.total_dropouts < off.total_dropouts,
+            "rlhf {} vs off {} dropouts",
+            rlhf.total_dropouts,
+            off.total_dropouts
+        );
+    }
+
+    #[test]
+    fn static_mode_uses_single_technique() {
+        let r = run_small(SelectorChoice::FedAvg, AccelMode::Static(4), 5); // Prune75
+        assert_eq!(r.technique_stats.len(), 1);
+        assert!(r.technique_stats.contains_key("prune75"));
+    }
+
+    #[test]
+    fn heuristic_mode_uses_rule_pools_only() {
+        let r = run_small(SelectorChoice::FedAvg, AccelMode::Heuristic, 6);
+        for name in r.technique_stats.keys() {
+            assert!(
+                [
+                    "prune75",
+                    "partial75",
+                    "quant8",
+                    "quant16",
+                    "partial25",
+                    "prune25"
+                ]
+                .contains(&name.as_str()),
+                "unexpected technique {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn agent_transfer_roundtrip() {
+        let cfg = ExperimentConfig::small(SelectorChoice::FedAvg, AccelMode::Rlhf, 6);
+        let mut exp = Experiment::new(cfg).expect("valid");
+        let agent = exp.take_agent().expect("agent exists");
+        let mut exp2 = Experiment::new(ExperimentConfig::small(
+            SelectorChoice::Oort,
+            AccelMode::Rlhf,
+            4,
+        ))
+        .expect("valid");
+        exp2.install_pretrained_agent(agent);
+        let r = exp2.run();
+        assert_eq!(r.rounds.len(), 4);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = ExperimentConfig::small(SelectorChoice::FedAvg, AccelMode::Off, 5);
+        cfg.cohort_size = 0;
+        assert!(Experiment::new(cfg).is_err());
+    }
+}

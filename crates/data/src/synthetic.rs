@@ -1,0 +1,164 @@
+//! Gaussian-mixture synthetic classification task generator.
+
+use rand::Rng;
+use rand_distr_shim::StandardNormalShim;
+use serde::{Deserialize, Serialize};
+
+use float_tensor::rng::{seed_rng, split_seed};
+use float_tensor::Dataset;
+
+/// Configuration of a synthetic classification task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticTaskConfig {
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Feature dimensionality.
+    pub feature_dim: usize,
+    /// Distance scale between class centroids (higher ⇒ easier).
+    pub class_sep: f32,
+    /// Per-feature Gaussian noise standard deviation.
+    pub noise: f32,
+}
+
+impl SyntheticTaskConfig {
+    /// Deterministically generate the class centroids for this task.
+    ///
+    /// Centroids depend only on `(config, seed)`, so every client samples
+    /// from the *same* underlying class-conditional distributions — the
+    /// federated setting's shared concept.
+    pub fn centroids(&self, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = seed_rng(split_seed(seed, 0xC3A7));
+        (0..self.num_classes)
+            .map(|_| {
+                (0..self.feature_dim)
+                    .map(|_| self.class_sep * rng.sample::<f32, _>(StandardNormalShim))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Sample `counts[c]` points of each class `c` around the shared
+    /// centroids, returning a [`Dataset`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != num_classes`.
+    pub fn sample(&self, centroids: &[Vec<f32>], counts: &[usize], seed: u64) -> Dataset {
+        assert_eq!(counts.len(), self.num_classes, "counts/class mismatch");
+        let mut rng = seed_rng(split_seed(seed, 0xDA7A));
+        let total: usize = counts.iter().sum();
+        let mut rows = Vec::with_capacity(total.max(1));
+        let mut labels = Vec::with_capacity(total.max(1));
+        for (c, &n) in counts.iter().enumerate() {
+            for _ in 0..n {
+                let row: Vec<f32> = centroids[c]
+                    .iter()
+                    .map(|&m| m + self.noise * rng.sample::<f32, _>(StandardNormalShim))
+                    .collect();
+                rows.push(row);
+                labels.push(c);
+            }
+        }
+        if rows.is_empty() {
+            // Guarantee a non-empty dataset: one sample of class 0 at its
+            // centroid. Empty shards otherwise poison Dataset construction.
+            rows.push(centroids[0].clone());
+            labels.push(0);
+        }
+        Dataset::from_rows(&rows, &labels, self.num_classes)
+            .expect("synthetic rows are rectangular and labels in range by construction")
+    }
+}
+
+/// A tiny internal shim providing standard-normal sampling from `rand`'s
+/// uniform source (Box–Muller), avoiding a dependency on `rand_distr`.
+mod rand_distr_shim {
+    use rand::distributions::Distribution;
+    use rand::Rng;
+
+    /// Standard normal distribution via the Box–Muller transform.
+    #[derive(Debug, Clone, Copy)]
+    pub struct StandardNormalShim;
+
+    impl Distribution<f32> for StandardNormalShim {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            // Draw u1 in (0, 1] to keep ln finite.
+            let u1: f32 = 1.0 - rng.gen::<f32>();
+            let u2: f32 = rng.gen();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+        }
+    }
+}
+
+pub use rand_distr_shim::StandardNormalShim as StandardNormal;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SyntheticTaskConfig {
+        SyntheticTaskConfig {
+            num_classes: 4,
+            feature_dim: 8,
+            class_sep: 2.0,
+            noise: 0.5,
+        }
+    }
+
+    #[test]
+    fn centroids_are_deterministic() {
+        let c = cfg();
+        assert_eq!(c.centroids(7), c.centroids(7));
+        assert_ne!(c.centroids(7), c.centroids(8));
+    }
+
+    #[test]
+    fn sample_respects_counts() {
+        let c = cfg();
+        let cents = c.centroids(1);
+        let d = c.sample(&cents, &[3, 0, 2, 1], 9);
+        assert_eq!(d.len(), 6);
+        assert_eq!(d.label_histogram(), vec![3, 0, 2, 1]);
+    }
+
+    #[test]
+    fn empty_counts_yield_singleton() {
+        let c = cfg();
+        let cents = c.centroids(1);
+        let d = c.sample(&cents, &[0, 0, 0, 0], 9);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn samples_cluster_near_centroids() {
+        let c = SyntheticTaskConfig {
+            num_classes: 2,
+            feature_dim: 4,
+            class_sep: 10.0,
+            noise: 0.1,
+        };
+        let cents = c.centroids(3);
+        let d = c.sample(&cents, &[50, 50], 4);
+        // Each sample should be far closer to its own centroid.
+        for i in 0..d.len() {
+            let y = d.labels()[i];
+            let row = d.features().row(i);
+            let dist = |c: &[f32]| -> f32 { row.iter().zip(c).map(|(a, b)| (a - b).powi(2)).sum() };
+            let own = dist(&cents[y]);
+            let other = dist(&cents[1 - y]);
+            assert!(own < other, "sample {i} nearer to wrong centroid");
+        }
+    }
+
+    #[test]
+    fn normal_shim_moments() {
+        use rand::Rng;
+        let mut rng = float_tensor::seed_rng(2);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| rng.sample(StandardNormal)).collect();
+        let mean: f32 = xs.iter().sum::<f32>() / n as f32;
+        let var: f32 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,239 @@
+//! Layer-level architecture math for the ResNet family.
+//!
+//! [`crate::arch::ModelProfile`] carries aggregate parameter/FLOP counts
+//! taken from the literature. This module *derives* those numbers from the
+//! architectures' actual layer structure (7×7 stem, basic/bottleneck
+//! residual stages, global pooling, fc head at 224×224 inputs), which
+//! serves two purposes: the aggregate profiles are cross-checked against
+//! first principles in tests, and per-layer tables enable finer-grained
+//! extensions (e.g. layer-wise partial training or pruning schedules).
+
+use serde::{Deserialize, Serialize};
+
+/// One layer's cost contribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerCost {
+    /// Human-readable layer name, e.g. `"layer2.0.conv1"`.
+    pub name: String,
+    /// Learnable parameter count (weights + biases + BN affine pairs).
+    pub params: u64,
+    /// Multiply-accumulate operations for one forward pass of one sample.
+    pub macs: u64,
+}
+
+/// A full per-layer cost table.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LayerTable {
+    /// Layers in forward order.
+    pub layers: Vec<LayerCost>,
+}
+
+impl LayerTable {
+    /// Total parameters.
+    pub fn total_params(&self) -> u64 {
+        self.layers.iter().map(|l| l.params).sum()
+    }
+
+    /// Total forward MACs per sample.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    fn push(&mut self, name: impl Into<String>, params: u64, macs: u64) {
+        self.layers.push(LayerCost {
+            name: name.into(),
+            params,
+            macs,
+        });
+    }
+}
+
+/// Builder tracking the running spatial resolution.
+struct Builder {
+    table: LayerTable,
+    h: u64,
+    w: u64,
+}
+
+impl Builder {
+    fn new(h: u64, w: u64) -> Self {
+        Builder {
+            table: LayerTable::default(),
+            h,
+            w,
+        }
+    }
+
+    /// Conv2d without bias (the ResNet convention), followed by
+    /// batch-norm. Updates the running resolution by `stride`.
+    fn conv_bn(&mut self, name: &str, cin: u64, cout: u64, k: u64, stride: u64) {
+        self.h = self.h.div_ceil(stride);
+        self.w = self.w.div_ceil(stride);
+        let conv_params = k * k * cin * cout;
+        let conv_macs = conv_params * self.h * self.w;
+        self.table.push(format!("{name}.conv"), conv_params, conv_macs);
+        // BN: per-channel scale + shift.
+        self.table.push(format!("{name}.bn"), 2 * cout, cout * self.h * self.w);
+    }
+
+    fn maxpool(&mut self, stride: u64) {
+        self.h = self.h.div_ceil(stride);
+        self.w = self.w.div_ceil(stride);
+    }
+
+    fn fc(&mut self, name: &str, cin: u64, cout: u64) {
+        self.table.push(name, cin * cout + cout, cin * cout);
+    }
+}
+
+/// Basic residual block (ResNet-18/34): two 3×3 convs, optional 1×1
+/// downsample on the shortcut.
+fn basic_block(b: &mut Builder, name: &str, cin: u64, cout: u64, stride: u64) {
+    b.conv_bn(&format!("{name}.conv1"), cin, cout, 3, stride);
+    b.conv_bn(&format!("{name}.conv2"), cout, cout, 3, 1);
+    if stride != 1 || cin != cout {
+        // Downsample runs on the *input* resolution; conv_bn already moved
+        // h/w, and a 1×1 stride-s conv lands on the same output size.
+        let conv_params = cin * cout;
+        let conv_macs = conv_params * b.h * b.w;
+        b.table
+            .push(format!("{name}.downsample.conv"), conv_params, conv_macs);
+        b.table
+            .push(format!("{name}.downsample.bn"), 2 * cout, cout * b.h * b.w);
+    }
+}
+
+/// Bottleneck residual block (ResNet-50): 1×1 reduce, 3×3, 1×1 expand
+/// (expansion 4), optional 1×1 downsample.
+fn bottleneck_block(b: &mut Builder, name: &str, cin: u64, width: u64, stride: u64) {
+    let cout = width * 4;
+    b.conv_bn(&format!("{name}.conv1"), cin, width, 1, 1);
+    b.conv_bn(&format!("{name}.conv2"), width, width, 3, stride);
+    b.conv_bn(&format!("{name}.conv3"), width, cout, 1, 1);
+    if stride != 1 || cin != cout {
+        let conv_params = cin * cout;
+        let conv_macs = conv_params * b.h * b.w;
+        b.table
+            .push(format!("{name}.downsample.conv"), conv_params, conv_macs);
+        b.table
+            .push(format!("{name}.downsample.bn"), 2 * cout, cout * b.h * b.w);
+    }
+}
+
+/// Build the per-layer table for a basic-block ResNet (18 or 34) at
+/// 224×224×3 input with a `classes`-way head.
+fn resnet_basic(blocks: [u64; 4], classes: u64) -> LayerTable {
+    let mut b = Builder::new(224, 224);
+    b.conv_bn("conv1", 3, 64, 7, 2);
+    b.maxpool(2);
+    let widths = [64u64, 128, 256, 512];
+    let mut cin = 64;
+    for (stage, (&n, &w)) in blocks.iter().zip(&widths).enumerate() {
+        for i in 0..n {
+            let stride = if stage > 0 && i == 0 { 2 } else { 1 };
+            basic_block(&mut b, &format!("layer{}.{}", stage + 1, i), cin, w, stride);
+            cin = w;
+        }
+    }
+    b.fc("fc", 512, classes);
+    b.table
+}
+
+/// Build the per-layer table for a bottleneck ResNet (50) at 224×224×3.
+fn resnet_bottleneck(blocks: [u64; 4], classes: u64) -> LayerTable {
+    let mut b = Builder::new(224, 224);
+    b.conv_bn("conv1", 3, 64, 7, 2);
+    b.maxpool(2);
+    let widths = [64u64, 128, 256, 512];
+    let mut cin = 64;
+    for (stage, (&n, &w)) in blocks.iter().zip(&widths).enumerate() {
+        for i in 0..n {
+            let stride = if stage > 0 && i == 0 { 2 } else { 1 };
+            bottleneck_block(&mut b, &format!("layer{}.{}", stage + 1, i), cin, w, stride);
+            cin = w * 4;
+        }
+    }
+    b.fc("fc", 2048, classes);
+    b.table
+}
+
+/// Per-layer cost table of ResNet-18 (ImageNet head).
+pub fn resnet18_layers() -> LayerTable {
+    resnet_basic([2, 2, 2, 2], 1000)
+}
+
+/// Per-layer cost table of ResNet-34 (ImageNet head).
+pub fn resnet34_layers() -> LayerTable {
+    resnet_basic([3, 4, 6, 3], 1000)
+}
+
+/// Per-layer cost table of ResNet-50 (ImageNet head).
+pub fn resnet50_layers() -> LayerTable {
+    resnet_bottleneck([3, 4, 6, 3], 1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Architecture;
+
+    #[test]
+    fn resnet18_params_match_torchvision_exactly() {
+        assert_eq!(
+            resnet18_layers().total_params(),
+            Architecture::ResNet18.profile().params
+        );
+    }
+
+    #[test]
+    fn resnet34_params_match_torchvision_exactly() {
+        assert_eq!(
+            resnet34_layers().total_params(),
+            Architecture::ResNet34.profile().params
+        );
+    }
+
+    #[test]
+    fn resnet50_params_match_torchvision_exactly() {
+        assert_eq!(
+            resnet50_layers().total_params(),
+            Architecture::ResNet50.profile().params
+        );
+    }
+
+    #[test]
+    fn forward_macs_agree_with_published_gmacs() {
+        // The aggregate profiles quote the standard published GMACs; the
+        // layer sums must land within 5 %.
+        for (table, arch) in [
+            (resnet18_layers(), Architecture::ResNet18),
+            (resnet34_layers(), Architecture::ResNet34),
+            (resnet50_layers(), Architecture::ResNet50),
+        ] {
+            let derived = table.total_macs() as f64;
+            let published = arch.profile().forward_flops;
+            let ratio = derived / published;
+            assert!(
+                (0.95..=1.10).contains(&ratio),
+                "{}: derived {derived:.3e} vs published {published:.3e} (ratio {ratio:.3})",
+                arch.name()
+            );
+        }
+    }
+
+    #[test]
+    fn deeper_resnets_cost_more_per_layer_sum() {
+        assert!(resnet34_layers().total_macs() > resnet18_layers().total_macs());
+        assert!(resnet50_layers().total_params() > resnet34_layers().total_params());
+    }
+
+    #[test]
+    fn layer_names_are_unique() {
+        let t = resnet50_layers();
+        let mut names: Vec<&String> = t.layers.iter().map(|l| &l.name).collect();
+        let n = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+}

@@ -1,0 +1,22 @@
+//! `float-models` — cost descriptors for the model architectures used in
+//! the FLOAT paper's evaluation.
+//!
+//! The simulator does not need to execute ResNet-34 or ShuffleNet; it needs
+//! their *costs*: how many FLOPs a local step burns, how many bytes a model
+//! update occupies on the wire at a given precision, and how much memory
+//! training holds resident. Those costs, taken from the architectures'
+//! published parameter/FLOP counts, drive all latency, bandwidth, memory,
+//! and energy accounting in `float-sim`. The accuracy side is exercised by
+//! a *proxy* MLP (see `float-tensor`) whose size is chosen per architecture
+//! so that relative training difficulty is preserved.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod cost;
+pub mod layers;
+
+pub use arch::{Architecture, ModelProfile};
+pub use layers::{LayerCost, LayerTable};
+pub use cost::{Precision, RoundCost};

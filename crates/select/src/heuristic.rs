@@ -1,0 +1,114 @@
+//! The paper's §4.4 rule-based acceleration heuristic — the non-learning
+//! baseline FLOAT is compared against in Fig. 6.
+//!
+//! Rules (verbatim from the paper, translated to the Table-1 levels):
+//!
+//! 1. If the client's CPU *and* network availability are both below
+//!    "Moderate", apply an extreme optimization: 75 % pruning, 75 %
+//!    partial training, or 8-bit quantization — picked at random.
+//! 2. Otherwise apply a mild optimization: 16-bit quantization, 25 %
+//!    partial training, or 25 % pruning — picked at random.
+//!
+//! The *configuration* is chosen intelligently by the rules; the
+//! *technique* is random — exactly the structure the paper describes, and
+//! exactly the weakness (no awareness of which resource is the bottleneck)
+//! that lets FLOAT beat it by ~20 % accuracy.
+
+use rand::seq::SliceRandom;
+
+use float_accel::AccelAction;
+use float_tensor::rng::{seed_rng, split_seed};
+
+/// Rule-based acceleration chooser.
+#[derive(Debug, Clone)]
+pub struct HeuristicPolicy {
+    seed: u64,
+    decisions: u64,
+}
+
+/// Extreme optimizations for constrained clients (rule 1).
+const EXTREME: [AccelAction; 3] = [
+    AccelAction::Prune75,
+    AccelAction::Partial75,
+    AccelAction::Quantize8,
+];
+
+/// Mild optimizations for resource-rich clients (rule 2).
+const MILD: [AccelAction; 3] = [
+    AccelAction::Quantize16,
+    AccelAction::Partial25,
+    AccelAction::Prune25,
+];
+
+impl HeuristicPolicy {
+    /// Create a policy with a deterministic random stream.
+    pub fn new(seed: u64) -> Self {
+        HeuristicPolicy { seed, decisions: 0 }
+    }
+
+    /// Choose an action for a client with the given CPU and network
+    /// availability fractions (`[0, 1]`).
+    ///
+    /// "Below Moderate" in Table 1 terms means ≤ 20 % availability.
+    pub fn choose(&mut self, cpu_fraction: f64, net_fraction: f64) -> AccelAction {
+        self.decisions += 1;
+        let mut rng = seed_rng(split_seed(self.seed, self.decisions));
+        let constrained = cpu_fraction <= 0.20 && net_fraction <= 0.20;
+        let pool: &[AccelAction] = if constrained { &EXTREME } else { &MILD };
+        *pool
+            .choose(&mut rng)
+            .expect("pools are non-empty constants")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constrained_clients_get_extreme_actions() {
+        let mut p = HeuristicPolicy::new(1);
+        for _ in 0..50 {
+            let a = p.choose(0.1, 0.05);
+            assert!(EXTREME.contains(&a), "{} not an extreme action", a.name());
+        }
+    }
+
+    #[test]
+    fn rich_clients_get_mild_actions() {
+        let mut p = HeuristicPolicy::new(2);
+        for _ in 0..50 {
+            let a = p.choose(0.8, 0.9);
+            assert!(MILD.contains(&a), "{} not a mild action", a.name());
+        }
+    }
+
+    #[test]
+    fn mixed_resources_count_as_rich() {
+        // Rule 1 requires BOTH cpu and network below moderate.
+        let mut p = HeuristicPolicy::new(3);
+        let a = p.choose(0.1, 0.9);
+        assert!(MILD.contains(&a));
+        let b = p.choose(0.9, 0.1);
+        assert!(MILD.contains(&b));
+    }
+
+    #[test]
+    fn technique_choice_is_random_within_pool() {
+        let mut p = HeuristicPolicy::new(4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(p.choose(0.05, 0.05));
+        }
+        assert_eq!(seen.len(), 3, "all three extreme techniques should occur");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = HeuristicPolicy::new(9);
+        let mut b = HeuristicPolicy::new(9);
+        for _ in 0..20 {
+            assert_eq!(a.choose(0.1, 0.1), b.choose(0.1, 0.1));
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Oort-style guided participant selection (Lai et al., OSDI '21),
+//! re-implemented from the published algorithm description.
+//!
+//! Each client's selection priority combines *statistical utility* (how
+//! informative its updates have been, proxied by training-loss magnitude)
+//! with a *system utility* penalty for clients slower than the developer's
+//! preferred round duration. An exploration fraction admits never-tried
+//! clients. The paper's critique — and what our motivation experiments
+//! reproduce — is that this preference for efficient clients biases
+//! selection when resource conditions fluctuate.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use float_tensor::rng::{seed_rng, split_seed};
+
+use crate::selector::{ClientSelector, SelectionFeedback, SelectorKind};
+
+/// Per-client rolling statistics maintained by Oort.
+#[derive(Debug, Clone, Copy, Default)]
+struct ClientRecord {
+    /// Exponential moving average of statistical utility.
+    stat_utility: f64,
+    /// Last observed round duration in seconds.
+    last_duration_s: f64,
+    /// How many times the client has been selected.
+    selected: u64,
+    /// How many times it completed.
+    completed: u64,
+    /// Last round the client was selected (for staleness bonus).
+    last_selected_round: usize,
+}
+
+/// How many rounds the pacer aggregates before deciding whether to relax
+/// the preferred duration.
+const PACER_WINDOW: usize = 10;
+
+/// Guided participant selection.
+#[derive(Debug, Clone)]
+pub struct OortSelector {
+    seed: u64,
+    records: Vec<ClientRecord>,
+    /// Preferred round duration `T`; slower clients are penalized by
+    /// `(T / t)^alpha`.
+    preferred_duration_s: f64,
+    /// The initial `T`, used as the pacer's step size.
+    pacer_step_s: f64,
+    /// Penalty exponent.
+    alpha: f64,
+    /// Fraction of each cohort reserved for exploring untried clients.
+    exploration_fraction: f64,
+    /// Aggregate utility observed per round (pacer input).
+    round_utilities: Vec<f64>,
+}
+
+impl OortSelector {
+    /// Create a selector with Oort's default knobs.
+    pub fn new(seed: u64, preferred_duration_s: f64) -> Self {
+        OortSelector {
+            seed,
+            records: Vec::new(),
+            preferred_duration_s,
+            pacer_step_s: preferred_duration_s * 0.25,
+            alpha: 2.0,
+            exploration_fraction: 0.2,
+            round_utilities: Vec::new(),
+        }
+    }
+
+    /// Current preferred round duration (moves as the pacer relaxes it).
+    pub fn preferred_duration_s(&self) -> f64 {
+        self.preferred_duration_s
+    }
+
+    /// Oort's pacer: when the aggregate statistical utility of the last
+    /// window is no better than the window before it, the developer's
+    /// speed preference is costing information — relax `T` by one step so
+    /// slower-but-informative clients regain priority.
+    fn run_pacer(&mut self) {
+        let n = self.round_utilities.len();
+        if n < 2 * PACER_WINDOW || !n.is_multiple_of(PACER_WINDOW) {
+            return;
+        }
+        let recent: f64 = self.round_utilities[n - PACER_WINDOW..].iter().sum();
+        let previous: f64 =
+            self.round_utilities[n - 2 * PACER_WINDOW..n - PACER_WINDOW].iter().sum();
+        if recent <= previous {
+            self.preferred_duration_s += self.pacer_step_s;
+        }
+    }
+
+    fn ensure(&mut self, num_clients: usize) {
+        if self.records.len() < num_clients {
+            self.records.resize(num_clients, ClientRecord::default());
+        }
+    }
+
+    /// Priority score of client `c` at `round`.
+    fn priority(&self, c: usize, round: usize) -> f64 {
+        let r = &self.records[c];
+        if r.selected == 0 {
+            return 0.0; // untried clients go through the exploration pool
+        }
+        let mut util = r.stat_utility;
+        // System utility: penalize clients slower than the target.
+        if r.last_duration_s > self.preferred_duration_s && r.last_duration_s > 0.0 {
+            util *= (self.preferred_duration_s / r.last_duration_s).powf(self.alpha);
+        }
+        // Reliability: clients that keep dropping lose priority.
+        let reliability = (r.completed as f64 + 1.0) / (r.selected as f64 + 2.0);
+        util *= reliability;
+        // Staleness bonus keeps long-unselected clients from starving
+        // entirely (Oort's temporal uncertainty term).
+        let staleness = ((round - r.last_selected_round) as f64).sqrt() * 0.01;
+        util + staleness
+    }
+}
+
+impl ClientSelector for OortSelector {
+    fn kind(&self) -> SelectorKind {
+        SelectorKind::Oort
+    }
+
+    fn select(&mut self, round: usize, eligible: &[usize], target: usize) -> Vec<usize> {
+        let max_id = eligible.iter().copied().max().map_or(0, |m| m + 1);
+        self.ensure(max_id);
+        let target = target.min(eligible.len());
+        let mut rng = seed_rng(split_seed(self.seed, round as u64));
+        let explore_n = ((target as f64) * self.exploration_fraction).round() as usize;
+        let exploit_n = target - explore_n;
+
+        // Exploitation: top eligible clients by priority.
+        let mut by_priority: Vec<usize> = eligible.to_vec();
+        by_priority.sort_by(|&a, &b| {
+            self.priority(b, round)
+                .partial_cmp(&self.priority(a, round))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut picked: Vec<usize> = by_priority.into_iter().take(exploit_n).collect();
+
+        // Exploration: random among the rest, preferring untried clients.
+        let mut rest: Vec<usize> = eligible
+            .iter()
+            .copied()
+            .filter(|c| !picked.contains(c))
+            .collect();
+        rest.shuffle(&mut rng);
+        rest.sort_by_key(|&c| self.records[c].selected); // untried first
+                                                         // Take untried first but keep some randomness among equals.
+        for c in rest.into_iter().take(explore_n) {
+            picked.push(c);
+        }
+        for &c in &picked {
+            self.records[c].selected += 1;
+            self.records[c].last_selected_round = round;
+        }
+        // Defensive dedup (priorities and exploration are disjoint by
+        // construction, but a future edit must not silently double-select).
+        picked.dedup();
+        let _ = rng.gen::<u64>();
+        picked
+    }
+
+    fn feedback(&mut self, _round: usize, results: &[SelectionFeedback]) {
+        if let Some(max_id) = results.iter().map(|f| f.client).max() {
+            self.ensure(max_id + 1);
+        }
+        let mut round_utility = 0.0;
+        for f in results {
+            let r = &mut self.records[f.client];
+            if f.completed {
+                r.completed += 1;
+                r.stat_utility = 0.7 * r.stat_utility + 0.3 * f.utility;
+                r.last_duration_s = f.duration_s;
+                round_utility += f.utility;
+            } else {
+                // A dropout tells Oort the client is slow/unreliable.
+                r.last_duration_s = r.last_duration_s.max(f.duration_s);
+                r.stat_utility *= 0.8;
+            }
+        }
+        self.round_utilities.push(round_utility);
+        self.run_pacer();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test helper: an eligible pool of the first `n` client ids.
+    fn pool(n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+
+    fn feedback(client: usize, completed: bool, duration: f64, utility: f64) -> SelectionFeedback {
+        SelectionFeedback {
+            client,
+            completed,
+            duration_s: duration,
+            utility,
+            was_available: true,
+        }
+    }
+
+    #[test]
+    fn prefers_high_utility_fast_clients() {
+        let mut s = OortSelector::new(1, 60.0);
+        // Round 0: everyone untried — exploration only.
+        let picks0 = s.select(0, &pool(3), 3);
+        assert_eq!(picks0.len(), 3);
+        // Teach it: client 0 fast + informative; client 1 slow; client 2
+        // drops out. Select the whole pool each round so the staleness
+        // bonus stays identical across clients.
+        for round in 1..20 {
+            s.feedback(
+                round,
+                &[
+                    feedback(0, true, 30.0, 1.0),
+                    feedback(1, true, 600.0, 1.0),
+                    feedback(2, false, 600.0, 0.0),
+                ],
+            );
+            let _ = s.select(round, &pool(3), 3);
+        }
+        assert!(s.priority(0, 20) > s.priority(1, 20));
+        assert!(s.priority(1, 20) > s.priority(2, 20));
+    }
+
+    #[test]
+    fn selection_is_biased_toward_efficient_clients() {
+        // The Fig. 2a phenomenon: with stable utilities, Oort concentrates
+        // selection on fast clients far above the uniform rate.
+        let mut s = OortSelector::new(2, 60.0);
+        let mut counts = [0usize; 20];
+        for round in 0..300 {
+            let picks = s.select(round, &pool(20), 5);
+            for &c in &picks {
+                counts[c] += 1;
+            }
+            let fb: Vec<SelectionFeedback> = picks
+                .iter()
+                .map(|&c| {
+                    // Clients 0..5 are fast, the rest are 10x slower.
+                    let fast = c < 5;
+                    feedback(c, true, if fast { 20.0 } else { 200.0 }, 1.0)
+                })
+                .collect();
+            s.feedback(round, &fb);
+        }
+        let fast_total: usize = counts[..5].iter().sum();
+        let slow_total: usize = counts[5..].iter().sum();
+        // Fast clients are 25% of the pool but should take well over half
+        // the selections.
+        assert!(
+            fast_total as f64 > slow_total as f64,
+            "fast {fast_total} vs slow {slow_total}"
+        );
+    }
+
+    #[test]
+    fn exploration_reaches_untried_clients() {
+        let mut s = OortSelector::new(3, 60.0);
+        let mut seen = [false; 30];
+        for round in 0..60 {
+            for c in s.select(round, &pool(30), 6) {
+                seen[c] = true;
+            }
+        }
+        let coverage = seen.iter().filter(|&&x| x).count();
+        assert!(coverage > 25, "only {coverage}/30 clients ever selected");
+    }
+
+    #[test]
+    fn pacer_relaxes_preference_when_utility_stalls() {
+        let mut s = OortSelector::new(7, 100.0);
+        let t0 = s.preferred_duration_s();
+        // Feed a stagnant utility stream long enough for two pacer windows.
+        for round in 0..20 {
+            s.feedback(round, &[feedback(0, true, 50.0, 1.0)]);
+        }
+        assert!(
+            s.preferred_duration_s() > t0,
+            "pacer never relaxed: {} vs {}",
+            s.preferred_duration_s(),
+            t0
+        );
+    }
+
+    #[test]
+    fn pacer_holds_when_utility_grows() {
+        let mut s = OortSelector::new(7, 100.0);
+        let t0 = s.preferred_duration_s();
+        // Strictly growing utility: the preference is paying off.
+        for round in 0..20 {
+            s.feedback(round, &[feedback(0, true, 50.0, (round + 1) as f64)]);
+        }
+        assert_eq!(
+            s.preferred_duration_s(),
+            t0,
+            "pacer relaxed despite improving utility"
+        );
+    }
+
+    #[test]
+    fn distinct_ids() {
+        let mut s = OortSelector::new(4, 60.0);
+        for round in 0..10 {
+            let picks = s.select(round, &pool(15), 8);
+            let mut uniq = picks.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), picks.len());
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! REFL-style availability-window prediction (Abdelmoniem et al.,
+//! EuroSys '23), re-implemented from the published algorithm description.
+//!
+//! REFL predicts each client's future availability from its history and
+//! prefers clients that are (a) predicted available for the whole round
+//! and (b) fast enough to finish inside the predicted window. The FLOAT
+//! paper's critique, which our motivation experiments reproduce, is that
+//! the *fixed linear window* assumption collapses under dynamic resource
+//! interference: predictions go stale, dropouts rise, and selection skews
+//! hard toward historically fast clients (Fig. 2a shows REFL excluding
+//! ~50 % of clients).
+
+use rand::seq::SliceRandom;
+
+use float_tensor::rng::{seed_rng, split_seed};
+
+use crate::selector::{ClientSelector, SelectionFeedback, SelectorKind};
+
+/// How many past rounds of availability history to keep per client.
+const HISTORY: usize = 64;
+
+/// Per-client availability history and speed estimate.
+#[derive(Debug, Clone, Default)]
+struct ClientHistory {
+    /// Ring buffer of observed availability (most recent last).
+    available: Vec<bool>,
+    /// Last observed round duration, seconds.
+    last_duration_s: f64,
+    selected: u64,
+    completed: u64,
+}
+
+impl ClientHistory {
+    /// Predicted probability of being available next round: the empirical
+    /// availability frequency over the history window — REFL's linear
+    /// window model.
+    fn predicted_availability(&self) -> f64 {
+        if self.available.is_empty() {
+            return 0.5; // uninformative prior
+        }
+        self.available.iter().filter(|&&a| a).count() as f64 / self.available.len() as f64
+    }
+}
+
+/// Availability-window-predicting selector.
+#[derive(Debug, Clone)]
+pub struct ReflSelector {
+    seed: u64,
+    histories: Vec<ClientHistory>,
+    /// Round deadline the predicted window must cover.
+    deadline_s: f64,
+}
+
+impl ReflSelector {
+    /// Create a selector that plans against `deadline_s`-second rounds.
+    pub fn new(seed: u64, deadline_s: f64) -> Self {
+        ReflSelector {
+            seed,
+            histories: Vec::new(),
+            deadline_s,
+        }
+    }
+
+    fn ensure(&mut self, num_clients: usize) {
+        if self.histories.len() < num_clients {
+            self.histories
+                .resize_with(num_clients, ClientHistory::default);
+        }
+    }
+
+    /// REFL's selection score: predicted availability, discounted when the
+    /// client's observed speed would overflow the window.
+    fn score(&self, c: usize) -> f64 {
+        let h = &self.histories[c];
+        let mut s = h.predicted_availability();
+        if h.last_duration_s > self.deadline_s && h.last_duration_s > 0.0 {
+            // Predicted to overflow its window: heavily discounted. This is
+            // the "prefers faster clients" bias.
+            s *= self.deadline_s / h.last_duration_s;
+        }
+        // Completion track record sharpens the prediction.
+        if h.selected > 0 {
+            s *= (h.completed as f64 + 1.0) / (h.selected as f64 + 1.0);
+        }
+        s
+    }
+}
+
+impl ClientSelector for ReflSelector {
+    fn kind(&self) -> SelectorKind {
+        SelectorKind::Refl
+    }
+
+    fn select(&mut self, round: usize, eligible: &[usize], target: usize) -> Vec<usize> {
+        let max_id = eligible.iter().copied().max().map_or(0, |m| m + 1);
+        self.ensure(max_id);
+        let target = target.min(eligible.len());
+        let mut ids: Vec<usize> = eligible.to_vec();
+        // Shuffle first so ties break randomly rather than by id.
+        ids.shuffle(&mut seed_rng(split_seed(self.seed, round as u64)));
+        ids.sort_by(|&a, &b| {
+            self.score(b)
+                .partial_cmp(&self.score(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let picked: Vec<usize> = ids.into_iter().take(target).collect();
+        for &c in &picked {
+            self.histories[c].selected += 1;
+        }
+        picked
+    }
+
+    fn feedback(&mut self, _round: usize, results: &[SelectionFeedback]) {
+        for f in results {
+            if f.client >= self.histories.len() {
+                continue;
+            }
+            let h = &mut self.histories[f.client];
+            h.available.push(f.was_available);
+            if h.available.len() > HISTORY {
+                h.available.remove(0);
+            }
+            if f.completed {
+                h.completed += 1;
+                h.last_duration_s = f.duration_s;
+            } else if f.duration_s > 0.0 {
+                h.last_duration_s = f.duration_s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test helper: an eligible pool of the first `n` client ids.
+    fn pool(n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+
+    fn fb(client: usize, completed: bool, duration: f64, available: bool) -> SelectionFeedback {
+        SelectionFeedback {
+            client,
+            completed,
+            duration_s: duration,
+            utility: 1.0,
+            was_available: available,
+        }
+    }
+
+    #[test]
+    fn prefers_predictably_available_clients() {
+        let mut s = ReflSelector::new(1, 100.0);
+        // Client 0: always available and fast. Client 1: never available.
+        for round in 0..30 {
+            s.feedback(round, &[fb(0, true, 50.0, true), fb(1, false, 0.0, false)]);
+            let _ = s.select(round, &pool(5), 2);
+        }
+        assert!(s.score(0) > s.score(1) * 2.0);
+    }
+
+    #[test]
+    fn slow_clients_are_discounted() {
+        let mut s = ReflSelector::new(2, 100.0);
+        for round in 0..20 {
+            s.feedback(round, &[fb(0, true, 50.0, true), fb(1, true, 500.0, true)]);
+            let _ = s.select(round, &pool(5), 2);
+        }
+        assert!(
+            s.score(0) > s.score(1),
+            "fast {} vs slow {}",
+            s.score(0),
+            s.score(1)
+        );
+    }
+
+    #[test]
+    fn selection_excludes_low_scorers_creating_bias() {
+        // The Fig. 2a phenomenon: with stable histories REFL repeatedly
+        // excludes the same clients.
+        let mut s = ReflSelector::new(3, 100.0);
+        let mut counts = [0usize; 10];
+        for round in 0..200 {
+            let picks = s.select(round, &pool(10), 3);
+            for &c in &picks {
+                counts[c] += 1;
+            }
+            let results: Vec<SelectionFeedback> = (0..10)
+                .map(|c| {
+                    // Clients 0..3 are reliable; 7..10 are flaky and slow.
+                    if c < 3 {
+                        fb(c, true, 40.0, true)
+                    } else if c >= 7 {
+                        fb(c, false, 300.0, round % 3 == 0)
+                    } else {
+                        fb(c, true, 90.0, round % 2 == 0)
+                    }
+                })
+                .collect();
+            s.feedback(round, &results);
+        }
+        let reliable: usize = counts[..3].iter().sum();
+        let flaky: usize = counts[7..].iter().sum();
+        assert!(
+            reliable > flaky * 3,
+            "reliable {reliable} vs flaky {flaky}: bias not reproduced"
+        );
+    }
+
+    #[test]
+    fn unknown_clients_get_prior() {
+        let s = ReflSelector {
+            seed: 0,
+            histories: vec![ClientHistory::default()],
+            deadline_s: 100.0,
+        };
+        assert!((s.score(0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_ids_in_range() {
+        let mut s = ReflSelector::new(4, 100.0);
+        let picks = s.select(0, &pool(12), 6);
+        let mut uniq = picks.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 6);
+        assert!(picks.iter().all(|&c| c < 12));
+    }
+}

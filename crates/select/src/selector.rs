@@ -1,0 +1,102 @@
+//! The common client-selection interface.
+
+use serde::{Deserialize, Serialize};
+
+/// Which baseline a selector implements (for experiment labeling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SelectorKind {
+    /// Uniform random synchronous selection.
+    FedAvg,
+    /// Utility-guided synchronous selection.
+    Oort,
+    /// Availability-window-predicting synchronous selection.
+    Refl,
+    /// Asynchronous buffered selection with over-selection.
+    FedBuff,
+    /// Tier-based selection (TiFL), an extension baseline.
+    Tifl,
+}
+
+impl SelectorKind {
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            SelectorKind::FedAvg => "fedavg",
+            SelectorKind::Oort => "oort",
+            SelectorKind::Refl => "refl",
+            SelectorKind::FedBuff => "fedbuff",
+            SelectorKind::Tifl => "tifl",
+        }
+    }
+
+    /// Whether this selector drives asynchronous aggregation.
+    pub fn is_async(self) -> bool {
+        matches!(self, SelectorKind::FedBuff)
+    }
+}
+
+/// Per-client feedback handed to a selector after each round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelectionFeedback {
+    /// Which client this describes.
+    pub client: usize,
+    /// Whether it completed the round.
+    pub completed: bool,
+    /// Wall time of its attempt, seconds.
+    pub duration_s: f64,
+    /// Statistical utility of its update (e.g. loss magnitude); higher
+    /// means more informative. Zero for dropped clients.
+    pub utility: f64,
+    /// Whether the client was reachable when the round started.
+    pub was_available: bool,
+}
+
+/// A client-selection strategy.
+///
+/// Selectors are deliberately ignorant of FLOAT: the runtime wraps any
+/// `ClientSelector` and adds acceleration on top, demonstrating the
+/// paper's non-intrusive integration claim.
+pub trait ClientSelector {
+    /// Which baseline this is.
+    fn kind(&self) -> SelectorKind;
+
+    /// Choose the clients to task in `round` from the `eligible` pool —
+    /// the clients currently checked in as available, mirroring the
+    /// FedScale/production model where unavailable devices are never
+    /// candidates. `target` is the configured per-round cohort size
+    /// (synchronous) or the top-up size (asynchronous). Must return
+    /// distinct ids drawn from `eligible`.
+    fn select(&mut self, round: usize, eligible: &[usize], target: usize) -> Vec<usize>;
+
+    /// Observe the outcomes of the round's attempts.
+    fn feedback(&mut self, round: usize, results: &[SelectionFeedback]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_have_unique_names() {
+        let kinds = [
+            SelectorKind::FedAvg,
+            SelectorKind::Oort,
+            SelectorKind::Refl,
+            SelectorKind::FedBuff,
+            SelectorKind::Tifl,
+        ];
+        let mut names: Vec<_> = kinds.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), kinds.len());
+    }
+
+    #[test]
+    fn only_fedbuff_is_async() {
+        assert!(SelectorKind::FedBuff.is_async());
+        assert!(!SelectorKind::FedAvg.is_async());
+        assert!(!SelectorKind::Oort.is_async());
+        assert!(!SelectorKind::Refl.is_async());
+        assert!(!SelectorKind::Tifl.is_async());
+    }
+}

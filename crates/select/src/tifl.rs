@@ -1,0 +1,299 @@
+//! TiFL-style tier-based client selection (Chai et al., HPDC '20),
+//! re-implemented from the published algorithm description as an
+//! extension baseline beyond the paper's four.
+//!
+//! TiFL profiles clients into latency tiers and selects each round's
+//! cohort from a *single* tier, so the round's wall time is bounded by
+//! that tier's speed instead of the global straggler. An adaptive
+//! scheduler spends more rounds on tiers whose data the model has not yet
+//! absorbed (here: tiers with the higher recent statistical utility),
+//! subject to per-tier credits that stop any tier from being ignored.
+
+use float_tensor::rng::{seed_rng, split_seed};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::selector::{ClientSelector, SelectionFeedback, SelectorKind};
+
+/// Number of latency tiers TiFL maintains.
+const NUM_TIERS: usize = 5;
+
+/// Re-profile clients into tiers every this many rounds.
+const RETIER_EVERY: usize = 10;
+
+/// Per-client profiling state.
+#[derive(Debug, Clone, Copy)]
+struct ClientProfile {
+    /// EMA of observed round latency, seconds. `None` until first observed.
+    latency_s: Option<f64>,
+    /// EMA of statistical utility.
+    utility: f64,
+    /// Assigned tier (0 = fastest).
+    tier: usize,
+}
+
+impl Default for ClientProfile {
+    fn default() -> Self {
+        ClientProfile {
+            latency_s: None,
+            utility: 1.0, // optimistic prior so new tiers get scheduled
+            tier: 0,
+        }
+    }
+}
+
+/// Tier-based selector.
+#[derive(Debug, Clone)]
+pub struct TiflSelector {
+    seed: u64,
+    profiles: Vec<ClientProfile>,
+    /// Remaining selection credits per tier; refilled when exhausted.
+    credits: Vec<u64>,
+    rounds_seen: usize,
+}
+
+impl TiflSelector {
+    /// Create a TiFL selector.
+    pub fn new(seed: u64) -> Self {
+        TiflSelector {
+            seed,
+            profiles: Vec::new(),
+            credits: vec![INITIAL_CREDITS; NUM_TIERS],
+            rounds_seen: 0,
+        }
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.profiles.len() < n {
+            self.profiles.resize_with(n, ClientProfile::default);
+        }
+    }
+
+    /// Recompute tier boundaries by latency quantiles over profiled
+    /// clients; unprofiled clients go to the middle tier.
+    fn retier(&mut self) {
+        let mut latencies: Vec<f64> = self
+            .profiles
+            .iter()
+            .filter_map(|p| p.latency_s)
+            .collect();
+        if latencies.len() < NUM_TIERS {
+            return;
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies finite"));
+        let boundary = |q: f64| -> f64 {
+            let idx = ((latencies.len() as f64 - 1.0) * q).round() as usize;
+            latencies[idx.min(latencies.len() - 1)]
+        };
+        let cuts: Vec<f64> = (1..NUM_TIERS)
+            .map(|i| boundary(i as f64 / NUM_TIERS as f64))
+            .collect();
+        for p in &mut self.profiles {
+            p.tier = match p.latency_s {
+                Some(l) => cuts.iter().position(|&c| l <= c).unwrap_or(NUM_TIERS - 1),
+                None => NUM_TIERS / 2,
+            };
+        }
+    }
+
+    /// Pick the tier for this round: among tiers with credits and eligible
+    /// clients, weight by recent mean utility (data the model still needs)
+    /// with a floor so no tier starves.
+    fn choose_tier<R: Rng>(&self, eligible: &[usize], rng: &mut R) -> usize {
+        let mut weight = [0.0f64; NUM_TIERS];
+        let mut count = [0usize; NUM_TIERS];
+        for &c in eligible {
+            if let Some(p) = self.profiles.get(c) {
+                weight[p.tier] += p.utility;
+                count[p.tier] += 1;
+            }
+        }
+        let mut total = 0.0;
+        for t in 0..NUM_TIERS {
+            if count[t] == 0 || self.credits[t] == 0 {
+                weight[t] = 0.0;
+            } else {
+                weight[t] = (weight[t] / count[t] as f64).max(0.05);
+                total += weight[t];
+            }
+        }
+        if total <= 0.0 {
+            // All credits spent or no eligible tiers: fastest non-empty.
+            return count.iter().position(|&c| c > 0).unwrap_or(0);
+        }
+        let mut draw = rng.gen::<f64>() * total;
+        for (t, &w) in weight.iter().enumerate() {
+            draw -= w;
+            if w > 0.0 && draw <= 0.0 {
+                return t;
+            }
+        }
+        NUM_TIERS - 1
+    }
+
+    /// Tier assignment of a client (for tests).
+    pub fn tier_of(&self, client: usize) -> Option<usize> {
+        self.profiles.get(client).map(|p| p.tier)
+    }
+}
+
+/// Credits issued to each tier per refill.
+const INITIAL_CREDITS: u64 = 20;
+
+impl ClientSelector for TiflSelector {
+    fn kind(&self) -> SelectorKind {
+        SelectorKind::Tifl
+    }
+
+    fn select(&mut self, round: usize, eligible: &[usize], target: usize) -> Vec<usize> {
+        let max_id = eligible.iter().copied().max().map_or(0, |m| m + 1);
+        self.ensure(max_id);
+        self.rounds_seen += 1;
+        if self.rounds_seen.is_multiple_of(RETIER_EVERY) {
+            self.retier();
+        }
+        if self.credits.iter().all(|&c| c == 0) {
+            self.credits = vec![INITIAL_CREDITS; NUM_TIERS];
+        }
+        let mut rng = seed_rng(split_seed(self.seed, round as u64));
+        let tier = self.choose_tier(eligible, &mut rng);
+        self.credits[tier] = self.credits[tier].saturating_sub(1);
+        let mut pool: Vec<usize> = eligible
+            .iter()
+            .copied()
+            .filter(|&c| self.profiles[c].tier == tier)
+            .collect();
+        pool.shuffle(&mut rng);
+        // Top up from neighbouring tiers if the chosen tier is too small
+        // (TiFL merges adjacent tiers when underpopulated).
+        if pool.len() < target {
+            let mut rest: Vec<usize> = eligible
+                .iter()
+                .copied()
+                .filter(|&c| self.profiles[c].tier != tier)
+                .collect();
+            rest.sort_by_key(|&c| {
+                (self.profiles[c].tier as isize - tier as isize).unsigned_abs()
+            });
+            pool.extend(rest);
+        }
+        pool.truncate(target.min(eligible.len()));
+        pool
+    }
+
+    fn feedback(&mut self, _round: usize, results: &[SelectionFeedback]) {
+        if let Some(max_id) = results.iter().map(|f| f.client).max() {
+            self.ensure(max_id + 1);
+        }
+        for f in results {
+            let p = &mut self.profiles[f.client];
+            if f.duration_s > 0.0 {
+                p.latency_s = Some(match p.latency_s {
+                    Some(l) => 0.7 * l + 0.3 * f.duration_s,
+                    None => f.duration_s,
+                });
+            }
+            if f.completed {
+                p.utility = 0.7 * p.utility + 0.3 * f.utility;
+            } else {
+                p.utility *= 0.9;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test helper: an eligible pool of the first `n` client ids.
+    fn pool(n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+
+    fn fb(client: usize, duration: f64, utility: f64) -> SelectionFeedback {
+        SelectionFeedback {
+            client,
+            completed: true,
+            duration_s: duration,
+            utility,
+            was_available: true,
+        }
+    }
+
+    /// Drive enough feedback + rounds for a re-tiering to happen.
+    fn profile_clients(s: &mut TiflSelector, n: usize) {
+        for round in 0..RETIER_EVERY + 1 {
+            let results: Vec<SelectionFeedback> = (0..n)
+                // Latency grows with id: low ids are the fast tier.
+                .map(|c| fb(c, 10.0 + c as f64 * 10.0, 1.0))
+                .collect();
+            s.feedback(round, &results);
+            let _ = s.select(round, &pool(n), 4);
+        }
+    }
+
+    #[test]
+    fn tiers_order_by_latency() {
+        let mut s = TiflSelector::new(1);
+        profile_clients(&mut s, 50);
+        let fast = s.tier_of(0).expect("profiled");
+        let slow = s.tier_of(49).expect("profiled");
+        assert!(fast < slow, "fast tier {fast} !< slow tier {slow}");
+        // Tiers are monotone in latency.
+        for c in 1..50 {
+            assert!(
+                s.tier_of(c - 1).expect("profiled") <= s.tier_of(c).expect("profiled"),
+                "tier order violated at {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn cohort_comes_from_one_tier_once_profiled() {
+        let mut s = TiflSelector::new(2);
+        profile_clients(&mut s, 50);
+        for round in 20..40 {
+            let picks = s.select(round, &pool(50), 5);
+            assert_eq!(picks.len(), 5);
+            let tiers: std::collections::HashSet<usize> = picks
+                .iter()
+                .map(|&c| s.tier_of(c).expect("profiled"))
+                .collect();
+            assert_eq!(tiers.len(), 1, "round {round} mixed tiers {tiers:?}");
+        }
+    }
+
+    #[test]
+    fn all_tiers_eventually_get_rounds() {
+        let mut s = TiflSelector::new(3);
+        profile_clients(&mut s, 50);
+        let mut seen = std::collections::HashSet::new();
+        for round in 20..200 {
+            let picks = s.select(round, &pool(50), 5);
+            if let Some(&c) = picks.first() {
+                seen.insert(s.tier_of(c).expect("profiled"));
+            }
+        }
+        assert!(
+            seen.len() >= 4,
+            "only tiers {seen:?} were ever scheduled"
+        );
+    }
+
+    #[test]
+    fn small_tier_tops_up_from_neighbours() {
+        let mut s = TiflSelector::new(4);
+        profile_clients(&mut s, 10);
+        // Ask for more clients than any single 2-client tier holds.
+        let picks = s.select(50, &pool(10), 6);
+        assert_eq!(picks.len(), 6);
+    }
+
+    #[test]
+    fn unprofiled_clients_still_selectable() {
+        let mut s = TiflSelector::new(5);
+        let picks = s.select(0, &pool(20), 8);
+        assert_eq!(picks.len(), 8);
+    }
+}

@@ -1,0 +1,69 @@
+//! Virtual time for the simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically advancing virtual clock, in seconds.
+///
+/// Synchronous FL advances it by the per-round wall time (the slowest
+/// completing client or the round deadline, whichever is smaller);
+/// asynchronous FL advances it by the inter-arrival times of buffered
+/// updates.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimClock {
+    now_s: f64,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now_s(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Current virtual time in hours.
+    pub fn now_hours(&self) -> f64 {
+        self.now_s / 3600.0
+    }
+
+    /// Advance by `dt` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative or non-finite — time never flows
+    /// backwards in the simulator, and a NaN here would silently corrupt
+    /// every downstream metric.
+    pub fn advance(&mut self, dt: f64) {
+        assert!(dt.is_finite() && dt >= 0.0, "clock advance {dt} invalid");
+        self.now_s += dt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_accumulate() {
+        let mut c = SimClock::new();
+        c.advance(10.0);
+        c.advance(3600.0);
+        assert!((c.now_s() - 3610.0).abs() < 1e-9);
+        assert!((c.now_hours() - 3610.0 / 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn negative_advance_panics() {
+        SimClock::new().advance(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn nan_advance_panics() {
+        SimClock::new().advance(f64::NAN);
+    }
+}

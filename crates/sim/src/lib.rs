@@ -1,0 +1,28 @@
+//! `float-sim` — the trace-driven FL resource simulator.
+//!
+//! This crate is the reproduction's stand-in for FedScale's simulation
+//! layer: given a client's [`ResourceSnapshot`] for a round and the
+//! [`RoundCost`] of its (possibly accelerated) local work, it computes
+//! phase-by-phase latencies (download → train → upload), memory and energy
+//! use, deadline violations, mid-round failures, and dropout outcomes.
+//! A [`ResourceLedger`] accumulates the paper's resource-inefficiency
+//! metrics — compute hours, communication hours, and memory terabytes
+//! split into useful (completed round) and wasted (dropped client) work —
+//! and a [`SimClock`] tracks virtual wall-clock time for synchronous and
+//! asynchronous execution.
+//!
+//! [`ResourceSnapshot`]: float_traces::ResourceSnapshot
+//! [`RoundCost`]: float_models::RoundCost
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod ledger;
+pub mod round;
+
+pub use clock::SimClock;
+pub use ledger::{LedgerTotals, ResourceLedger};
+pub use round::{
+    estimate_round_time_s, execute_client_round, ClientRoundOutcome, DropReason, RoundParams,
+};

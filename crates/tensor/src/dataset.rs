@@ -1,0 +1,204 @@
+//! In-memory supervised classification datasets.
+
+use crate::{Tensor, TensorError};
+
+/// A dense classification dataset: `features` is `[n, d]`, `labels[i]` is
+/// the class index of row `i`, and `num_classes` bounds the label range.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    features: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Build a dataset from per-sample rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidData`] when rows are empty, row widths
+    /// disagree, row/label counts disagree, or a label is `>= num_classes`.
+    pub fn from_rows(
+        rows: &[Vec<f32>],
+        labels: &[usize],
+        num_classes: usize,
+    ) -> Result<Self, TensorError> {
+        if rows.is_empty() {
+            return Err(TensorError::InvalidData("empty dataset".into()));
+        }
+        if rows.len() != labels.len() {
+            return Err(TensorError::InvalidData(format!(
+                "{} rows but {} labels",
+                rows.len(),
+                labels.len()
+            )));
+        }
+        let d = rows[0].len();
+        if d == 0 {
+            return Err(TensorError::InvalidData("zero-width rows".into()));
+        }
+        let mut flat = Vec::with_capacity(rows.len() * d);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != d {
+                return Err(TensorError::InvalidData(format!(
+                    "row {i} has width {} but row 0 has width {d}",
+                    row.len()
+                )));
+            }
+            flat.extend_from_slice(row);
+        }
+        for (i, &y) in labels.iter().enumerate() {
+            if y >= num_classes {
+                return Err(TensorError::InvalidData(format!(
+                    "label {y} at index {i} out of range for {num_classes} classes"
+                )));
+            }
+        }
+        Ok(Dataset {
+            features: Tensor::from_vec(rows.len(), d, flat)?,
+            labels: labels.to_vec(),
+            num_classes,
+        })
+    }
+
+    /// Build a dataset directly from a feature tensor and labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidData`] on count or label-range
+    /// mismatches.
+    pub fn new(
+        features: Tensor,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Result<Self, TensorError> {
+        if features.rows() != labels.len() {
+            return Err(TensorError::InvalidData(format!(
+                "{} feature rows but {} labels",
+                features.rows(),
+                labels.len()
+            )));
+        }
+        if let Some(&bad) = labels.iter().find(|&&y| y >= num_classes) {
+            return Err(TensorError::InvalidData(format!(
+                "label {bad} out of range for {num_classes} classes"
+            )));
+        }
+        Ok(Dataset {
+            features,
+            labels,
+            num_classes,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Feature matrix.
+    pub fn features(&self) -> &Tensor {
+        &self.features
+    }
+
+    /// Labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Extract the sub-dataset at `indices` (used for minibatching and for
+    /// building per-client shards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let d = self.dim();
+        let mut flat = Vec::with_capacity(indices.len() * d);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            flat.extend_from_slice(self.features.row(i));
+            labels.push(self.labels[i]);
+        }
+        Dataset {
+            features: Tensor::from_vec(indices.len(), d, flat)
+                .expect("subset buffer length is indices.len() * d by construction"),
+            labels,
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Histogram of label counts, length `num_classes`.
+    pub fn label_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.num_classes];
+        for &y in &self.labels {
+            h[y] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::from_rows(
+            &[vec![0.0, 1.0], vec![1.0, 0.0], vec![0.5, 0.5]],
+            &[0, 1, 0],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = tiny();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.num_classes(), 2);
+        assert_eq!(d.label_histogram(), vec![2, 1]);
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let d = tiny();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels(), &[0, 0]);
+        assert_eq!(s.features().row(0), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn rejects_label_out_of_range() {
+        let err = Dataset::from_rows(&[vec![0.0]], &[3], 2).unwrap_err();
+        assert!(matches!(err, TensorError::InvalidData(_)));
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err = Dataset::from_rows(&[vec![0.0], vec![0.0, 1.0]], &[0, 1], 2).unwrap_err();
+        assert!(matches!(err, TensorError::InvalidData(_)));
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let err = Dataset::from_rows(&[vec![0.0]], &[0, 1], 2).unwrap_err();
+        assert!(matches!(err, TensorError::InvalidData(_)));
+    }
+}

@@ -1,0 +1,147 @@
+//! Softmax cross-entropy loss and evaluation metrics.
+
+use crate::{Tensor, TensorError};
+
+/// Result of evaluating a model on a dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Mean cross-entropy loss.
+    pub loss: f32,
+    /// Top-1 accuracy in `[0, 1]`.
+    pub accuracy: f32,
+    /// Number of samples evaluated.
+    pub samples: usize,
+}
+
+/// Numerically stable softmax cross-entropy.
+///
+/// Returns `(mean_loss, grad_logits)` where `grad_logits` is the gradient of
+/// the *mean* loss w.r.t. the logits (i.e. already divided by batch size).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidData`] if `labels.len() != logits.rows()`
+/// or any label is out of range for the logit width.
+pub fn softmax_cross_entropy(
+    logits: &Tensor,
+    labels: &[usize],
+) -> Result<(f32, Tensor), TensorError> {
+    let (n, c) = (logits.rows(), logits.cols());
+    if labels.len() != n {
+        return Err(TensorError::InvalidData(format!(
+            "{} labels for {} logit rows",
+            labels.len(),
+            n
+        )));
+    }
+    let mut grad = Tensor::zeros(n, c);
+    let mut total = 0.0f64;
+    for i in 0..n {
+        let y = labels[i];
+        if y >= c {
+            return Err(TensorError::InvalidData(format!(
+                "label {y} out of range for {c} classes"
+            )));
+        }
+        let row = logits.row(i);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for &v in row {
+            denom += (v - max).exp();
+        }
+        let log_denom = denom.ln();
+        total += f64::from(log_denom - (row[y] - max));
+        let grow = &mut grad.data_mut()[i * c..(i + 1) * c];
+        for (j, g) in grow.iter_mut().enumerate() {
+            let p = (row[j] - max).exp() / denom;
+            *g = (p - if j == y { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    Ok((total as f32 / n as f32, grad))
+}
+
+/// Top-1 accuracy of `logits` against `labels`.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()`.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    assert_eq!(labels.len(), logits.rows(), "label/logit count mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let preds = logits.argmax_rows();
+    let correct = preds.iter().zip(labels).filter(|(p, y)| p == y).count();
+    correct as f32 / labels.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_logits_have_low_loss() {
+        let logits = Tensor::from_vec(2, 2, vec![10.0, -10.0, -10.0, 10.0]).unwrap();
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1]).unwrap();
+        assert!(loss < 1e-3, "loss was {loss}");
+    }
+
+    #[test]
+    fn uniform_logits_loss_is_ln_c() {
+        let logits = Tensor::zeros(4, 8);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1, 2, 3]).unwrap();
+        assert!((loss - (8.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(2, 3, vec![0.5, -0.2, 1.0, 0.0, 0.0, 0.0]).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[2, 0]).unwrap();
+        for r in 0..2 {
+            let s: f32 = grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-6, "row {r} grad sums to {s}");
+        }
+    }
+
+    #[test]
+    fn gradient_finite_difference() {
+        let logits = Tensor::from_vec(1, 3, vec![0.2, -0.4, 0.9]).unwrap();
+        let labels = [1usize];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3;
+        for j in 0..3 {
+            let mut up = logits.clone();
+            up.set(0, j, logits.at(0, j) + eps);
+            let (lu, _) = softmax_cross_entropy(&up, &labels).unwrap();
+            let mut dn = logits.clone();
+            dn.set(0, j, logits.at(0, j) - eps);
+            let (ld, _) = softmax_cross_entropy(&dn, &labels).unwrap();
+            let numeric = (lu - ld) / (2.0 * eps);
+            assert!(
+                (numeric - grad.at(0, j)).abs() < 1e-3,
+                "logit {j}: numeric {numeric} vs analytic {}",
+                grad.at(0, j)
+            );
+        }
+    }
+
+    #[test]
+    fn huge_logits_are_stable() {
+        let logits = Tensor::from_vec(1, 2, vec![1e4, -1e4]).unwrap();
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]).unwrap();
+        assert!(loss.is_finite());
+        assert!(grad.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]).unwrap();
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_out_of_range_label() {
+        let logits = Tensor::zeros(1, 2);
+        assert!(softmax_cross_entropy(&logits, &[5]).is_err());
+    }
+}

@@ -1,0 +1,408 @@
+//! A multi-layer perceptron with flat-parameter access and training hooks
+//! for FLOAT's acceleration techniques (pruning masks, frozen-parameter
+//! partial training).
+
+use rand::seq::SliceRandom;
+
+use crate::layers::{Linear, Relu};
+use crate::loss::{accuracy, softmax_cross_entropy, Evaluation};
+use crate::optim::Sgd;
+use crate::rng::{seed_rng, split_seed};
+use crate::{Dataset, Tensor, TensorError};
+
+/// Architecture of an [`Mlp`]: input width, hidden widths, output classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MlpConfig {
+    /// Input feature dimensionality.
+    pub input_dim: usize,
+    /// Width of each hidden layer, in order.
+    pub hidden: Vec<usize>,
+    /// Number of output classes.
+    pub num_classes: usize,
+}
+
+impl MlpConfig {
+    /// Convenience constructor.
+    pub fn new(input_dim: usize, hidden: &[usize], num_classes: usize) -> Self {
+        MlpConfig {
+            input_dim,
+            hidden: hidden.to_vec(),
+            num_classes,
+        }
+    }
+
+    /// Total trainable parameter count for this architecture.
+    pub fn num_params(&self) -> usize {
+        let mut total = 0;
+        let mut prev = self.input_dim;
+        for &h in &self.hidden {
+            total += prev * h + h;
+            prev = h;
+        }
+        total + prev * self.num_classes + self.num_classes
+    }
+}
+
+/// Options controlling a single local-training pass, used by FLOAT's
+/// acceleration techniques.
+#[derive(Debug, Clone, Default)]
+pub struct TrainOptions {
+    /// If set, parameters whose mask entry is `false` are held at zero
+    /// (magnitude pruning). Length must equal [`Mlp::num_params`].
+    pub prune_mask: Option<Vec<bool>>,
+    /// If set, parameters whose entry is `true` are frozen (partial
+    /// training). Length must equal [`Mlp::num_params`].
+    pub frozen: Option<Vec<bool>>,
+}
+
+/// A feed-forward classifier: `Linear → ReLU → … → Linear`.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    config: MlpConfig,
+    layers: Vec<Linear>,
+    activations: Vec<Relu>,
+}
+
+impl Mlp {
+    /// Construct a model with deterministic per-layer initialization derived
+    /// from `seed`.
+    pub fn new(config: &MlpConfig, seed: u64) -> Self {
+        let mut dims = vec![config.input_dim];
+        dims.extend_from_slice(&config.hidden);
+        dims.push(config.num_classes);
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(w[0], w[1], split_seed(seed, i as u64)))
+            .collect::<Vec<_>>();
+        let activations = (0..layers.len().saturating_sub(1))
+            .map(|_| Relu::new())
+            .collect();
+        Mlp {
+            config: config.clone(),
+            layers,
+            activations,
+        }
+    }
+
+    /// The architecture this model was built from.
+    pub fn config(&self) -> &MlpConfig {
+        &self.config
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.config.num_params()
+    }
+
+    /// Flatten all parameters (weights then bias, layer by layer) into one
+    /// buffer. The layout is stable and round-trips through
+    /// [`Mlp::set_params`].
+    pub fn params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for l in &self.layers {
+            out.extend_from_slice(l.weight.data());
+            out.extend_from_slice(l.bias.data());
+        }
+        out
+    }
+
+    /// Load parameters from a flat buffer produced by [`Mlp::params`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidData`] on length mismatch.
+    pub fn set_params(&mut self, flat: &[f32]) -> Result<(), TensorError> {
+        if flat.len() != self.num_params() {
+            return Err(TensorError::InvalidData(format!(
+                "expected {} params, got {}",
+                self.num_params(),
+                flat.len()
+            )));
+        }
+        let mut off = 0;
+        for l in &mut self.layers {
+            let w = l.weight.len();
+            l.weight.data_mut().copy_from_slice(&flat[off..off + w]);
+            off += w;
+            let b = l.bias.len();
+            l.bias.data_mut().copy_from_slice(&flat[off..off + b]);
+            off += b;
+        }
+        Ok(())
+    }
+
+    /// Mask of parameters that pruning must never remove: every bias and
+    /// the whole final (classifier) layer. Standard magnitude-pruning
+    /// practice — biases are tiny but load-bearing, and pruning the output
+    /// layer removes whole classes.
+    pub fn protected_mask(&self) -> Vec<bool> {
+        let mut out = Vec::with_capacity(self.num_params());
+        let last = self.layers.len() - 1;
+        for (i, l) in self.layers.iter().enumerate() {
+            let weights_protected = i == last;
+            out.extend(std::iter::repeat_n(weights_protected, l.weight.len()));
+            out.extend(std::iter::repeat_n(true, l.bias.len()));
+        }
+        out
+    }
+
+    /// Flatten the current gradients in the same layout as [`Mlp::params`].
+    pub fn grads(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for l in &self.layers {
+            out.extend_from_slice(l.grad_weight.data());
+            out.extend_from_slice(l.grad_bias.data());
+        }
+        out
+    }
+
+    /// Forward pass for inference.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `x` is not `[*, input_dim]`.
+    pub fn forward_inference(&self, x: &Tensor) -> Result<Tensor, TensorError> {
+        let mut h = self.layers[0].forward_inference(x)?;
+        for i in 1..self.layers.len() {
+            h = self.activations[i - 1].forward_inference(&h);
+            h = self.layers[i].forward_inference(&h)?;
+        }
+        Ok(h)
+    }
+
+    /// Forward + backward over one batch; populates per-layer gradients and
+    /// returns the mean loss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layers or the loss.
+    pub fn forward_backward(&mut self, x: &Tensor, y: &[usize]) -> Result<f32, TensorError> {
+        let mut h = self.layers[0].forward(x)?;
+        for i in 1..self.layers.len() {
+            h = self.activations[i - 1].forward(&h);
+            h = self.layers[i].forward(&h)?;
+        }
+        let (loss, mut grad) = softmax_cross_entropy(&h, y)?;
+        for i in (1..self.layers.len()).rev() {
+            grad = self.layers[i].backward(&grad)?;
+            grad = self.activations[i - 1].backward(&grad)?;
+        }
+        self.layers[0].backward(&grad)?;
+        Ok(loss)
+    }
+
+    /// Run one epoch of minibatch SGD over `data`, shuffled with `seed`.
+    ///
+    /// Returns the mean training loss over all batches. Panics are avoided:
+    /// an empty dataset returns `0.0`.
+    pub fn train_epoch(
+        &mut self,
+        data: &Dataset,
+        batch_size: usize,
+        opt: &mut Sgd,
+        seed: u64,
+    ) -> f32 {
+        self.train_epoch_with(data, batch_size, opt, seed, &TrainOptions::default())
+    }
+
+    /// [`Mlp::train_epoch`] with acceleration hooks.
+    ///
+    /// - `opts.frozen[i] == true` keeps parameter `i` fixed (partial
+    ///   training).
+    /// - `opts.prune_mask[i] == false` forces parameter `i` to zero after
+    ///   every step (magnitude pruning keeps the model sparse during local
+    ///   training).
+    pub fn train_epoch_with(
+        &mut self,
+        data: &Dataset,
+        batch_size: usize,
+        opt: &mut Sgd,
+        seed: u64,
+        opts: &TrainOptions,
+    ) -> f32 {
+        if data.is_empty() || batch_size == 0 {
+            return 0.0;
+        }
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        order.shuffle(&mut seed_rng(seed));
+        let mut total = 0.0;
+        let mut batches = 0;
+        for chunk in order.chunks(batch_size) {
+            let batch = data.subset(chunk);
+            match self.forward_backward(batch.features(), batch.labels()) {
+                Ok(loss) => {
+                    total += loss;
+                    batches += 1;
+                }
+                Err(_) => continue,
+            }
+            let mut params = self.params();
+            let mut grads = self.grads();
+            if let Some(frozen) = &opts.frozen {
+                for (g, &f) in grads.iter_mut().zip(frozen) {
+                    if f {
+                        *g = 0.0;
+                    }
+                }
+            }
+            opt.step(&mut params, &grads);
+            if let Some(mask) = &opts.prune_mask {
+                for (p, &keep) in params.iter_mut().zip(mask) {
+                    if !keep {
+                        *p = 0.0;
+                    }
+                }
+            }
+            self.set_params(&params)
+                .expect("params buffer produced by self.params() always fits");
+        }
+        if batches == 0 {
+            0.0
+        } else {
+            total / batches as f32
+        }
+    }
+
+    /// Evaluate loss and accuracy on a dataset.
+    ///
+    /// An empty dataset yields zeroed metrics.
+    pub fn evaluate(&self, data: &Dataset) -> Evaluation {
+        if data.is_empty() {
+            return Evaluation {
+                loss: 0.0,
+                accuracy: 0.0,
+                samples: 0,
+            };
+        }
+        match self.forward_inference(data.features()) {
+            Ok(logits) => {
+                let (loss, _) = softmax_cross_entropy(&logits, data.labels())
+                    .unwrap_or((f32::INFINITY, Tensor::zeros(1, 1)));
+                Evaluation {
+                    loss,
+                    accuracy: accuracy(&logits, data.labels()),
+                    samples: data.len(),
+                }
+            }
+            Err(_) => Evaluation {
+                loss: f32::INFINITY,
+                accuracy: 0.0,
+                samples: data.len(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_like() -> Dataset {
+        // Linearly separable 2-class blobs.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        let mut rng = seed_rng(5);
+        use rand::Rng;
+        for _ in 0..128 {
+            let cls = rng.gen_range(0..2usize);
+            let center = if cls == 0 { -1.0 } else { 1.0 };
+            rows.push(vec![
+                center + rng.gen_range(-0.3..0.3),
+                center + rng.gen_range(-0.3..0.3),
+            ]);
+            labels.push(cls);
+        }
+        Dataset::from_rows(&rows, &labels, 2).unwrap()
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let cfg = MlpConfig::new(4, &[8, 8], 3);
+        let m = Mlp::new(&cfg, 11);
+        let p = m.params();
+        assert_eq!(p.len(), cfg.num_params());
+        let mut m2 = Mlp::new(&cfg, 99);
+        m2.set_params(&p).unwrap();
+        assert_eq!(m2.params(), p);
+    }
+
+    #[test]
+    fn set_params_rejects_wrong_length() {
+        let mut m = Mlp::new(&MlpConfig::new(2, &[4], 2), 1);
+        assert!(m.set_params(&[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn training_reduces_loss_and_learns() {
+        let data = xor_like();
+        let mut m = Mlp::new(&MlpConfig::new(2, &[8], 2), 3);
+        let before = m.evaluate(&data);
+        let mut opt = Sgd::new(0.2);
+        for e in 0..20 {
+            m.train_epoch(&data, 16, &mut opt, e);
+        }
+        let after = m.evaluate(&data);
+        assert!(after.loss < before.loss);
+        assert!(after.accuracy > 0.95, "accuracy {}", after.accuracy);
+    }
+
+    #[test]
+    fn frozen_params_do_not_move() {
+        let data = xor_like();
+        let cfg = MlpConfig::new(2, &[4], 2);
+        let mut m = Mlp::new(&cfg, 3);
+        let frozen = vec![true; cfg.num_params()];
+        let before = m.params();
+        let mut opt = Sgd::new(0.5);
+        m.train_epoch_with(
+            &data,
+            16,
+            &mut opt,
+            0,
+            &TrainOptions {
+                frozen: Some(frozen),
+                prune_mask: None,
+            },
+        );
+        assert_eq!(m.params(), before);
+    }
+
+    #[test]
+    fn prune_mask_keeps_params_zero() {
+        let data = xor_like();
+        let cfg = MlpConfig::new(2, &[4], 2);
+        let mut m = Mlp::new(&cfg, 3);
+        let n = cfg.num_params();
+        // Zero out the first half of parameters.
+        let mask: Vec<bool> = (0..n).map(|i| i >= n / 2).collect();
+        let mut opt = Sgd::new(0.2);
+        m.train_epoch_with(
+            &data,
+            16,
+            &mut opt,
+            0,
+            &TrainOptions {
+                prune_mask: Some(mask.clone()),
+                frozen: None,
+            },
+        );
+        let params = m.params();
+        for (i, (&p, &keep)) in params.iter().zip(&mask).enumerate() {
+            if !keep {
+                assert_eq!(p, 0.0, "pruned param {i} drifted to {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dataset_is_harmless() {
+        let cfg = MlpConfig::new(2, &[4], 2);
+        let mut m = Mlp::new(&cfg, 3);
+        let d = Dataset::from_rows(&[vec![0.0, 0.0]], &[0], 2).unwrap();
+        let sub = d.subset(&[]);
+        let mut opt = Sgd::new(0.1);
+        assert_eq!(m.train_epoch(&sub, 8, &mut opt, 0), 0.0);
+        assert_eq!(m.evaluate(&sub).samples, 0);
+    }
+}

@@ -1,0 +1,365 @@
+//! Row-major dense `f32` tensors with the handful of kernels the MLP
+//! substrate needs: matmul, transpose-matmul variants, elementwise ops,
+//! and reductions.
+
+use crate::TensorError;
+
+/// A row-major, 2-D dense `f32` tensor.
+///
+/// All model math in the reproduction is rank-2 (`[batch, features]` or
+/// `[in, out]` weight matrices); bias vectors are represented as `[1, n]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Create a tensor of zeros with the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create a tensor from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidData`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, TensorError> {
+        if data.len() != rows * cols {
+            return Err(TensorError::InvalidData(format!(
+                "buffer of length {} cannot fill a {}x{} tensor",
+                data.len(),
+                rows,
+                cols
+            )));
+        }
+        Ok(Tensor { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor (`row`, `col`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds (debug and release).
+    pub fn at(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Set element (`row`, `col`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, v: f32) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix multiplication `self (m×k) · rhs (k×n) → m×n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the inner dimensions
+    /// disagree.
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        if self.cols != rhs.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: vec![self.rows, self.cols],
+                rhs: vec![rhs.rows, rhs.cols],
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Tensor::zeros(m, n);
+        // i-k-j loop order keeps the inner loop streaming over contiguous
+        // memory in both `rhs` and `out`.
+        for i in 0..m {
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = &rhs.data[p * n..(p + 1) * n];
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for j in 0..n {
+                    orow[j] += a * rrow[j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `selfᵀ (k×m)ᵀ · rhs (m×n) → k×n` without materializing the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when row counts disagree.
+    pub fn t_matmul(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        if self.rows != rhs.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "t_matmul",
+                lhs: vec![self.rows, self.cols],
+                rhs: vec![rhs.rows, rhs.cols],
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Tensor::zeros(k, n);
+        for i in 0..m {
+            let lrow = &self.data[i * k..(i + 1) * k];
+            let rrow = &rhs.data[i * n..(i + 1) * n];
+            for p in 0..k {
+                let a = lrow[p];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[p * n..(p + 1) * n];
+                for j in 0..n {
+                    orow[j] += a * rrow[j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `self (m×k) · rhsᵀ (n×k)ᵀ → m×n` without materializing the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when column counts disagree.
+    pub fn matmul_t(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        if self.cols != rhs.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_t",
+                lhs: vec![self.rows, self.cols],
+                rhs: vec![rhs.rows, rhs.cols],
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
+        let mut out = Tensor::zeros(m, n);
+        for i in 0..m {
+            let lrow = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let rrow = &rhs.data[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += lrow[p] * rrow[p];
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Materialized transpose.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// In-place elementwise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes disagree.
+    pub fn add_assign(&mut self, rhs: &Tensor) -> Result<(), TensorError> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "add_assign",
+                lhs: vec![self.rows, self.cols],
+                rhs: vec![rhs.rows, rhs.cols],
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Add a `[1, cols]` bias row to every row of the tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `bias` is not `[1, cols]`.
+    pub fn add_row_broadcast(&mut self, bias: &Tensor) -> Result<(), TensorError> {
+        if bias.rows != 1 || bias.cols != self.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "add_row_broadcast",
+                lhs: vec![self.rows, self.cols],
+                rhs: vec![bias.rows, bias.cols],
+            });
+        }
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (a, b) in row.iter_mut().zip(&bias.data) {
+                *a += b;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sum over rows, producing a `[1, cols]` tensor (used for bias grads).
+    pub fn sum_rows(&self) -> Tensor {
+        let mut out = Tensor::zeros(1, self.cols);
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, v) in out.data.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Scale every element in place.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Index of the maximum element in each row.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        (0..self.rows)
+            .map(|r| {
+                let row = self.row(r);
+                row.iter()
+                    .enumerate()
+                    .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                        if v > bv {
+                            (i, v)
+                        } else {
+                            (bi, bv)
+                        }
+                    })
+                    .0
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: usize, cols: usize, v: &[f32]) -> Tensor {
+        Tensor::from_vec(rows, cols, v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = t(2, 3, &[0.0; 6]);
+        let b = t(2, 3, &[0.0; 6]);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::ShapeMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = t(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(3, 2, &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let fused = a.t_matmul(&b).unwrap();
+        let explicit = a.transpose().matmul(&b).unwrap();
+        assert_eq!(fused, explicit);
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(4, 3, &[1.0; 12]);
+        let fused = a.matmul_t(&b).unwrap();
+        let explicit = a.matmul(&b.transpose()).unwrap();
+        assert_eq!(fused, explicit);
+    }
+
+    #[test]
+    fn broadcast_bias() {
+        let mut a = Tensor::zeros(2, 3);
+        let bias = t(1, 3, &[1.0, 2.0, 3.0]);
+        a.add_row_broadcast(&bias).unwrap();
+        assert_eq!(a.data(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn sum_rows_collapses() {
+        let a = t(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let s = a.sum_rows();
+        assert_eq!(s.data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_peak() {
+        let a = t(2, 3, &[0.1, 0.9, 0.0, 0.5, 0.2, 0.8]);
+        assert_eq!(a.argmax_rows(), vec![1, 2]);
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(Tensor::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Client availability and battery model.
+//!
+//! Stands in for the large-scale smartphone availability trace (Yang et
+//! al.): devices follow a diurnal on/off pattern (charging + idle +
+//! on-WiFi periods are when FL participation is allowed), with
+//! heterogeneous phases and duty cycles, plus an energy budget that
+//! training depletes and charging refills. Availability here is *not* a
+//! fixed linear window — it is the superposition of the diurnal cycle,
+//! random short interruptions, and the battery state, matching the paper's
+//! argument (§3, §4.1) that fixed-window availability (REFL's assumption)
+//! is unrealistic.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use float_tensor::rng::{seed_rng, split_seed};
+
+/// Number of simulator rounds we map onto one simulated "day" for the
+/// diurnal cycle. The paper's runs are 300 rounds ≈ a few days.
+pub const ROUNDS_PER_DAY: usize = 96;
+
+/// Battery state of one client.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatteryState {
+    /// Remaining energy, joule-equivalents.
+    pub remaining_j: f64,
+    /// Capacity, joule-equivalents.
+    pub capacity_j: f64,
+}
+
+impl BatteryState {
+    /// Fresh full battery.
+    pub fn full(capacity_j: f64) -> Self {
+        BatteryState {
+            remaining_j: capacity_j,
+            capacity_j,
+        }
+    }
+
+    /// Fraction of charge remaining in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        if self.capacity_j <= 0.0 {
+            0.0
+        } else {
+            (self.remaining_j / self.capacity_j).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Drain `joules`; saturates at zero.
+    pub fn drain(&mut self, joules: f64) {
+        self.remaining_j = (self.remaining_j - joules.max(0.0)).max(0.0);
+    }
+
+    /// Recharge `joules`; saturates at capacity.
+    pub fn charge(&mut self, joules: f64) {
+        self.remaining_j = (self.remaining_j + joules.max(0.0)).min(self.capacity_j);
+    }
+
+    /// A device below 15% charge refuses FL work (OS power policy).
+    pub fn allows_training(&self) -> bool {
+        self.fraction() >= 0.15
+    }
+}
+
+/// Per-client diurnal availability model.
+#[derive(Debug, Clone)]
+pub struct AvailabilityModel {
+    seed: u64,
+    /// Phase offset in rounds within the day.
+    phase: usize,
+    /// Fraction of the day the client is available (duty cycle).
+    duty: f64,
+    /// Probability of a short random interruption in an otherwise-available
+    /// round (user picks up the phone, app eviction, …).
+    interruption_p: f64,
+}
+
+impl AvailabilityModel {
+    /// Build the model for one client from a seed.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = seed_rng(split_seed(seed, 0xA7A));
+        AvailabilityModel {
+            seed,
+            phase: rng.gen_range(0..ROUNDS_PER_DAY),
+            duty: rng.gen_range(0.35..0.85),
+            interruption_p: rng.gen_range(0.02..0.12),
+        }
+    }
+
+    /// Whether the diurnal cycle marks this client available in `round`
+    /// (before battery and interruption effects).
+    pub fn diurnal_available(&self, round: usize) -> bool {
+        let pos = (round + self.phase) % ROUNDS_PER_DAY;
+        (pos as f64) < self.duty * ROUNDS_PER_DAY as f64
+    }
+
+    /// Whether the client is available in `round`, combining the diurnal
+    /// cycle with random interruptions. Battery gating is applied by the
+    /// caller, which owns the [`BatteryState`].
+    pub fn available(&self, round: usize) -> bool {
+        if !self.diurnal_available(round) {
+            return false;
+        }
+        let mut rng = seed_rng(split_seed(self.seed, 0xB00 + round as u64));
+        rng.gen::<f64>() >= self.interruption_p
+    }
+
+    /// Duty cycle of this client.
+    pub fn duty(&self) -> f64 {
+        self.duty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn availability_is_deterministic() {
+        let a = AvailabilityModel::new(5);
+        let b = AvailabilityModel::new(5);
+        for r in 0..200 {
+            assert_eq!(a.available(r), b.available(r));
+        }
+    }
+
+    #[test]
+    fn duty_cycle_is_respected() {
+        let m = AvailabilityModel::new(9);
+        let avail = (0..ROUNDS_PER_DAY * 10)
+            .filter(|&r| m.diurnal_available(r))
+            .count() as f64
+            / (ROUNDS_PER_DAY * 10) as f64;
+        assert!(
+            (avail - m.duty()).abs() < 0.05,
+            "measured {avail} vs duty {}",
+            m.duty()
+        );
+    }
+
+    #[test]
+    fn interruptions_reduce_availability() {
+        let m = AvailabilityModel::new(2);
+        let diurnal = (0..2000).filter(|&r| m.diurnal_available(r)).count();
+        let actual = (0..2000).filter(|&r| m.available(r)).count();
+        assert!(actual < diurnal);
+        assert!(actual > diurnal / 2);
+    }
+
+    #[test]
+    fn phases_differ_across_clients() {
+        let phases: Vec<usize> = (0..20).map(|i| AvailabilityModel::new(i).phase).collect();
+        let mut uniq = phases.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() > 5, "phases collapsed: {phases:?}");
+    }
+
+    #[test]
+    fn battery_gates_training() {
+        let mut b = BatteryState::full(1000.0);
+        assert!(b.allows_training());
+        b.drain(900.0);
+        assert!(!b.allows_training());
+        b.charge(500.0);
+        assert!(b.allows_training());
+    }
+
+    #[test]
+    fn battery_saturates() {
+        let mut b = BatteryState::full(100.0);
+        b.charge(1000.0);
+        assert_eq!(b.remaining_j, 100.0);
+        b.drain(1e9);
+        assert_eq!(b.remaining_j, 0.0);
+        assert_eq!(b.fraction(), 0.0);
+    }
+}

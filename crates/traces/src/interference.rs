@@ -1,0 +1,234 @@
+//! Co-located application interference models (paper §4.3, Fig. 4).
+//!
+//! The paper evaluates three resource scenarios:
+//!
+//! 1. **No interference** — all client resources are dedicated to FL.
+//! 2. **Static on-device interference** — high-priority applications
+//!    permanently reserve a fixed share of CPU / memory / network.
+//! 3. **Dynamic on-device interference** — concurrent applications consume
+//!    time-varying shares, so the fraction left for FL fluctuates round to
+//!    round. This is the realistic scenario the evaluation focuses on.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use float_tensor::rng::{seed_rng, split_seed};
+
+/// Which interference scenario a simulation runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InterferenceModel {
+    /// Scenario 1: resources fully available for FL.
+    None,
+    /// Scenario 2: co-located apps permanently hold fixed resource shares.
+    Static {
+        /// Fraction of CPU reserved by other apps, `[0, 1)`.
+        cpu_reserved: f64,
+        /// Fraction of memory reserved by other apps, `[0, 1)`.
+        mem_reserved: f64,
+        /// Fraction of network reserved by other apps, `[0, 1)`.
+        net_reserved: f64,
+    },
+    /// Scenario 3: time-varying consumption by concurrent apps.
+    Dynamic {
+        /// Mean fraction of each resource consumed by other apps.
+        mean_load: f64,
+        /// Burstiness of the load process in `[0, 1]`: 0 ⇒ constant at the
+        /// mean, 1 ⇒ wild swings between idle and saturated.
+        burstiness: f64,
+    },
+    /// An unstable-network scenario (paper Fig. 10c): CPU and memory stay
+    /// fully available while the network fluctuates wildly. Used to show
+    /// that partial training (which does not shrink communication)
+    /// underperforms when the network is the bottleneck.
+    NetworkOnly {
+        /// Mean fraction of network capacity consumed by other traffic.
+        mean_load: f64,
+        /// Burstiness of the network load in `[0, 1]`.
+        burstiness: f64,
+    },
+}
+
+impl InterferenceModel {
+    /// The paper's static scenario with its default reservations.
+    pub fn paper_static() -> Self {
+        InterferenceModel::Static {
+            cpu_reserved: 0.5,
+            mem_reserved: 0.4,
+            net_reserved: 0.5,
+        }
+    }
+
+    /// The paper's dynamic scenario defaults.
+    pub fn paper_dynamic() -> Self {
+        InterferenceModel::Dynamic {
+            mean_load: 0.45,
+            burstiness: 0.8,
+        }
+    }
+
+    /// The Fig. 10c unstable-network scenario defaults.
+    pub fn unstable_network() -> Self {
+        InterferenceModel::NetworkOnly {
+            mean_load: 0.6,
+            burstiness: 1.0,
+        }
+    }
+
+    /// Fractions of (cpu, memory, network) *available to FL* for client
+    /// `client` during `round`, each in `[0, 1]`.
+    ///
+    /// Deterministic in `(self, seed, client, round)`.
+    pub fn available_fractions(&self, seed: u64, client: usize, round: usize) -> (f64, f64, f64) {
+        match *self {
+            InterferenceModel::None => (1.0, 1.0, 1.0),
+            InterferenceModel::Static {
+                cpu_reserved,
+                mem_reserved,
+                net_reserved,
+            } => (
+                (1.0 - cpu_reserved).clamp(0.0, 1.0),
+                (1.0 - mem_reserved).clamp(0.0, 1.0),
+                (1.0 - net_reserved).clamp(0.0, 1.0),
+            ),
+            InterferenceModel::NetworkOnly {
+                mean_load,
+                burstiness,
+            } => {
+                let stream = (client as u64) << 24 | round as u64;
+                let mut rng = seed_rng(split_seed(seed, stream ^ 0x4E7));
+                let phase = split_seed(seed, client as u64 ^ (7 << 40)) % 97;
+                let slow = ((round as f64 / 6.0) + phase as f64).sin() * 0.5 + 0.5;
+                let noise: f64 = rng.gen();
+                let load =
+                    mean_load + burstiness * 0.5 * (slow - 0.5) + burstiness * 0.45 * (noise - 0.5);
+                (1.0, 1.0, (1.0 - load).clamp(0.02, 1.0))
+            }
+            InterferenceModel::Dynamic {
+                mean_load,
+                burstiness,
+            } => {
+                let stream = (client as u64) << 24 | round as u64;
+                let mut rng = seed_rng(split_seed(seed, stream));
+                // Each resource gets an independent load draw centered on
+                // mean_load with spread controlled by burstiness, plus a
+                // slow per-client sinusoidal drift so loads are correlated
+                // in time (apps run for a while, then stop).
+                let mut draw = |k: u64| -> f64 {
+                    let phase = split_seed(seed, client as u64 ^ (k << 40)) % 97;
+                    let slow = ((round as f64 / 9.0) + phase as f64).sin() * 0.5 + 0.5;
+                    let noise: f64 = rng.gen();
+                    let load = mean_load
+                        + burstiness * 0.5 * (slow - 0.5)
+                        + burstiness * 0.45 * (noise - 0.5);
+                    (1.0 - load).clamp(0.02, 1.0)
+                };
+                (draw(1), draw(2), draw(3))
+            }
+        }
+    }
+
+    /// Human-readable scenario name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InterferenceModel::None => "no-interference",
+            InterferenceModel::Static { .. } => "static-interference",
+            InterferenceModel::Dynamic { .. } => "dynamic-interference",
+            InterferenceModel::NetworkOnly { .. } => "unstable-network",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_leaves_everything() {
+        let m = InterferenceModel::None;
+        assert_eq!(m.available_fractions(1, 0, 0), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn static_is_constant_over_time() {
+        let m = InterferenceModel::paper_static();
+        let a = m.available_fractions(1, 3, 0);
+        let b = m.available_fractions(1, 3, 250);
+        assert_eq!(a, b);
+        assert!(a.0 < 1.0 && a.2 < 1.0);
+    }
+
+    #[test]
+    fn dynamic_varies_over_time() {
+        let m = InterferenceModel::paper_dynamic();
+        let series: Vec<f64> = (0..100).map(|r| m.available_fractions(1, 3, r).0).collect();
+        let mean = series.iter().sum::<f64>() / series.len() as f64;
+        let var = series.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / series.len() as f64;
+        assert!(var > 1e-3, "dynamic interference not varying: var {var}");
+    }
+
+    #[test]
+    fn dynamic_is_deterministic() {
+        let m = InterferenceModel::paper_dynamic();
+        assert_eq!(
+            m.available_fractions(7, 11, 42),
+            m.available_fractions(7, 11, 42)
+        );
+    }
+
+    #[test]
+    fn fractions_stay_in_bounds() {
+        let m = InterferenceModel::Dynamic {
+            mean_load: 0.9,
+            burstiness: 1.0,
+        };
+        for c in 0..20 {
+            for r in 0..50 {
+                let (cpu, mem, net) = m.available_fractions(3, c, r);
+                for v in [cpu, mem, net] {
+                    assert!((0.0..=1.0).contains(&v), "fraction {v} out of range");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn network_only_leaves_cpu_and_memory() {
+        let m = InterferenceModel::unstable_network();
+        let mut saw_variation = false;
+        let mut prev = None;
+        for r in 0..50 {
+            let (cpu, mem, net) = m.available_fractions(3, 1, r);
+            assert_eq!(cpu, 1.0);
+            assert_eq!(mem, 1.0);
+            assert!((0.0..=1.0).contains(&net));
+            if let Some(p) = prev {
+                if (net - p as f64).abs() > 1e-6 {
+                    saw_variation = true;
+                }
+            }
+            prev = Some(net);
+        }
+        assert!(saw_variation, "network fraction never varied");
+    }
+
+    #[test]
+    fn mean_availability_tracks_mean_load() {
+        let m = InterferenceModel::Dynamic {
+            mean_load: 0.3,
+            burstiness: 0.5,
+        };
+        let mut acc = 0.0;
+        let mut n = 0;
+        for c in 0..30 {
+            for r in 0..100 {
+                acc += m.available_fractions(5, c, r).0;
+                n += 1;
+            }
+        }
+        let mean = acc / n as f64;
+        assert!(
+            (mean - 0.7).abs() < 0.1,
+            "mean availability {mean} far from 0.7"
+        );
+    }
+}

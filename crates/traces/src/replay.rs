@@ -1,0 +1,221 @@
+//! Replay of externally measured traces.
+//!
+//! The synthetic generators in this crate are statistical stand-ins for
+//! the paper's measured traces. Deployments that *have* real measurements
+//! (e.g. the 4G/5G bandwidth CSVs from Narayanan et al., or FedScale's
+//! `device_info` files) can replay them through [`ReplayTrace`], which
+//! plugs into the same per-round query interface as the generators.
+//!
+//! The format is deliberately minimal and dependency-free: one `f64`
+//! sample per line, `#`-prefixed comments and blank lines ignored. A
+//! trace shorter than the simulation wraps around (the standard FedScale
+//! convention) — real traces are much shorter than a 300-round run.
+
+use serde::{Deserialize, Serialize};
+
+/// A replayable series of measured samples (bandwidth in Mbit/s, compute
+/// in GFLOP/s, availability as 0/1 — the interpretation belongs to the
+/// caller).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayTrace {
+    samples: Vec<f64>,
+}
+
+/// Errors from trace parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The input contained no usable samples.
+    Empty,
+    /// A line failed to parse as a float.
+    BadSample {
+        /// 1-based line number.
+        line: usize,
+        /// Offending text.
+        text: String,
+    },
+    /// A sample was not finite or was negative.
+    InvalidValue {
+        /// 1-based line number.
+        line: usize,
+        /// Parsed value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Empty => write!(f, "trace contains no samples"),
+            TraceError::BadSample { line, text } => {
+                write!(f, "line {line}: cannot parse {text:?} as a number")
+            }
+            TraceError::InvalidValue { line, value } => {
+                write!(f, "line {line}: invalid sample {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl ReplayTrace {
+    /// Build a trace from samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Empty`] for empty input and
+    /// [`TraceError::InvalidValue`] for non-finite or negative samples.
+    pub fn new(samples: Vec<f64>) -> Result<Self, TraceError> {
+        if samples.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        for (i, &v) in samples.iter().enumerate() {
+            if !v.is_finite() || v < 0.0 {
+                return Err(TraceError::InvalidValue {
+                    line: i + 1,
+                    value: v,
+                });
+            }
+        }
+        Ok(ReplayTrace { samples })
+    }
+
+    /// Parse the one-sample-per-line text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] naming the offending line.
+    pub fn parse(text: &str) -> Result<Self, TraceError> {
+        let mut samples = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            // Accept an optional CSV-ish "timestamp,value" form by taking
+            // the last comma-separated field.
+            let field = line.rsplit(',').next().unwrap_or(line).trim();
+            let v: f64 = field.parse().map_err(|_| TraceError::BadSample {
+                line: i + 1,
+                text: line.to_string(),
+            })?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(TraceError::InvalidValue {
+                    line: i + 1,
+                    value: v,
+                });
+            }
+            samples.push(v);
+        }
+        ReplayTrace::new(samples)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sample at `round`, wrapping past the end.
+    pub fn at(&self, round: usize) -> f64 {
+        self.samples[round % self.samples.len()]
+    }
+
+    /// Start the replay at an offset (per-client phase shifting, so a
+    /// fleet replaying one measured trace does not move in lockstep).
+    pub fn with_phase(&self, phase: usize) -> PhasedReplay<'_> {
+        PhasedReplay { trace: self, phase }
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> f64 {
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+/// A phase-shifted view of a [`ReplayTrace`].
+#[derive(Debug, Clone, Copy)]
+pub struct PhasedReplay<'a> {
+    trace: &'a ReplayTrace,
+    phase: usize,
+}
+
+impl PhasedReplay<'_> {
+    /// Sample at `round` with the phase offset applied.
+    pub fn at(&self, round: usize) -> f64 {
+        self.trace.at(round.wrapping_add(self.phase))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_plain_and_csv_lines() {
+        let t = ReplayTrace::parse("# bandwidth Mbps\n12.5\n\n 7.25 \n1699999999,3.5\n")
+            .expect("valid trace");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.at(0), 12.5);
+        assert_eq!(t.at(1), 7.25);
+        assert_eq!(t.at(2), 3.5);
+    }
+
+    #[test]
+    fn replay_wraps_around() {
+        let t = ReplayTrace::new(vec![1.0, 2.0, 3.0]).expect("valid");
+        assert_eq!(t.at(3), 1.0);
+        assert_eq!(t.at(7), 2.0);
+    }
+
+    #[test]
+    fn phase_shifts_the_series() {
+        let t = ReplayTrace::new(vec![1.0, 2.0, 3.0]).expect("valid");
+        let p = t.with_phase(2);
+        assert_eq!(p.at(0), 3.0);
+        assert_eq!(p.at(1), 1.0);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(
+            ReplayTrace::parse("# only comments\n"),
+            Err(TraceError::Empty)
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_with_line_number() {
+        let err = ReplayTrace::parse("1.0\nnot-a-number\n").unwrap_err();
+        assert!(
+            matches!(err, TraceError::BadSample { line: 2, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_negative_and_nan() {
+        assert!(matches!(
+            ReplayTrace::parse("1.0\n-3.0\n"),
+            Err(TraceError::InvalidValue { line: 2, .. })
+        ));
+        assert!(ReplayTrace::new(vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn mean_is_sane() {
+        let t = ReplayTrace::new(vec![1.0, 3.0]).expect("valid");
+        assert!((t.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_display_usefully() {
+        let err = ReplayTrace::parse("x\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "{msg}");
+    }
+}

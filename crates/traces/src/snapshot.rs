@@ -1,0 +1,225 @@
+//! The per-client, per-round resource snapshot — the single structure the
+//! simulator executes against and the RLHF agent observes.
+
+use serde::{Deserialize, Serialize};
+
+use float_tensor::rng::split_seed;
+
+use crate::availability::{AvailabilityModel, BatteryState};
+use crate::compute::{DevicePopulation, DeviceProfile};
+use crate::interference::InterferenceModel;
+use crate::network::{Mobility, NetworkGen, NetworkProfile};
+
+/// Everything the simulator needs to know about one client's resources in
+/// one round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceSnapshot {
+    /// Whether the client is reachable at all this round (diurnal cycle,
+    /// interruptions, battery policy).
+    pub available: bool,
+    /// Training throughput usable by FL this round, GFLOP/s
+    /// (device capability × CPU fraction left by interference).
+    pub effective_gflops: f64,
+    /// Link bandwidth usable by FL this round, Mbit/s.
+    pub effective_mbps: f64,
+    /// Memory available to FL this round, bytes.
+    pub effective_memory_bytes: f64,
+    /// Fraction of CPU available to FL, `[0, 1]`.
+    pub cpu_fraction: f64,
+    /// Fraction of memory available to FL, `[0, 1]`.
+    pub mem_fraction: f64,
+    /// Fraction of nominal network capacity available to FL, `[0, 1]`.
+    pub net_fraction: f64,
+    /// Battery charge fraction, `[0, 1]`.
+    pub battery_fraction: f64,
+}
+
+/// Per-client trace bundle: device profile, network generator, availability
+/// model, battery.
+#[derive(Debug, Clone)]
+pub struct ClientTraces {
+    /// Static capability profile.
+    pub profile: DeviceProfile,
+    /// Bandwidth process.
+    pub network: NetworkGen,
+    /// Diurnal availability model.
+    pub availability: AvailabilityModel,
+    /// Mutable battery state.
+    pub battery: BatteryState,
+}
+
+/// Deterministic factory producing [`ResourceSnapshot`]s for a population
+/// of clients under an [`InterferenceModel`].
+#[derive(Debug, Clone)]
+pub struct ResourceSampler {
+    clients: Vec<ClientTraces>,
+    interference: InterferenceModel,
+    seed: u64,
+}
+
+impl ResourceSampler {
+    /// Build a sampler for `n` clients.
+    ///
+    /// Network profiles are assigned 60% 4G / 40% 5G with mixed mobility,
+    /// mirroring the mix in the paper's trace set.
+    pub fn new(n: usize, interference: InterferenceModel, seed: u64) -> Self {
+        let population = DevicePopulation::generate(n, split_seed(seed, 0xDE7));
+        let clients = (0..n)
+            .map(|i| {
+                let s = split_seed(seed, 0x1000 + i as u64);
+                let profile = *population.device(i);
+                let net_profile = if s % 10 < 6 {
+                    NetworkProfile::FourG
+                } else {
+                    NetworkProfile::FiveG
+                };
+                let mobility = match s % 3 {
+                    0 => Mobility::Stationary,
+                    1 => Mobility::Walking,
+                    _ => Mobility::Driving,
+                };
+                ClientTraces {
+                    profile,
+                    network: NetworkGen::new(net_profile, mobility, split_seed(s, 1)),
+                    availability: AvailabilityModel::new(split_seed(s, 2)),
+                    battery: BatteryState::full(profile.battery_j),
+                }
+            })
+            .collect();
+        ResourceSampler {
+            clients,
+            interference,
+            seed,
+        }
+    }
+
+    /// Number of clients.
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The interference model in force.
+    pub fn interference(&self) -> InterferenceModel {
+        self.interference
+    }
+
+    /// Immutable access to a client's trace bundle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range.
+    pub fn client(&self, client: usize) -> &ClientTraces {
+        &self.clients[client]
+    }
+
+    /// Drain a client's battery by `joules` (after it trains/communicates)
+    /// and trickle-charge everyone else. Called once per round by the
+    /// simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range.
+    pub fn drain_battery(&mut self, client: usize, joules: f64) {
+        self.clients[client].battery.drain(joules);
+    }
+
+    /// Trickle-charge every client's battery by a round's worth of charging
+    /// (clients spend much of the diurnal cycle on power).
+    pub fn charge_all(&mut self) {
+        for c in &mut self.clients {
+            let rate = c.battery.capacity_j * 0.02;
+            c.battery.charge(rate);
+        }
+    }
+
+    /// Snapshot client `client` at `round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range.
+    pub fn snapshot(&mut self, client: usize, round: usize) -> ResourceSnapshot {
+        let (cpu_f, mem_f, net_f) =
+            self.interference
+                .available_fractions(split_seed(self.seed, 0x1F), client, round);
+        let ct = &mut self.clients[client];
+        let nominal_mbps = ct.network.bandwidth_mbps(round);
+        let battery_ok = ct.battery.allows_training();
+        let avail = ct.availability.available(round) && battery_ok;
+        ResourceSnapshot {
+            available: avail,
+            effective_gflops: ct.profile.gflops * cpu_f,
+            effective_mbps: nominal_mbps * net_f,
+            effective_memory_bytes: ct.profile.memory_bytes as f64 * mem_f,
+            cpu_fraction: cpu_f,
+            mem_fraction: mem_f,
+            net_fraction: net_f,
+            battery_fraction: ct.battery.fraction(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_are_deterministic() {
+        let mut a = ResourceSampler::new(10, InterferenceModel::paper_dynamic(), 9);
+        let mut b = ResourceSampler::new(10, InterferenceModel::paper_dynamic(), 9);
+        for c in 0..10 {
+            for r in [0usize, 5, 50] {
+                assert_eq!(a.snapshot(c, r), b.snapshot(c, r));
+            }
+        }
+    }
+
+    #[test]
+    fn no_interference_keeps_full_fractions() {
+        let mut s = ResourceSampler::new(5, InterferenceModel::None, 2);
+        let snap = s.snapshot(0, 0);
+        assert_eq!(snap.cpu_fraction, 1.0);
+        assert_eq!(snap.net_fraction, 1.0);
+        assert_eq!(snap.mem_fraction, 1.0);
+    }
+
+    #[test]
+    fn interference_reduces_effective_resources() {
+        let mut free = ResourceSampler::new(20, InterferenceModel::None, 4);
+        let mut busy = ResourceSampler::new(20, InterferenceModel::paper_static(), 4);
+        for c in 0..20 {
+            let f = free.snapshot(c, 0);
+            let b = busy.snapshot(c, 0);
+            assert!(b.effective_gflops < f.effective_gflops);
+            assert!(b.effective_mbps <= f.effective_mbps);
+        }
+    }
+
+    #[test]
+    fn empty_battery_blocks_availability() {
+        let mut s = ResourceSampler::new(3, InterferenceModel::None, 6);
+        let cap = s.client(1).battery.capacity_j;
+        s.drain_battery(1, cap);
+        // Find a round where the diurnal model would allow participation.
+        let mut checked = false;
+        for r in 0..200 {
+            if s.client(1).availability.available(r) {
+                assert!(!s.snapshot(1, r).available, "round {r} should be blocked");
+                checked = true;
+                break;
+            }
+        }
+        assert!(checked, "no diurnal-available round found");
+    }
+
+    #[test]
+    fn charging_restores_training() {
+        let mut s = ResourceSampler::new(2, InterferenceModel::None, 3);
+        let cap = s.client(0).battery.capacity_j;
+        s.drain_battery(0, cap);
+        assert!(!s.client(0).battery.allows_training());
+        for _ in 0..10 {
+            s.charge_all();
+        }
+        assert!(s.client(0).battery.allows_training());
+    }
+}

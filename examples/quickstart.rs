@@ -1,0 +1,72 @@
+//! Quickstart: run one small FLOAT experiment and print the report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use float::core::{AccelMode, Experiment, ExperimentConfig, SelectorChoice};
+
+fn main() {
+    // A small, fast configuration: 40 clients, 10 per round, dynamic
+    // on-device interference, FedAvg selection with full FLOAT (RLHF)
+    // acceleration on top.
+    let rounds = 30;
+    let config = ExperimentConfig::small(SelectorChoice::FedAvg, AccelMode::Rlhf, rounds);
+    println!(
+        "running {} rounds of {} on task '{}' ({} clients, {} per round)…",
+        rounds,
+        config.accel.name(),
+        config.task.name(),
+        config.num_clients,
+        config.cohort_size,
+    );
+
+    let report = Experiment::new(config).expect("config validates").run();
+
+    println!("\n=== {} ===", report.label);
+    println!(
+        "accuracy: top10% {:.3}  mean {:.3}  bottom10% {:.3}",
+        report.accuracy.top10, report.accuracy.mean, report.accuracy.bottom10
+    );
+    println!(
+        "participation: {} completions, {} dropouts ({} clients never completed)",
+        report.total_completions,
+        report.total_dropouts,
+        report.never_completed()
+    );
+    let r = &report.resources;
+    println!(
+        "resources: {:.1} compute-h ({:.1} wasted), {:.1} comm-h ({:.1} wasted), {:.2} TB ({:.2} wasted)",
+        r.total_compute_h(),
+        r.wasted_compute_h,
+        r.total_comm_h(),
+        r.wasted_comm_h,
+        r.total_memory_tb(),
+        r.wasted_memory_tb,
+    );
+    println!("virtual wall-clock: {:.1} h", report.wall_clock_h);
+
+    println!("\nacceleration technique outcomes:");
+    let mut names: Vec<&String> = report.technique_stats.keys().collect();
+    names.sort();
+    for name in names {
+        let t = report.technique_stats[name];
+        println!(
+            "  {name:<10} {:>4} ok / {:>4} failed ({:.0}% success)",
+            t.successes,
+            t.failures,
+            t.success_rate() * 100.0
+        );
+    }
+
+    println!("\nper-round trace (evaluation rounds only):");
+    for rec in report.rounds.iter().filter(|r| r.mean_accuracy.is_some()) {
+        println!(
+            "  round {:>3}: {}/{} completed, mean accuracy {:.3}",
+            rec.round,
+            rec.completed,
+            rec.selected,
+            rec.mean_accuracy.unwrap_or(0.0),
+        );
+    }
+}

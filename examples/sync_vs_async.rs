@@ -1,0 +1,45 @@
+//! Synchronous vs asynchronous FL: the Fig. 2b trade-off.
+//!
+//! Runs FedAvg (synchronous) and FedBuff (asynchronous, buffered) with
+//! and without FLOAT, and contrasts wall-clock time against total resource
+//! consumption — reproducing the paper's observation that async FL is
+//! several times faster in wall-clock but burns far more client
+//! resources, and that FLOAT narrows the waste on both.
+//!
+//! ```text
+//! cargo run --release --example sync_vs_async
+//! ```
+
+use float::core::{AccelMode, Experiment, ExperimentConfig, SelectorChoice};
+
+fn main() {
+    let runs = [
+        ("fedavg (sync)", SelectorChoice::FedAvg, AccelMode::Off),
+        ("fedavg + FLOAT", SelectorChoice::FedAvg, AccelMode::Rlhf),
+        ("fedbuff (async)", SelectorChoice::FedBuff, AccelMode::Off),
+        ("fedbuff + FLOAT", SelectorChoice::FedBuff, AccelMode::Rlhf),
+    ];
+
+    println!(
+        "{:<16} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "run", "wall-h", "compute-h", "comm-h", "accuracy", "dropouts"
+    );
+    for (label, sel, accel) in runs {
+        let cfg = ExperimentConfig::small(sel, accel, 25);
+        let report = Experiment::new(cfg).expect("config validates").run();
+        println!(
+            "{:<16} {:>8.2} {:>10.1} {:>10.2} {:>10.3} {:>10}",
+            label,
+            report.wall_clock_h,
+            report.resources.total_compute_h(),
+            report.resources.total_comm_h(),
+            report.accuracy.mean,
+            report.total_dropouts,
+        );
+    }
+    println!(
+        "\nTakeaway: FedBuff finishes its aggregations in a fraction of the\n\
+         synchronous wall-clock but consumes more client resources via\n\
+         over-selection; FLOAT trims dropouts and waste in both regimes."
+    );
+}

@@ -1,0 +1,62 @@
+//! Replaying externally measured traces through the simulator's
+//! interfaces.
+//!
+//! The built-in generators are statistical stand-ins for the paper's
+//! measured 4G/5G traces. When real measurements exist (one sample per
+//! line, optionally `timestamp,value` CSV), [`ReplayTrace`] replays them
+//! with per-client phase shifts. This example writes a small synthetic
+//! "measured" trace to a temp file, loads it back, and compares the
+//! replayed series against the built-in Markov generator.
+//!
+//! ```text
+//! cargo run --release --example trace_replay
+//! ```
+
+use float::traces::network::bandwidth_stats;
+use float::traces::{Mobility, NetworkGen, NetworkProfile, ReplayTrace};
+
+fn main() {
+    // A "measured" 4G trace: drives through a tunnel around sample 12.
+    let measured = "\
+# bandwidth, Mbit/s, 1 sample per round
+24.1\n22.8\n25.3\n21.9\n26.7\n23.4\n20.1\n24.8\n22.2\n25.9\n\
+18.4\n6.2\n0.8\n0.4\n1.1\n7.9\n16.3\n21.7\n23.9\n24.6\n";
+    let path = std::env::temp_dir().join("float_demo_trace.csv");
+    std::fs::write(&path, measured).expect("temp file writable");
+
+    let text = std::fs::read_to_string(&path).expect("temp file readable");
+    let trace = ReplayTrace::parse(&text).expect("trace parses");
+    println!(
+        "loaded {} samples from {} (mean {:.1} Mbit/s)",
+        trace.len(),
+        path.display(),
+        trace.mean()
+    );
+
+    // Per-client phase shifts stop a replayed fleet from moving in
+    // lockstep: client k starts k*3 samples into the recording.
+    println!("\nfirst 8 rounds of three phase-shifted replays:");
+    for client in 0..3 {
+        let replay = trace.with_phase(client * 3);
+        let series: Vec<String> = (0..8).map(|r| format!("{:5.1}", replay.at(r))).collect();
+        println!("  client {client}: {}", series.join(" "));
+    }
+
+    // Side-by-side with the built-in generator's statistics.
+    let mut synthetic = NetworkGen::new(NetworkProfile::FourG, Mobility::Driving, 7);
+    let stats = bandwidth_stats(&mut synthetic, 2000);
+    println!(
+        "\nbuilt-in 4G driving generator over 2000 rounds: mean {:.1} Mbit/s, cv {:.2}",
+        stats.mean, stats.cv
+    );
+    println!(
+        "replayed measured trace:                        mean {:.1} Mbit/s",
+        trace.mean()
+    );
+    println!(
+        "\nTakeaway: anything that yields one bandwidth sample per round can\n\
+         drive the simulator — swap the synthetic generators for your own\n\
+         measurements without touching the FL logic."
+    );
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,81 @@
+//! Vertical FL with FLOAT-style per-party acceleration (the paper's §7
+//! "FLOAT for non-horizontal FL" claim).
+//!
+//! Three parties hold disjoint feature blocks of the same samples. Every
+//! batch is a synchronous barrier over all parties, so the slowest party
+//! gates the round. We simulate one network-constrained party, price each
+//! acceleration for it, and show (a) embedding quantization — not pruning
+//! — relieves a VFL communication bottleneck, and (b) training still
+//! converges with the acceleration applied.
+//!
+//! ```text
+//! cargo run --release --example vertical_fl
+//! ```
+
+use float::accel::AccelAction;
+use float::tensor::model::TrainOptions;
+use float::vfl::split::synthetic_vfl;
+use float::vfl::{accelerated_party_cost, PartyCost, SplitModel, VflConfig, VflRound};
+
+fn main() {
+    let config = VflConfig {
+        party_dims: vec![12, 8, 12],
+        embed_dim: 16,
+        num_classes: 6,
+    };
+    let data = synthetic_vfl(&config, 512, 42);
+
+    // --- Resource side: price one epoch for the constrained party. ---
+    let round = VflRound::new(data.len(), config.party_dims[1], config.embed_dim);
+    let slow_party_mbps = 2.0; // a 4G party in a fade
+    println!(
+        "per-epoch cost of party 1 ({} features):",
+        config.party_dims[1]
+    );
+    println!(
+        "{:<12} {:>12} {:>14} {:>12}",
+        "action", "MFLOPs", "wire-KB(up)", "stall-s"
+    );
+    for action in [
+        AccelAction::NoOp,
+        AccelAction::Quantize16,
+        AccelAction::Quantize8,
+        AccelAction::Prune75,
+        AccelAction::Partial75,
+    ] {
+        let c: PartyCost = accelerated_party_cost(&round, action);
+        let stall = c.upload_bytes * 8.0 / (slow_party_mbps * 1e6);
+        println!(
+            "{:<12} {:>12.2} {:>14.1} {:>12.3}",
+            action.name(),
+            c.flops / 1e6,
+            c.upload_bytes / 1024.0,
+            stall
+        );
+    }
+
+    // --- Accuracy side: train the split model with party 1 accelerated. ---
+    let mut vanilla = SplitModel::new(&config, 7);
+    let mut accelerated = SplitModel::new(&config, 7);
+    let default_opts = vec![TrainOptions::default(); config.num_parties()];
+    // Party 1 trains only half its bottom parameters (Partial50).
+    let mut accel_opts = default_opts.clone();
+    let n1 = accelerated.party_params(1);
+    accel_opts[1].frozen = Some((0..n1).map(|i| i % 2 == 0).collect());
+
+    for e in 0..40 {
+        vanilla.train_epoch(&data, 32, 0.1, e, &default_opts);
+        accelerated.train_epoch(&data, 32, 0.1, e, &accel_opts);
+    }
+    println!(
+        "\naccuracy after 40 epochs: vanilla {:.3}, party-1 Partial50 {:.3}",
+        vanilla.evaluate(&data),
+        accelerated.evaluate(&data)
+    );
+    println!(
+        "\nTakeaway: in VFL the embedding stream dominates the wire, so\n\
+         quantization (which shrinks it 2-4x) relieves a slow party's stall\n\
+         while pruning only saves compute; and partial training keeps the\n\
+         split model converging — FLOAT's actions port over unchanged."
+    );
+}

@@ -1,0 +1,56 @@
+//! # FLOAT — Federated Learning Optimizations with Automated Tuning
+//!
+//! A from-scratch Rust reproduction of *FLOAT: Federated Learning
+//! Optimizations with Automated Tuning* (Khan et al., EuroSys 2024).
+//!
+//! FLOAT attaches to an existing federated-learning system and, every
+//! round, picks a per-client *acceleration action* — quantization (8/16
+//! bit), magnitude pruning (25/50/75 %), or partial training (25/50/75 %)
+//! — using a multi-objective Q-learning agent with human feedback. The
+//! goal is to keep resource-constrained clients from missing deadlines or
+//! dropping out, which simultaneously improves final accuracy and stops
+//! compute/communication/memory from being wasted on failed rounds.
+//!
+//! This crate is a facade re-exporting the workspace's subsystems:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`tensor`] | `float-tensor` | dense tensors, MLP proxy model, SGD |
+//! | [`data`] | `float-data` | synthetic tasks, Dirichlet partitioning |
+//! | [`models`] | `float-models` | architecture cost descriptors |
+//! | [`traces`] | `float-traces` | network/compute/availability traces |
+//! | [`sim`] | `float-sim` | round execution, dropout logic, ledger |
+//! | [`accel`] | `float-accel` | acceleration techniques |
+//! | [`rl`] | `float-rl` | the Q-learning RLHF agent |
+//! | [`select`] | `float-select` | FedAvg/Oort/REFL/FedBuff baselines |
+//! | [`core`] | `float-core` | the FLOAT runtime and metrics |
+//! | [`vfl`] | `float-vfl` | vertical-FL substrate (split training) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use float::core::{AccelMode, Experiment, ExperimentConfig, SelectorChoice};
+//!
+//! // A small run: FedAvg selection with full FLOAT (RLHF) acceleration.
+//! let config = ExperimentConfig::small(SelectorChoice::FedAvg, AccelMode::Rlhf, 5);
+//! let report = Experiment::new(config).expect("valid config").run();
+//! assert_eq!(report.rounds.len(), 5);
+//! println!(
+//!     "mean accuracy {:.3}, dropouts {}",
+//!     report.accuracy.mean, report.total_dropouts
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use float_accel as accel;
+pub use float_core as core;
+pub use float_data as data;
+pub use float_models as models;
+pub use float_rl as rl;
+pub use float_select as select;
+pub use float_sim as sim;
+pub use float_tensor as tensor;
+pub use float_traces as traces;
+pub use float_vfl as vfl;

@@ -1,0 +1,41 @@
+//! Paper-scale smoke test: the full 200-client / 30-per-round / 300-round
+//! configuration of §6.1 runs end to end and shows the headline FLOAT
+//! effect. Ignored by default (several minutes); run with
+//! `cargo test --release --test paper_scale -- --ignored`.
+
+use float::core::{AccelMode, Experiment, ExperimentConfig, SelectorChoice};
+use float::data::Task;
+
+#[test]
+#[ignore = "paper-scale run takes several minutes; run with --ignored"]
+fn paper_scale_femnist_fedavg_float_vs_vanilla() {
+    let vanilla = Experiment::new(ExperimentConfig::paper_e2e(
+        Task::Femnist,
+        SelectorChoice::FedAvg,
+        AccelMode::Off,
+        300,
+    ))
+    .expect("paper config valid")
+    .run();
+    let float = Experiment::new(ExperimentConfig::paper_e2e(
+        Task::Femnist,
+        SelectorChoice::FedAvg,
+        AccelMode::Rlhf,
+        300,
+    ))
+    .expect("paper config valid")
+    .run();
+
+    eprintln!(
+        "paper-scale vanilla: acc {:.4}, dropouts {}, wasted compute {:.0} h",
+        vanilla.accuracy.mean, vanilla.total_dropouts, vanilla.resources.wasted_compute_h
+    );
+    eprintln!(
+        "paper-scale FLOAT:   acc {:.4}, dropouts {}, wasted compute {:.0} h",
+        float.accuracy.mean, float.total_dropouts, float.resources.wasted_compute_h
+    );
+
+    assert!(float.total_dropouts < vanilla.total_dropouts);
+    assert!(float.resources.wasted_compute_h < vanilla.resources.wasted_compute_h);
+    assert!(float.accuracy.mean > vanilla.accuracy.mean - 0.01);
+}

@@ -1,0 +1,143 @@
+//! Property-based tests over the resource simulator: physical
+//! monotonicity invariants that every latency/energy/dropout computation
+//! must respect regardless of parameter values.
+
+use proptest::prelude::*;
+
+use float::models::{Architecture, RoundCost};
+use float::sim::{estimate_round_time_s, execute_client_round, RoundParams};
+use float::traces::{InterferenceModel, ResourceSampler, ResourceSnapshot};
+
+fn snapshot(gflops: f64, mbps: f64, mem: f64) -> ResourceSnapshot {
+    ResourceSnapshot {
+        available: true,
+        effective_gflops: gflops,
+        effective_mbps: mbps,
+        effective_memory_bytes: mem,
+        cpu_fraction: 1.0,
+        mem_fraction: 1.0,
+        net_fraction: 1.0,
+        battery_fraction: 1.0,
+    }
+}
+
+fn profile() -> float::traces::DeviceProfile {
+    let s = ResourceSampler::new(1, InterferenceModel::None, 1);
+    s.client(0).profile
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn faster_compute_never_slows_the_round(g1 in 0.5f64..50.0, g2 in 0.5f64..50.0,
+                                            mbps in 1.0f64..500.0,
+                                            samples in 10usize..200) {
+        let (lo, hi) = if g1 <= g2 { (g1, g2) } else { (g2, g1) };
+        let cost = RoundCost::vanilla(&Architecture::ResNet18.profile(), samples, 2, 16);
+        let slow = estimate_round_time_s(&snapshot(lo, mbps, 1e12), &cost);
+        let fast = estimate_round_time_s(&snapshot(hi, mbps, 1e12), &cost);
+        prop_assert!(fast <= slow + 1e-9);
+    }
+
+    #[test]
+    fn more_bandwidth_never_slows_the_round(b1 in 0.1f64..500.0, b2 in 0.1f64..500.0,
+                                            gflops in 0.5f64..50.0) {
+        let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+        let cost = RoundCost::vanilla(&Architecture::ResNet34.profile(), 50, 2, 16);
+        let slow = estimate_round_time_s(&snapshot(gflops, lo, 1e12), &cost);
+        let fast = estimate_round_time_s(&snapshot(gflops, hi, 1e12), &cost);
+        prop_assert!(fast <= slow + 1e-9);
+    }
+
+    #[test]
+    fn acceleration_never_raises_estimated_time(gflops in 0.5f64..50.0,
+                                                mbps in 0.5f64..200.0,
+                                                keep in 0.1f64..1.0) {
+        let base = RoundCost::vanilla(&Architecture::ResNet34.profile(), 60, 3, 16);
+        let mut pruned = base.scale_compute(keep).scale_upload(keep);
+        pruned.download_bytes *= keep;
+        let snap = snapshot(gflops, mbps, 1e12);
+        prop_assert!(
+            estimate_round_time_s(&snap, &pruned)
+                <= estimate_round_time_s(&snap, &base) + 1e-9
+        );
+    }
+
+    #[test]
+    fn outcome_phases_are_nonnegative_and_finite(gflops in 0.01f64..100.0,
+                                                 mbps in 0.01f64..1000.0,
+                                                 mem in 1e6f64..1e12,
+                                                 deadline in 10.0f64..10_000.0,
+                                                 seed in any::<u64>()) {
+        let cost = RoundCost::vanilla(&Architecture::ResNet18.profile(), 40, 2, 16);
+        let params = RoundParams {
+            deadline_s: deadline,
+            failure_hazard_per_s: 1e-4,
+        };
+        let out = execute_client_round(&snapshot(gflops, mbps, mem), &profile(), &cost, &params, seed);
+        for v in [out.download_s, out.train_s, out.upload_s, out.energy_j, out.memory_bytes] {
+            prop_assert!(v.is_finite() && v >= 0.0, "non-physical value {v}");
+        }
+        prop_assert!(out.deadline_overrun >= 0.0);
+    }
+
+    #[test]
+    fn completion_implies_meeting_the_deadline(gflops in 0.01f64..100.0,
+                                               mbps in 0.01f64..1000.0,
+                                               deadline in 10.0f64..10_000.0,
+                                               seed in any::<u64>()) {
+        let cost = RoundCost::vanilla(&Architecture::ResNet18.profile(), 40, 2, 16);
+        let params = RoundParams {
+            deadline_s: deadline,
+            failure_hazard_per_s: 0.0,
+        };
+        let out = execute_client_round(
+            &snapshot(gflops, mbps, 1e12),
+            &profile(),
+            &cost,
+            &params,
+            seed,
+        );
+        if out.completed() {
+            prop_assert!(out.total_s() <= deadline + 1e-6);
+            prop_assert_eq!(out.deadline_overrun, 0.0);
+        }
+    }
+
+    #[test]
+    fn longer_deadlines_never_create_dropouts(gflops in 0.1f64..50.0,
+                                              mbps in 0.5f64..200.0,
+                                              d1 in 60.0f64..5000.0,
+                                              d2 in 60.0f64..5000.0) {
+        let (short, long) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let cost = RoundCost::vanilla(&Architecture::ResNet18.profile(), 40, 2, 16);
+        let mk = |deadline| RoundParams {
+            deadline_s: deadline,
+            failure_hazard_per_s: 0.0,
+        };
+        let snap = snapshot(gflops, mbps, 1e12);
+        let with_short = execute_client_round(&snap, &profile(), &cost, &mk(short), 7);
+        let with_long = execute_client_round(&snap, &profile(), &cost, &mk(long), 7);
+        if with_short.completed() {
+            prop_assert!(with_long.completed(), "longer deadline caused a dropout");
+        }
+    }
+
+    #[test]
+    fn sampler_snapshots_are_physical(clients in 1usize..30, rounds in 1usize..40,
+                                      seed in any::<u64>()) {
+        let mut s = ResourceSampler::new(clients, InterferenceModel::paper_dynamic(), seed);
+        for c in 0..clients {
+            for r in 0..rounds {
+                let snap = s.snapshot(c, r);
+                prop_assert!(snap.effective_gflops >= 0.0 && snap.effective_gflops.is_finite());
+                prop_assert!(snap.effective_mbps >= 0.0 && snap.effective_mbps.is_finite());
+                prop_assert!((0.0..=1.0).contains(&snap.cpu_fraction));
+                prop_assert!((0.0..=1.0).contains(&snap.mem_fraction));
+                prop_assert!((0.0..=1.0).contains(&snap.net_fraction));
+                prop_assert!((0.0..=1.0).contains(&snap.battery_fraction));
+            }
+        }
+    }
+}

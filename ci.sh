@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Local CI for the FLOAT reproduction (the build environment has no
+# network, so this script stands in for hosted Actions). Run before
+# every merge:
+#
+#   ./ci.sh            # full gate: fmt, clippy, release build, tests
+#   ./ci.sh quick      # skip the release build (fastest signal)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+if [[ "${1:-}" != "quick" ]]; then
+  step "cargo build --release"
+  cargo build --release --offline
+fi
+
+step "cargo test -q"
+cargo test -q --offline
+
+step "CI green"

@@ -73,13 +73,13 @@ pub fn decompress_f32_update(data: &[u8]) -> Option<Vec<f32>> {
         }
     }
     let mut out = Vec::with_capacity(n);
-    for i in 0..n {
-        out.push(f32::from_le_bytes([
-            planes[0][i],
-            planes[1][i],
-            planes[2][i],
-            planes[3][i],
-        ]));
+    for (((&b0, &b1), &b2), &b3) in planes[0]
+        .iter()
+        .zip(&planes[1])
+        .zip(&planes[2])
+        .zip(&planes[3])
+    {
+        out.push(f32::from_le_bytes([b0, b1, b2, b3]));
     }
     Some(out)
 }

@@ -54,7 +54,10 @@ impl ErrorFeedback {
 
     /// Squared L2 norm of the carried residual (diagnostics).
     pub fn residual_sq_norm(&self) -> f64 {
-        self.residual.iter().map(|&r| f64::from(r) * f64::from(r)).sum()
+        self.residual
+            .iter()
+            .map(|&r| f64::from(r) * f64::from(r))
+            .sum()
     }
 
     /// Drop the carried residual (e.g. after the client re-syncs with a
@@ -94,7 +97,9 @@ mod tests {
             .zip(&shipped_sum)
             .map(|(a, b)| (a - b).abs())
             .sum();
-        let per_round_mass: f64 = (0..n).map(|i| f64::from((((i * 7) % 11) as f32 - 5.0).abs() / 10.0)).sum();
+        let per_round_mass: f64 = (0..n)
+            .map(|i| f64::from((((i * 7) % 11) as f32 - 5.0).abs() / 10.0))
+            .sum();
         assert!(
             gap < 2.0 * per_round_mass,
             "gap {gap} not bounded by ~one round of mass {per_round_mass}"

@@ -1,0 +1,137 @@
+//! `round_throughput` — cohort-execution throughput of the two-phase
+//! round engine across worker-thread counts.
+//!
+//! Runs the same experiment at `threads ∈ {1, 2, 4, 8}` (override with
+//! `--threads a,b,c`), reports rounds/sec for each, and asserts the
+//! engine's determinism contract on the side: every run must produce a
+//! bit-identical report. Results land in `BENCH_round_throughput.json`.
+//!
+//! ```text
+//! round_throughput [--rounds N] [--clients N] [--cohort N]
+//!                  [--threads 1,2,4,8] [--out PATH]
+//! ```
+
+use std::time::Instant;
+
+use float_core::{AccelMode, Experiment, ExperimentConfig, SelectorChoice};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ThreadResult {
+    threads: usize,
+    seconds: f64,
+    rounds_per_sec: f64,
+    speedup_vs_1: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    benchmark: String,
+    selector: String,
+    accel: String,
+    rounds: usize,
+    clients: usize,
+    cohort: usize,
+    host_parallelism: usize,
+    deterministic_across_thread_counts: bool,
+    results: Vec<ThreadResult>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: round_throughput [--rounds N] [--clients N] [--cohort N] \
+         [--threads a,b,c] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut rounds = 12usize;
+    let mut clients = 60usize;
+    let mut cohort = 16usize;
+    let mut threads: Vec<usize> = vec![1, 2, 4, 8];
+    let mut out = "BENCH_round_throughput.json".to_string();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = || it.next().cloned().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--rounds" => rounds = val().parse().unwrap_or_else(|_| usage()),
+            "--clients" => clients = val().parse().unwrap_or_else(|_| usage()),
+            "--cohort" => cohort = val().parse().unwrap_or_else(|_| usage()),
+            "--threads" => {
+                threads = val()
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--out" => out = val(),
+            _ => usage(),
+        }
+    }
+    if threads.is_empty() {
+        usage();
+    }
+
+    let mut cfg = ExperimentConfig::small(SelectorChoice::FedAvg, AccelMode::Rlhf, rounds);
+    cfg.num_clients = clients;
+    cfg.cohort_size = cohort;
+    cfg.mean_samples = 80;
+    cfg.validate().expect("benchmark config is valid");
+
+    let host = std::thread::available_parallelism().map_or(1, usize::from);
+    eprintln!(
+        "round_throughput: {} rounds, {} clients, cohort {}, host parallelism {}",
+        rounds, clients, cohort, host
+    );
+
+    let mut results = Vec::new();
+    let mut reference: Option<float_core::ExperimentReport> = None;
+    let mut deterministic = true;
+    for &t in &threads {
+        let mut c = cfg;
+        c.num_threads = t;
+        let exp = Experiment::new(c).expect("valid config");
+        let start = Instant::now();
+        let report = exp.run();
+        let seconds = start.elapsed().as_secs_f64();
+        let rps = rounds as f64 / seconds.max(1e-9);
+        eprintln!("  threads {t:>2}: {seconds:7.3}s  {rps:6.2} rounds/s");
+        match &reference {
+            None => reference = Some(report),
+            Some(r) => deterministic &= *r == report,
+        }
+        results.push(ThreadResult {
+            threads: t,
+            seconds,
+            rounds_per_sec: rps,
+            speedup_vs_1: 0.0,
+        });
+    }
+    let base = results[0].rounds_per_sec;
+    for r in &mut results {
+        r.speedup_vs_1 = r.rounds_per_sec / base.max(1e-9);
+    }
+    if !deterministic {
+        eprintln!("WARNING: reports diverged across thread counts — determinism bug!");
+    }
+
+    let report = BenchReport {
+        benchmark: "round_throughput".to_string(),
+        selector: "fedavg".to_string(),
+        accel: "float-rlhf".to_string(),
+        rounds,
+        clients,
+        cohort,
+        host_parallelism: host,
+        deterministic_across_thread_counts: deterministic,
+        results,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, format!("{json}\n")).expect("write benchmark output");
+    eprintln!("wrote {out}");
+    if !deterministic {
+        std::process::exit(1);
+    }
+}

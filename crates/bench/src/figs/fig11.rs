@@ -24,7 +24,7 @@ pub struct Fig11 {
 /// Run the Fig. 11 ablation at the given scale.
 pub fn run(scale: Scale) -> Fig11 {
     Fig11 {
-        rows: run_modes(scale, &[AccelMode::Rl, AccelMode::Rlhf], 0.01),
+        rows: run_modes(scale, &[AccelMode::Rl, AccelMode::Rlhf], 0.01, None),
     }
 }
 

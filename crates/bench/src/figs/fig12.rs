@@ -58,12 +58,17 @@ pub struct E2e {
 }
 
 /// Run the end-to-end grid for `tasks` at the given scale.
-pub fn run_tasks(scale: Scale, tasks: &[Task]) -> E2e {
+/// `seed_override` pins a figure-specific seed stream (`None` keeps the
+/// preset seed).
+pub fn run_tasks(scale: Scale, tasks: &[Task], seed_override: Option<u64>) -> E2e {
     let mut rows = Vec::new();
     for &task in tasks {
         for &sel in &SelectorChoice::ALL {
             for (mode_name, mode) in [("vanilla", AccelMode::Off), ("float", AccelMode::Rlhf)] {
                 let mut cfg = scale.config(task, sel, mode);
+                if let Some(seed) = seed_override {
+                    cfg.seed = seed;
+                }
                 if task == Task::OpenImage {
                     cfg.arch = float_models::Architecture::ShuffleNetV2;
                 }
@@ -93,7 +98,7 @@ pub fn run_tasks(scale: Scale, tasks: &[Task]) -> E2e {
 
 /// Run the Fig. 12 grid (FEMNIST, CIFAR-10, Speech).
 pub fn run(scale: Scale) -> E2e {
-    run_tasks(scale, &[Task::Femnist, Task::Cifar10, Task::Speech])
+    run_tasks(scale, &[Task::Femnist, Task::Cifar10, Task::Speech], None)
 }
 
 impl E2e {
@@ -205,18 +210,12 @@ mod tests {
     #[test]
     fn dropout_reduction_is_smoothed() {
         let e2e = E2e {
-            rows: vec![
-                row("t", "s", "vanilla", 0),
-                row("t", "s", "float", 0),
-            ],
+            rows: vec![row("t", "s", "vanilla", 0), row("t", "s", "float", 0)],
         };
         // 0 vs 0 must compare as neutral 1.0, not divide by zero.
         assert!((e2e.dropout_reduction("t", "s").unwrap() - 1.0).abs() < 1e-12);
         let e2e = E2e {
-            rows: vec![
-                row("t", "s", "vanilla", 99),
-                row("t", "s", "float", 9),
-            ],
+            rows: vec![row("t", "s", "vanilla", 99), row("t", "s", "float", 9)],
         };
         assert!((e2e.dropout_reduction("t", "s").unwrap() - 10.0).abs() < 1e-12);
     }

@@ -142,6 +142,12 @@ pub struct ExperimentConfig {
     pub assume_no_dropouts: bool,
     /// Root seed; every stochastic subsystem derives from it.
     pub seed: u64,
+    /// Worker threads for the parallel attempt phase of each round
+    /// (`0` ⇒ one per available CPU core). The `FLOAT_THREADS`
+    /// environment variable overrides this at runtime. The thread count
+    /// never changes results — see `DESIGN.md` §Two-phase engine.
+    #[serde(default)]
+    pub num_threads: usize,
 }
 
 impl ExperimentConfig {
@@ -180,6 +186,7 @@ impl ExperimentConfig {
             failure_hazard_per_s: 2.0e-5,
             assume_no_dropouts: false,
             seed: 20240422,
+            num_threads: 0,
         }
     }
 
@@ -208,7 +215,29 @@ impl ExperimentConfig {
             failure_hazard_per_s: 2.0e-5,
             assume_no_dropouts: false,
             seed: 7,
+            num_threads: 0,
         }
+    }
+
+    /// Resolve the worker-thread count for the parallel attempt phase.
+    ///
+    /// Precedence: the `FLOAT_THREADS` environment variable (when set to a
+    /// positive integer), then [`ExperimentConfig::num_threads`], then the
+    /// machine's available parallelism. Always at least 1.
+    pub fn effective_threads(&self) -> usize {
+        if let Ok(v) = std::env::var("FLOAT_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        if self.num_threads > 0 {
+            return self.num_threads;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
     }
 
     /// Derived federated-dataset configuration.
@@ -249,18 +278,18 @@ impl ExperimentConfig {
         if self.batch_size == 0 || self.local_epochs == 0 {
             return Err("batch_size and local_epochs must be positive".into());
         }
-        if !(self.deadline_s > 0.0) {
+        if self.deadline_s <= 0.0 || self.deadline_s.is_nan() {
             return Err("deadline must be positive".into());
         }
         if let Some(a) = self.alpha {
-            if !(a > 0.0) {
+            if a <= 0.0 || a.is_nan() {
                 return Err("alpha must be positive".into());
             }
         }
         if self.eval_every == 0 {
             return Err("eval_every must be positive".into());
         }
-        if !(self.failure_hazard_per_s >= 0.0) {
+        if self.failure_hazard_per_s < 0.0 || self.failure_hazard_per_s.is_nan() {
             return Err("failure hazard must be non-negative".into());
         }
         if !(self.reward_w_participation >= 0.0 && self.reward_w_accuracy >= 0.0)
@@ -318,7 +347,10 @@ mod tests {
 
     #[test]
     fn selector_names_unique() {
-        let mut names: Vec<_> = SelectorChoice::ALL_EXTENDED.iter().map(|s| s.name()).collect();
+        let mut names: Vec<_> = SelectorChoice::ALL_EXTENDED
+            .iter()
+            .map(|s| s.name())
+            .collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 5);

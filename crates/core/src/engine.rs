@@ -1,0 +1,128 @@
+//! A std-only scoped worker pool for the parallel attempt phase.
+//!
+//! The round runtime is a two-phase engine: a *parallel attempt phase*
+//! computes every selected client's resource outcome, local training, and
+//! wire transform as a pure function of shared read-only state, and a
+//! *sequential commit phase* applies the mutations (agent feedback,
+//! error-feedback residuals, ledger, report bookkeeping) in client order.
+//! This module provides the fan-out primitive for the first phase:
+//! [`parallel_map_with`], built on [`std::thread::scope`] — no external
+//! crates, no unsafe code.
+//!
+//! Determinism is structural, not accidental: workers pull task *indices*
+//! from a shared atomic counter, send `(index, result)` pairs over a
+//! channel, and the caller reassembles results **in task order**. Which
+//! worker computes which task — and in what wall-clock order — cannot
+//! influence the output, because each task is a pure function of its
+//! input plus a per-worker scratch buffer whose contents are fully
+//! overwritten before use.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+/// Map `f` over `items`, fanning work out over `scratches.len()` worker
+/// threads, and return the results **in item order**.
+///
+/// Each worker owns one scratch value for its lifetime; `f` receives the
+/// worker's scratch and a borrowed item. The scratch lets workers reuse
+/// expensive buffers (model clones, parameter vectors) across items
+/// without cross-worker sharing. For scratch-free maps pass `&mut [(); n]`.
+///
+/// Falls back to a plain sequential loop (no threads spawned) when there
+/// is at most one worker or at most one item, so single-threaded runs pay
+/// zero synchronization cost.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers; a panicking
+/// worker aborts the map).
+pub fn parallel_map_with<S, T, R, F>(scratches: &mut [S], items: &[T], f: F) -> Vec<R>
+where
+    S: Send,
+    T: Sync,
+    R: Send,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    assert!(!scratches.is_empty(), "need at least one worker scratch");
+    let workers = scratches.len().min(items.len());
+    if workers <= 1 {
+        let scratch = &mut scratches[0];
+        return items.iter().map(|t| f(scratch, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    thread::scope(|scope| {
+        for scratch in scratches[..workers].iter_mut() {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(scratch, &items[i]);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+    });
+
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in rx {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every task index produces exactly one result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<usize> = (0..101).collect();
+        let mut scratches = vec![(); 4];
+        let out = parallel_map_with(&mut scratches, &items, |_, &x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_fallback_matches_parallel() {
+        let items: Vec<u64> = (0..37).collect();
+        let mut one = vec![0u64; 1];
+        let mut many = vec![0u64; 8];
+        let f = |s: &mut u64, &x: &u64| {
+            *s = x; // scratch is per-item state, fully overwritten
+            *s * *s + 1
+        };
+        assert_eq!(
+            parallel_map_with(&mut one, &items, f),
+            parallel_map_with(&mut many, &items, f)
+        );
+    }
+
+    #[test]
+    fn scratches_are_reused_not_shared() {
+        // Each worker's scratch accumulates; total across scratches must
+        // equal the item count even though per-worker splits vary.
+        let items: Vec<usize> = (0..64).collect();
+        let mut scratches = vec![0usize; 3];
+        let _ = parallel_map_with(&mut scratches, &items, |s, _| *s += 1);
+        assert_eq!(scratches.iter().sum::<usize>(), 64);
+    }
+
+    #[test]
+    fn empty_items_is_fine() {
+        let mut scratches = vec![(); 2];
+        let out: Vec<u8> = parallel_map_with(&mut scratches, &[] as &[u8], |_, &x| x);
+        assert!(out.is_empty());
+    }
+}

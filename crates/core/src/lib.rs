@@ -19,6 +19,7 @@
 
 pub mod aggregate;
 pub mod config;
+pub mod engine;
 pub mod metrics;
 pub mod runtime;
 

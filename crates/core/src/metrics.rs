@@ -93,7 +93,7 @@ pub struct RoundRecord {
 }
 
 /// Full result of one experiment run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentReport {
     /// Label, e.g. `"float-rlhf(fedavg)/femnist"`.
     pub label: String,

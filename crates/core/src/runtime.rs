@@ -15,15 +15,16 @@ use float_select::{
     SelectionFeedback, TiflSelector,
 };
 use float_sim::{
-    estimate_round_time_s, execute_client_round, ResourceLedger, RoundParams, SimClock,
+    estimate_round_time_s, execute_client_round, ClientRoundOutcome, ResourceLedger, RoundParams,
+    SimClock,
 };
-use float_tensor::model::TrainOptions;
 use float_tensor::rng::split_seed;
 use float_tensor::{Mlp, MlpConfig, Sgd};
-use float_traces::{ResourceSampler, ResourceSnapshot};
+use float_traces::{DeviceProfile, ResourceSampler, ResourceSnapshot};
 
 use crate::aggregate::{aggregate, PendingUpdate};
 use crate::config::{AccelMode, ExperimentConfig, SelectorChoice};
+use crate::engine::parallel_map_with;
 use crate::metrics::{AccuracySummary, ExperimentReport, RoundRecord};
 
 /// Hidden width of the proxy model used for the accuracy side of the
@@ -35,7 +36,7 @@ pub struct Experiment {
     config: ExperimentConfig,
     data: FederatedDataset,
     sampler: ResourceSampler,
-    selector: Box<dyn ClientSelector>,
+    selector: Box<dyn ClientSelector + Send + Sync>,
     catalogue: ActionCatalogue,
     agent: Option<RlhfAgent>,
     heuristic: Option<HeuristicPolicy>,
@@ -55,6 +56,51 @@ pub struct Experiment {
     clock: SimClock,
     ledger: ResourceLedger,
     report: ExperimentReport,
+}
+
+/// The frozen inputs of one client attempt, produced by the sequential
+/// *plan* phase. Everything the parallel *execute* phase needs is captured
+/// here by value, so execution is a pure function of `(global params,
+/// task)` plus read-only experiment state.
+struct AttemptTask {
+    client: usize,
+    staleness: u64,
+    snap: ResourceSnapshot,
+    profile: DeviceProfile,
+    action: AccelAction,
+    base_cost: RoundCost,
+    shard_len: usize,
+    /// Agent-state inputs captured at decision time, replayed verbatim to
+    /// the agent's feedback call in the commit phase.
+    global: GlobalState,
+    local: LocalState,
+    hf: DeadlineLevel,
+}
+
+/// The side-effect-free result of the parallel *execute* phase, consumed
+/// by the sequential *commit* phase.
+struct AttemptExec {
+    outcome: ClientRoundOutcome,
+    utility: f64,
+    improvement: f64,
+    update: Option<PendingUpdate>,
+    /// Updated error-feedback residual (top-k compression only); written
+    /// back to the experiment in the commit phase, in client order.
+    error_feedback: Option<ErrorFeedback>,
+}
+
+/// Per-worker reusable buffers for the execute phase. Contents are fully
+/// overwritten before each use, so scratch reuse cannot leak state between
+/// attempts — it only recycles allocations.
+#[derive(Default)]
+struct WorkerScratch {
+    /// Lazily created clone of the global model, re-parameterized per
+    /// attempt via [`Mlp::set_params`].
+    local: Option<Mlp>,
+    /// Flattened-parameter readback buffer.
+    params: Vec<f32>,
+    /// Update-delta buffer.
+    delta: Vec<f32>,
 }
 
 /// Outcome of executing one client attempt (used by both engines).
@@ -82,7 +128,7 @@ impl Experiment {
         let data = FederatedDataset::generate(config.federated_config(), split_seed(seed, 1));
         let sampler =
             ResourceSampler::new(config.num_clients, config.interference, split_seed(seed, 2));
-        let selector: Box<dyn ClientSelector> = match config.selector {
+        let selector: Box<dyn ClientSelector + Send + Sync> = match config.selector {
             SelectorChoice::FedAvg => Box::new(FedAvgSelector::new(split_seed(seed, 3))),
             SelectorChoice::Oort => Box::new(OortSelector::new(
                 split_seed(seed, 3),
@@ -315,9 +361,16 @@ impl Experiment {
         }
     }
 
-    /// Execute one client attempt: cost the round, simulate it, run real
-    /// local training on completion, and feed back agent/selector signals.
-    fn attempt_client(&mut self, client: usize, round: usize, staleness: u64) -> Attempt {
+    // ------------------------------------------------------------------
+    // Two-phase attempt engine: plan (sequential, mutates decision state)
+    // → execute (parallel, pure) → commit (sequential, client order).
+    // ------------------------------------------------------------------
+
+    /// Phase 1 — *plan*: snapshot the client, fold the human-feedback
+    /// signal, and choose the acceleration action. Everything that mutates
+    /// decision state (sampler RNG, agent exploration, EMA) happens here,
+    /// in cohort order, so the parallel phase inherits a fixed plan.
+    fn plan_attempt(&mut self, client: usize, round: usize, staleness: u64) -> AttemptTask {
         let snap = self.sampler.snapshot(client, round);
         let shard_len = self.data.train_shard(client).len();
         let base_cost = RoundCost::vanilla(
@@ -333,27 +386,56 @@ impl Experiment {
             .max(0.0);
         self.hf_overrun_ema[client] = 0.7 * self.hf_overrun_ema[client] + 0.3 * vanilla_overrun;
         let action = self.choose_action(client, &snap, round);
-        let global_params = self.global_model.params();
-        let plan = apply_action_protected(
+        AttemptTask {
+            client,
+            staleness,
+            snap,
+            profile: self.sampler.client(client).profile,
             action,
             base_cost,
-            &global_params,
-            split_seed(self.config.seed, (round as u64) << 20 | client as u64),
+            shard_len,
+            global: self.global_state(),
+            local: LocalState::from_fractions(
+                snap.cpu_fraction,
+                snap.mem_fraction,
+                snap.net_fraction,
+            ),
+            hf: DeadlineLevel::from_overrun(self.hf_overrun_ema[client]),
+        }
+    }
+
+    /// Phase 2 — *execute*: simulate the round and, on completion, run the
+    /// client's real local training and wire transform. A pure function of
+    /// `(global_params, task, &self read-only state)` — it takes `&self`,
+    /// draws all randomness from seeds derived per `(round, client)`, and
+    /// fully overwrites the worker scratch before use, so the result is
+    /// independent of which worker runs it and in what order.
+    fn execute_attempt(
+        &self,
+        global_params: &[f32],
+        round: usize,
+        task: &AttemptTask,
+        scratch: &mut WorkerScratch,
+    ) -> AttemptExec {
+        let plan = apply_action_protected(
+            task.action,
+            task.base_cost,
+            global_params,
+            split_seed(self.config.seed, (round as u64) << 20 | task.client as u64),
             Some(&self.protected),
         );
         let round_params = RoundParams {
             deadline_s: self.config.deadline_s,
             failure_hazard_per_s: self.config.failure_hazard_per_s,
         };
-        let profile = self.sampler.client(client).profile;
         let mut outcome = execute_client_round(
-            &snap,
-            &profile,
+            &task.snap,
+            &task.profile,
             &plan.cost,
             &round_params,
             split_seed(
                 self.config.seed,
-                0xE0 << 56 | (round as u64) << 20 | client as u64,
+                0xE0 << 56 | (round as u64) << 20 | task.client as u64,
             ),
         );
         // Fig. 3 "no dropouts" counterfactual: every client that started
@@ -363,124 +445,63 @@ impl Experiment {
         {
             outcome.dropped = None;
         }
-        self.ledger.record(&outcome);
-        self.sampler.drain_battery(client, outcome.energy_j);
-
-        let global = self.global_state();
-        let local =
-            LocalState::from_fractions(snap.cpu_fraction, snap.mem_fraction, snap.net_fraction);
-        let hf = DeadlineLevel::from_overrun(self.hf_overrun_ema[client]);
-
-        if outcome.completed() {
-            // Real local training with the plan's transform hooks.
-            let (delta, utility, acc_improvement) =
-                self.train_client(client, round, &plan.train_options, action);
-            let reward = self.agent.as_mut().map(|agent| {
-                let idx = self
-                    .catalogue
-                    .index_of(action)
-                    .expect("action came from the catalogue");
-                agent.feedback(
-                    client,
-                    global,
-                    local,
-                    hf,
-                    idx,
-                    1.0,
-                    acc_improvement,
-                    round,
-                    self.config.rounds,
-                );
-                let c = agent.config();
-                c.w_participation + c.w_accuracy * acc_improvement
-            });
-            self.report.record_technique(action, true);
-            Attempt {
-                client,
-                completed: true,
-                duration_s: outcome.total_s(),
-                was_available: snap.available,
-                utility,
-                reward,
-                update: Some(PendingUpdate {
-                    client,
-                    delta,
-                    samples: shard_len,
-                    staleness,
-                }),
-            }
-        } else {
-            let reward = self.agent.as_mut().map(|agent| {
-                let idx = self
-                    .catalogue
-                    .index_of(action)
-                    .expect("action came from the catalogue");
-                agent.feedback_dropout(client, global, local, hf, idx, round, self.config.rounds);
-                0.0
-            });
-            self.report.record_technique(action, false);
-            Attempt {
-                client,
-                completed: false,
-                duration_s: outcome.total_s(),
-                was_available: snap.available,
+        if !outcome.completed() {
+            return AttemptExec {
+                outcome,
                 utility: 0.0,
-                reward,
+                improvement: 0.0,
                 update: None,
-            }
+                error_feedback: None,
+            };
         }
-    }
 
-    /// Run the client's real local training; returns `(delta, utility,
-    /// accuracy_improvement)`.
-    fn train_client(
-        &mut self,
-        client: usize,
-        round: usize,
-        opts: &TrainOptions,
-        action: AccelAction,
-    ) -> (Vec<f32>, f64, f64) {
-        let shard = self.data.train_shard(client).clone();
-        let test = self.data.test_shard(client).clone();
-        let before = self.global_model.evaluate(&test).accuracy as f64;
-        let mut local = self.global_model.clone();
+        // Real local training with the plan's transform hooks. The worker
+        // scratch supplies the local model and parameter buffers, reused
+        // across attempts and rounds; shards are borrowed, never cloned.
+        let shard = self.data.train_shard(task.client);
+        let test = self.data.test_shard(task.client);
+        let local = scratch
+            .local
+            .get_or_insert_with(|| self.global_model.clone());
+        local
+            .set_params(global_params)
+            .expect("scratch model shares the global architecture");
+        let before = local.evaluate(test).accuracy as f64;
         let mut opt = Sgd::new(self.config.learning_rate);
         let mut last_loss = 0.0f32;
         for e in 0..self.config.local_epochs {
             last_loss = local.train_epoch_with(
-                &shard,
+                shard,
                 self.config.batch_size,
                 &mut opt,
                 split_seed(
                     self.config.seed,
-                    (round as u64) << 24 | (client as u64) << 8 | e as u64,
+                    (round as u64) << 24 | (task.client as u64) << 8 | e as u64,
                 ),
-                opts,
+                &plan.train_options,
             );
         }
-        let after = local.evaluate(&test).accuracy as f64;
-        let global_params = self.global_model.params();
-        let local_params = local.params();
-        let mut delta: Vec<f32> = local_params
-            .iter()
-            .zip(&global_params)
-            .map(|(l, g)| l - g)
-            .collect();
+        let after = local.evaluate(test).accuracy as f64;
+        // Update delta, computed in place into the scratch buffer.
+        local.params_into(&mut scratch.params);
+        scratch.delta.clear();
+        scratch
+            .delta
+            .extend(scratch.params.iter().zip(global_params).map(|(l, g)| l - g));
         // Apply the wire transform the acceleration dictates (quantization
-        // grid, pruning zeros, sparsification).
-        let plan = apply_action_protected(
-            action,
-            RoundCost::vanilla(&self.config.arch.profile(), 1, 1, 1),
-            &global_params,
-            split_seed(self.config.seed, (round as u64) << 20 | client as u64),
-            Some(&self.protected),
-        );
-        delta = if action == AccelAction::TopK10 {
+        // grid, pruning zeros, sparsification). The attempt plan already
+        // carries the masks — they depend only on the action, the global
+        // parameters, and the seed, so no second plan is needed.
+        let (delta, error_feedback) = if task.action == AccelAction::TopK10 {
             // Sparsified uploads carry per-client error feedback so the
             // untransmitted mass is not lost (see float_accel::feedback).
-            self.error_feedback[client].compress(&delta, 0.10)
+            // Work on a copy of the residual state; the commit phase writes
+            // it back in client order.
+            let mut ef = self.error_feedback[task.client].clone();
+            let d = ef.compress(&scratch.delta, 0.10);
+            (d, Some(ef))
         } else {
-            transform_update(action, &delta, &plan)
+            (transform_update(task.action, &scratch.delta, &plan), None)
         };
         // Oort's statistical utility: loss magnitude scaled by dataset size.
         let utility = f64::from(last_loss.max(0.0)) * (shard.len() as f64).sqrt();
@@ -490,13 +511,112 @@ impl Experiment {
         // saturates it) so the multi-objective trade-off stays live rather
         // than participation-dominated.
         let improvement = ((after - before) * 10.0).clamp(0.0, 1.0);
-        (delta, utility, improvement)
+        AttemptExec {
+            outcome,
+            utility,
+            improvement,
+            update: Some(PendingUpdate {
+                client: task.client,
+                delta,
+                samples: task.shard_len,
+                staleness: task.staleness,
+            }),
+            error_feedback,
+        }
+    }
+
+    /// Phase 3 — *commit*: apply the attempt's mutations (ledger, battery,
+    /// error-feedback residual, agent feedback, report bookkeeping) in
+    /// client order. Always sequential, so these effects are identical no
+    /// matter how many workers ran the execute phase.
+    fn commit_attempt(&mut self, round: usize, task: &AttemptTask, exec: AttemptExec) -> Attempt {
+        self.ledger.record(&exec.outcome);
+        self.sampler
+            .drain_battery(task.client, exec.outcome.energy_j);
+        if let Some(ef) = exec.error_feedback {
+            self.error_feedback[task.client] = ef;
+        }
+        let completed = exec.outcome.completed();
+        let reward = self.agent.as_mut().map(|agent| {
+            let idx = self
+                .catalogue
+                .index_of(task.action)
+                .expect("action came from the catalogue");
+            if completed {
+                agent.feedback(
+                    task.client,
+                    task.global,
+                    task.local,
+                    task.hf,
+                    idx,
+                    1.0,
+                    exec.improvement,
+                    round,
+                    self.config.rounds,
+                );
+                let c = agent.config();
+                c.w_participation + c.w_accuracy * exec.improvement
+            } else {
+                agent.feedback_dropout(
+                    task.client,
+                    task.global,
+                    task.local,
+                    task.hf,
+                    idx,
+                    round,
+                    self.config.rounds,
+                );
+                0.0
+            }
+        });
+        self.report.record_technique(task.action, completed);
+        Attempt {
+            client: task.client,
+            completed,
+            duration_s: exec.outcome.total_s(),
+            was_available: task.snap.available,
+            utility: exec.utility,
+            reward,
+            update: exec.update,
+        }
+    }
+
+    /// Plan, execute (fanned out over `scratches`), and commit a batch of
+    /// client attempts. Results come back in cohort order.
+    fn run_attempts(
+        &mut self,
+        round: usize,
+        cohort: &[usize],
+        global_params: &[f32],
+        scratches: &mut [WorkerScratch],
+    ) -> Vec<Attempt> {
+        let mut tasks = Vec::with_capacity(cohort.len());
+        for &client in cohort {
+            self.report.selected_count[client] += 1;
+            tasks.push(self.plan_attempt(client, round, 0));
+        }
+        let execs = parallel_map_with(scratches, &tasks, |scratch, task| {
+            self.execute_attempt(global_params, round, task, scratch)
+        });
+        tasks
+            .iter()
+            .zip(execs)
+            .map(|(task, exec)| self.commit_attempt(round, task, exec))
+            .collect()
+    }
+
+    fn worker_scratches(&self) -> Vec<WorkerScratch> {
+        (0..self.config.effective_threads())
+            .map(|_| WorkerScratch::default())
+            .collect()
     }
 
     fn eval_all_clients(&self) -> Vec<f64> {
-        (0..self.config.num_clients)
-            .map(|c| self.global_model.evaluate(self.data.test_shard(c)).accuracy as f64)
-            .collect()
+        let clients: Vec<usize> = (0..self.config.num_clients).collect();
+        let mut scratches = vec![(); self.config.effective_threads()];
+        parallel_map_with(&mut scratches, &clients, |_, &c| {
+            self.global_model.evaluate(self.data.test_shard(c)).accuracy as f64
+        })
     }
 
     // ------------------------------------------------------------------
@@ -504,21 +624,19 @@ impl Experiment {
     // ------------------------------------------------------------------
 
     fn run_sync(&mut self) {
+        let mut scratches = self.worker_scratches();
         for round in 0..self.config.rounds {
             let eligible = self.eligible_clients(round);
             let cohort = self
                 .selector
                 .select(round, &eligible, self.config.cohort_size);
-            let mut attempts = Vec::with_capacity(cohort.len());
-            for &client in &cohort {
-                self.report.selected_count[client] += 1;
-                let a = self.attempt_client(client, round, 0);
-                attempts.push(a);
-            }
-            // Aggregate completed updates.
-            let updates: Vec<PendingUpdate> =
-                attempts.iter().filter_map(|a| a.update.clone()).collect();
             let mut global = self.global_model.params();
+            let mut attempts = self.run_attempts(round, &cohort, &global, &mut scratches);
+            // Aggregate completed updates, taken by move.
+            let updates: Vec<PendingUpdate> = attempts
+                .iter_mut()
+                .filter_map(|a| a.update.take())
+                .collect();
             aggregate(&mut global, &updates);
             self.global_model
                 .set_params(&global)
@@ -584,18 +702,20 @@ impl Experiment {
                                                          // staleness on arrival.
         let mut launch_agg: Vec<u64> = Vec::new();
 
+        let mut scratches = self.worker_scratches();
         for agg_round in 0..self.config.rounds {
             // Event loop: keep the in-flight set topped up continuously
             // (FedBuff never waits to relaunch) and drain completion
             // events until the aggregation buffer fills.
             let eligible = self.eligible_clients(agg_round);
+            // The global model only changes at aggregation boundaries, so
+            // one parameter readback serves every launch batch in between.
+            let global_params = self.global_model.params();
             loop {
                 let launched = self
                     .selector
                     .select(agg_round, &eligible, self.config.cohort_size);
-                for client in launched {
-                    self.report.selected_count[client] += 1;
-                    let a = self.attempt_client(client, agg_round, 0);
+                for a in self.run_attempts(agg_round, &launched, &global_params, &mut scratches) {
                     // Completions arrive when the client finishes. A failed
                     // client never reports back, so its slot is only
                     // reclaimed when the server-side timeout (the round
@@ -608,7 +728,7 @@ impl Experiment {
                     };
                     let finish = Finish {
                         at_s: self.clock.now_s() + slot_free_s,
-                        client,
+                        client: a.client,
                         completed: a.completed,
                         attempt_idx: attempts_store.len(),
                     };
@@ -636,7 +756,7 @@ impl Experiment {
                 );
                 round_attempts.push(ev.attempt_idx);
                 if ev.completed {
-                    if let Some(mut u) = attempts_store[ev.attempt_idx].update.clone() {
+                    if let Some(mut u) = attempts_store[ev.attempt_idx].update.take() {
                         u.staleness = agg_count - launch_agg[ev.attempt_idx];
                         buffer.push(u);
                     }
@@ -698,7 +818,8 @@ impl Experiment {
         } else {
             Some(rewards.iter().sum::<f64>() / rewards.len() as f64)
         };
-        let is_eval = round.is_multiple_of(self.config.eval_every) || round + 1 == self.config.rounds;
+        let is_eval =
+            round.is_multiple_of(self.config.eval_every) || round + 1 == self.config.rounds;
         let mean_accuracy = if is_eval {
             let accs = self.eval_all_clients();
             Some(accs.iter().sum::<f64>() / accs.len().max(1) as f64)

@@ -146,7 +146,7 @@ pub fn iid_partition(
     let mut out = Vec::with_capacity(num_clients);
     for c in 0..num_clients {
         let mut rng = seed_rng(split_seed(seed, c as u64));
-        let size = ((mean_samples as f64) * rng.gen_range(0.8..1.2))
+        let size = ((mean_samples as f64) * rng.gen_range(0.8f64..1.2))
             .round()
             .max(1.0) as usize;
         let base = size / num_classes;

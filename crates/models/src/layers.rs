@@ -71,9 +71,11 @@ impl Builder {
         self.w = self.w.div_ceil(stride);
         let conv_params = k * k * cin * cout;
         let conv_macs = conv_params * self.h * self.w;
-        self.table.push(format!("{name}.conv"), conv_params, conv_macs);
+        self.table
+            .push(format!("{name}.conv"), conv_params, conv_macs);
         // BN: per-channel scale + shift.
-        self.table.push(format!("{name}.bn"), 2 * cout, cout * self.h * self.w);
+        self.table
+            .push(format!("{name}.bn"), 2 * cout, cout * self.h * self.w);
     }
 
     fn maxpool(&mut self, stride: u64) {

@@ -18,5 +18,5 @@ pub mod cost;
 pub mod layers;
 
 pub use arch::{Architecture, ModelProfile};
-pub use layers::{LayerCost, LayerTable};
 pub use cost::{Precision, RoundCost};
+pub use layers::{LayerCost, LayerTable};

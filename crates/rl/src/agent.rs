@@ -149,9 +149,7 @@ impl RlhfAgent {
         if total_rounds == 0 {
             return 1.0;
         }
-        (((round + 1) as f64) / total_rounds as f64)
-            .min(1.0)
-            .max(0.05)
+        (((round + 1) as f64) / total_rounds as f64).clamp(0.05, 1.0)
     }
 
     /// Choose an acceleration action for a client in the given state at

@@ -48,25 +48,24 @@ pub struct QTable {
 // JSON objects require string keys, so the table serializes as
 // `(num_actions, Vec<(QKey, Vec<QEntry>)>)` pairs instead of a map.
 impl Serialize for QTable {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+    fn to_value(&self) -> serde::Value {
         let mut pairs: Vec<(&QKey, &Vec<QEntry>)> = self.rows.iter().collect();
         // Stable output: sort by the dense local-state index then debug key.
         pairs.sort_by_key(|(k, _)| (k.local.index(), k.hf.map(|h| h.index())));
-        (self.num_actions, pairs).serialize(serializer)
+        (self.num_actions, pairs).to_value()
     }
 }
 
-impl<'de> Deserialize<'de> for QTable {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let (num_actions, pairs): (usize, Vec<(QKey, Vec<QEntry>)>) =
-            Deserialize::deserialize(deserializer)?;
+impl Deserialize for QTable {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let (num_actions, pairs): (usize, Vec<(QKey, Vec<QEntry>)>) = Deserialize::from_value(v)?;
         if num_actions == 0 {
-            return Err(serde::de::Error::custom("num_actions must be positive"));
+            return Err(serde::Error::custom("num_actions must be positive"));
         }
         let mut rows = HashMap::new();
         for (k, v) in pairs {
             if v.len() != num_actions {
-                return Err(serde::de::Error::custom("row length mismatch"));
+                return Err(serde::Error::custom("row length mismatch"));
             }
             rows.insert(k, v);
         }
@@ -121,6 +120,7 @@ impl QTable {
     /// # Panics
     ///
     /// Panics if `action` is out of range.
+    #[allow(clippy::too_many_arguments)]
     pub fn update(
         &mut self,
         key: QKey,
@@ -147,6 +147,7 @@ impl QTable {
     /// # Panics
     ///
     /// Panics if `action` is out of range.
+    #[allow(clippy::too_many_arguments)]
     pub fn update_accumulate(
         &mut self,
         key: QKey,

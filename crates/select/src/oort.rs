@@ -82,8 +82,9 @@ impl OortSelector {
             return;
         }
         let recent: f64 = self.round_utilities[n - PACER_WINDOW..].iter().sum();
-        let previous: f64 =
-            self.round_utilities[n - 2 * PACER_WINDOW..n - PACER_WINDOW].iter().sum();
+        let previous: f64 = self.round_utilities[n - 2 * PACER_WINDOW..n - PACER_WINDOW]
+            .iter()
+            .sum();
         if recent <= previous {
             self.preferred_duration_s += self.pacer_step_s;
         }

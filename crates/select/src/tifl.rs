@@ -72,11 +72,7 @@ impl TiflSelector {
     /// Recompute tier boundaries by latency quantiles over profiled
     /// clients; unprofiled clients go to the middle tier.
     fn retier(&mut self) {
-        let mut latencies: Vec<f64> = self
-            .profiles
-            .iter()
-            .filter_map(|p| p.latency_s)
-            .collect();
+        let mut latencies: Vec<f64> = self.profiles.iter().filter_map(|p| p.latency_s).collect();
         if latencies.len() < NUM_TIERS {
             return;
         }
@@ -172,9 +168,7 @@ impl ClientSelector for TiflSelector {
                 .copied()
                 .filter(|&c| self.profiles[c].tier != tier)
                 .collect();
-            rest.sort_by_key(|&c| {
-                (self.profiles[c].tier as isize - tier as isize).unsigned_abs()
-            });
+            rest.sort_by_key(|&c| (self.profiles[c].tier as isize - tier as isize).unsigned_abs());
             pool.extend(rest);
         }
         pool.truncate(target.min(eligible.len()));
@@ -275,10 +269,7 @@ mod tests {
                 seen.insert(s.tier_of(c).expect("profiled"));
             }
         }
-        assert!(
-            seen.len() >= 4,
-            "only tiers {seen:?} were ever scheduled"
-        );
+        assert!(seen.len() >= 4, "only tiers {seen:?} were ever scheduled");
     }
 
     #[test]

@@ -156,8 +156,8 @@ impl Conv2d {
                                 }
                             }
                         }
-                        out.data_mut()[b * out_shape.len()
-                            + out_shape.at(oc, y as usize, xx as usize)] = acc;
+                        out.data_mut()
+                            [b * out_shape.len() + out_shape.at(oc, y as usize, xx as usize)] = acc;
                     }
                 }
             }
@@ -234,8 +234,7 @@ impl Conv2d {
                                 for kx in -half..=half {
                                     let xx2 = xx + kx;
                                     if yy >= 0 && yy < h && xx2 >= 0 && xx2 < w {
-                                        let xi =
-                                            self.input.at(ic, yy as usize, xx2 as usize);
+                                        let xi = self.input.at(ic, yy as usize, xx2 as usize);
                                         gw_acc[wi] += g * xin[xi];
                                         grad_in.data_mut()[b * self.input.len() + xi] +=
                                             g * wrow[wi];
@@ -294,7 +293,11 @@ impl MaxPool2 {
 
     /// Output feature shape (halved spatial dims).
     pub fn output_shape(&self) -> FeatureShape {
-        FeatureShape::new(self.input.channels, self.input.height / 2, self.input.width / 2)
+        FeatureShape::new(
+            self.input.channels,
+            self.input.height / 2,
+            self.input.width / 2,
+        )
     }
 
     /// Forward pass; caches argmax positions for backward.
@@ -358,8 +361,7 @@ impl MaxPool2 {
         for b in 0..self.batch {
             for o in 0..out_shape.len() {
                 let src = self.argmax[b * out_shape.len() + o];
-                grad_in.data_mut()[b * self.input.len() + src] +=
-                    grad_out.row(b)[o];
+                grad_in.data_mut()[b * self.input.len() + src] += grad_out.row(b)[o];
             }
         }
         Ok(grad_in)
@@ -416,9 +418,8 @@ mod tests {
         let mut conv = Conv2d::new(shape, 2, 3, 3);
         let x = sample_input(shape, 2, 7);
         // Loss = sum of outputs; dL/dout = ones.
-        let loss = |c: &Conv2d| -> f32 {
-            c.forward_inference(&x).expect("valid").data().iter().sum()
-        };
+        let loss =
+            |c: &Conv2d| -> f32 { c.forward_inference(&x).expect("valid").data().iter().sum() };
         let eps = 1e-2;
         for &(r, cc) in &[(0usize, 0usize), (1, 4), (0, 8)] {
             let base = conv.weight.at(r, cc);
@@ -430,8 +431,7 @@ mod tests {
             let numeric = (up - down) / (2.0 * eps);
 
             let y = conv.forward(&x).expect("valid");
-            let ones =
-                Tensor::from_vec(y.rows(), y.cols(), vec![1.0; y.len()]).expect("sized");
+            let ones = Tensor::from_vec(y.rows(), y.cols(), vec![1.0; y.len()]).expect("sized");
             conv.backward(&ones).expect("after forward");
             let analytic = conv.grad_weight.at(r, cc);
             assert!(
@@ -529,11 +529,11 @@ mod tests {
             for y in 0..2 {
                 for x in 0..2 {
                     let (yy, xx) = if cls == 0 { (y, x) } else { (y + 2, x + 2) };
-                    img[yy * 4 + xx] = 1.0 + rng.gen_range(-0.2..0.2);
+                    img[yy * 4 + xx] = 1.0 + rng.gen_range(-0.2f32..0.2);
                 }
             }
             for v in &mut img {
-                *v += rng.gen_range(-0.1..0.1);
+                *v += rng.gen_range(-0.1f32..0.1);
             }
             xs.push(img);
             ys.push(cls);
@@ -578,7 +578,11 @@ mod tests {
             head.bias.data_mut().copy_from_slice(hb);
 
             let logits = head
-                .forward_inference(&pool.forward(&conv.forward_inference(&x).expect("valid")).expect("valid"))
+                .forward_inference(
+                    &pool
+                        .forward(&conv.forward_inference(&x).expect("valid"))
+                        .expect("valid"),
+                )
                 .expect("valid");
             final_acc = crate::loss::accuracy(&logits, &ys);
         }

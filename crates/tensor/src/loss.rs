@@ -36,8 +36,7 @@ pub fn softmax_cross_entropy(
     }
     let mut grad = Tensor::zeros(n, c);
     let mut total = 0.0f64;
-    for i in 0..n {
-        let y = labels[i];
+    for (i, &y) in labels.iter().enumerate().take(n) {
         if y >= c {
             return Err(TensorError::InvalidData(format!(
                 "label {y} out of range for {c} classes"

@@ -100,10 +100,7 @@ impl Mlp {
     /// [`Mlp::set_params`].
     pub fn params(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.num_params());
-        for l in &self.layers {
-            out.extend_from_slice(l.weight.data());
-            out.extend_from_slice(l.bias.data());
-        }
+        self.params_into(&mut out);
         out
     }
 
@@ -150,11 +147,30 @@ impl Mlp {
     /// Flatten the current gradients in the same layout as [`Mlp::params`].
     pub fn grads(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.num_params());
+        self.grads_into(&mut out);
+        out
+    }
+
+    /// Write the flattened parameter vector into `out`, reusing its
+    /// allocation. `out` is cleared first.
+    pub fn params_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.num_params());
+        for l in &self.layers {
+            out.extend_from_slice(l.weight.data());
+            out.extend_from_slice(l.bias.data());
+        }
+    }
+
+    /// Write the flattened gradient vector into `out`, reusing its
+    /// allocation. `out` is cleared first.
+    pub fn grads_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.num_params());
         for l in &self.layers {
             out.extend_from_slice(l.grad_weight.data());
             out.extend_from_slice(l.grad_bias.data());
         }
-        out
     }
 
     /// Forward pass for inference.
@@ -228,6 +244,12 @@ impl Mlp {
         order.shuffle(&mut seed_rng(seed));
         let mut total = 0.0;
         let mut batches = 0;
+        // Hoisted out of the batch loop: `params` mirrors the layer
+        // parameters exactly (every write path goes through `set_params`
+        // below), so one read up front suffices and the per-batch
+        // `params()`/`grads()` allocations disappear.
+        let mut params = self.params();
+        let mut grads = Vec::with_capacity(params.len());
         for chunk in order.chunks(batch_size) {
             let batch = data.subset(chunk);
             match self.forward_backward(batch.features(), batch.labels()) {
@@ -237,8 +259,7 @@ impl Mlp {
                 }
                 Err(_) => continue,
             }
-            let mut params = self.params();
-            let mut grads = self.grads();
+            self.grads_into(&mut grads);
             if let Some(frozen) = &opts.frozen {
                 for (g, &f) in grads.iter_mut().zip(frozen) {
                     if f {
@@ -308,8 +329,8 @@ mod tests {
             let cls = rng.gen_range(0..2usize);
             let center = if cls == 0 { -1.0 } else { 1.0 };
             rows.push(vec![
-                center + rng.gen_range(-0.3..0.3),
-                center + rng.gen_range(-0.3..0.3),
+                center + rng.gen_range(-0.3f32..0.3),
+                center + rng.gen_range(-0.3f32..0.3),
             ]);
             labels.push(cls);
         }

@@ -154,8 +154,7 @@ impl Tensor {
         for i in 0..m {
             let lrow = &self.data[i * k..(i + 1) * k];
             let rrow = &rhs.data[i * n..(i + 1) * n];
-            for p in 0..k {
-                let a = lrow[p];
+            for (p, &a) in lrow.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }

@@ -195,14 +195,14 @@ mod tests {
     fn network_only_leaves_cpu_and_memory() {
         let m = InterferenceModel::unstable_network();
         let mut saw_variation = false;
-        let mut prev = None;
+        let mut prev: Option<f64> = None;
         for r in 0..50 {
             let (cpu, mem, net) = m.available_fractions(3, 1, r);
             assert_eq!(cpu, 1.0);
             assert_eq!(mem, 1.0);
             assert!((0.0..=1.0).contains(&net));
             if let Some(p) = prev {
-                if (net - p as f64).abs() > 1e-6 {
+                if (net - p).abs() > 1e-6 {
                     saw_variation = true;
                 }
             }

@@ -211,7 +211,7 @@ mod tests {
         let mut g = NetworkGen::new(NetworkProfile::FiveG, Mobility::Driving, 1);
         for r in 0..500 {
             let b = g.bandwidth_mbps(r);
-            assert!(b >= 0.05 && b < 10_000.0, "round {r}: {b}");
+            assert!((0.05..10_000.0).contains(&b), "round {r}: {b}");
         }
     }
 

@@ -347,7 +347,7 @@ pub fn synthetic_vfl(config: &VflConfig, n: usize, seed: u64) -> VflDataset {
         let y = rng.gen_range(0..config.num_classes);
         let row: Vec<f32> = centroids[y]
             .iter()
-            .map(|&m| m + rng.gen_range(-0.55..0.55))
+            .map(|&m| m + rng.gen_range(-0.55f32..0.55))
             .collect();
         rows.push(row);
         labels.push(y);

@@ -49,8 +49,7 @@ fn generous_deadline_eliminates_deadline_dropouts() {
 }
 
 #[test]
-fn brutal_deadline_drops_everyone_but_run_survives()
-{
+fn brutal_deadline_drops_everyone_but_run_survives() {
     let mut cfg = base(4);
     cfg.deadline_s = 0.001;
     let r = Experiment::new(cfg).expect("valid").run();
@@ -159,7 +158,11 @@ fn fedbuff_with_buffer_of_one_aggregates_every_completion() {
     let mut cfg = ExperimentConfig::small(SelectorChoice::FedBuff, AccelMode::Off, 5);
     cfg.async_buffer = 1;
     let r = Experiment::new(cfg).expect("valid").run();
-    assert!(r.total_completions >= 5, "only {} completions", r.total_completions);
+    assert!(
+        r.total_completions >= 5,
+        "only {} completions",
+        r.total_completions
+    );
 }
 
 #[test]

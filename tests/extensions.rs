@@ -108,7 +108,11 @@ fn tifl_extension_selector_runs_with_and_without_float() {
         let cfg = ExperimentConfig::small(SelectorChoice::Tifl, accel, 8);
         let report = Experiment::new(cfg).expect("valid").run();
         assert_eq!(report.rounds.len(), 8);
-        assert!(report.total_completions > 0, "tifl/{} never completed", accel.name());
+        assert!(
+            report.total_completions > 0,
+            "tifl/{} never completed",
+            accel.name()
+        );
     }
 }
 

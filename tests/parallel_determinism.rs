@@ -1,0 +1,96 @@
+//! The thread-count independence contract of the two-phase engine: a run
+//! with one worker and a run with many workers must produce *bit-identical*
+//! reports. Everything order-sensitive (sampler RNG, agent exploration,
+//! error-feedback residuals, ledger sums, aggregation) lives in the
+//! sequential plan/commit phases, so `num_threads` may change wall-clock
+//! time but never a single output bit.
+
+use float::core::{AccelMode, Experiment, ExperimentConfig, SelectorChoice};
+
+fn run_with_threads(mut cfg: ExperimentConfig, threads: usize) -> float::core::ExperimentReport {
+    cfg.num_threads = threads;
+    Experiment::new(cfg).expect("valid config").run()
+}
+
+fn assert_bit_identical(cfg: ExperimentConfig) {
+    let one = run_with_threads(cfg, 1);
+    let four = run_with_threads(cfg, 4);
+    // Field-by-field first, so a regression names the diverging field
+    // instead of dumping two whole reports.
+    assert_eq!(one.label, four.label);
+    assert_eq!(one.selected_count, four.selected_count, "selected_count");
+    assert_eq!(one.completed_count, four.completed_count, "completed_count");
+    assert_eq!(one.total_dropouts, four.total_dropouts, "total_dropouts");
+    assert_eq!(
+        one.total_completions, four.total_completions,
+        "total_completions"
+    );
+    assert_eq!(
+        one.client_accuracies, four.client_accuracies,
+        "client_accuracies"
+    );
+    assert_eq!(one.resources, four.resources, "resource ledger");
+    assert_eq!(one.wall_clock_h, four.wall_clock_h, "wall clock");
+    assert_eq!(one.technique_stats, four.technique_stats, "technique stats");
+    assert_eq!(one.rounds, four.rounds, "per-round records");
+    // And the whole report, in case a field is added later and forgotten
+    // above.
+    assert_eq!(one, four, "reports must be bit-identical");
+}
+
+#[test]
+fn sync_rlhf_is_thread_count_independent() {
+    // RLHF exercises every order-sensitive path: agent exploration RNG,
+    // per-client EMA, technique stats, and (via the extended catalogue
+    // below) error feedback.
+    assert_bit_identical(ExperimentConfig::small(
+        SelectorChoice::FedAvg,
+        AccelMode::Rlhf,
+        6,
+    ));
+}
+
+#[test]
+fn sync_oort_off_is_thread_count_independent() {
+    // Utility-guided selection consumes per-attempt utilities computed in
+    // the parallel phase — feedback order must not depend on workers.
+    assert_bit_identical(ExperimentConfig::small(
+        SelectorChoice::Oort,
+        AccelMode::Off,
+        6,
+    ));
+}
+
+#[test]
+fn async_fedbuff_is_thread_count_independent() {
+    // The event-driven engine: launch batches, staleness bookkeeping, and
+    // the completion heap must all be worker-count independent.
+    assert_bit_identical(ExperimentConfig::small(
+        SelectorChoice::FedBuff,
+        AccelMode::Rlhf,
+        6,
+    ));
+}
+
+#[test]
+fn extended_catalogue_error_feedback_is_thread_count_independent() {
+    // Top-k sparsification engages per-client error-feedback residuals,
+    // which are cloned in the execute phase and committed in client order.
+    assert_bit_identical(ExperimentConfig::small(
+        SelectorChoice::FedAvg,
+        AccelMode::RlhfExtended,
+        8,
+    ));
+}
+
+#[test]
+fn env_override_beats_config() {
+    // FLOAT_THREADS wins over ExperimentConfig::num_threads. Runs in its
+    // own process-global env slot; keep it the only env-touching test.
+    let mut cfg = ExperimentConfig::small(SelectorChoice::FedAvg, AccelMode::Off, 2);
+    cfg.num_threads = 1;
+    std::env::set_var("FLOAT_THREADS", "3");
+    assert_eq!(cfg.effective_threads(), 3);
+    std::env::remove_var("FLOAT_THREADS");
+    assert_eq!(cfg.effective_threads(), 1);
+}

@@ -24,4 +24,14 @@ fi
 step "cargo test -q"
 cargo test -q --offline
 
+step "fault-injection property tests"
+cargo test -q --offline --test fault_injection --test sim_properties
+
+if [[ "${1:-}" != "quick" ]]; then
+  # Short chaos run with a fixed seed and every fault kind active:
+  # asserts reports stay finite and bit-identical across thread counts.
+  step "chaos smoke (faults on)"
+  cargo run --release --offline --example chaos_smoke
+fi
+
 step "CI green"

@@ -65,6 +65,19 @@ fn weight(u: &PendingUpdate) -> f64 {
     (u.samples.max(1) as f64) / (1.0 + u.staleness as f64).sqrt()
 }
 
+/// Drop all but the first update from each client, preserving arrival
+/// order, and return how many duplicates were suppressed.
+///
+/// A faulty transport can deliver the same client update twice (the
+/// fault-injection harness models exactly this); double-counting a
+/// client's delta would silently skew the weighted average toward it.
+pub fn dedup_updates(updates: &mut Vec<PendingUpdate>) -> u64 {
+    let mut seen = std::collections::HashSet::new();
+    let before = updates.len();
+    updates.retain(|u| seen.insert(u.client));
+    (before - updates.len()) as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +144,30 @@ mod tests {
     fn mismatched_delta_panics() {
         let mut g = vec![0.0f32; 3];
         aggregate(&mut g, &[upd(0, vec![1.0], 1, 0)]);
+    }
+
+    #[test]
+    fn dedup_keeps_first_delivery_per_client() {
+        let mut ups = vec![
+            upd(0, vec![1.0], 10, 0),
+            upd(1, vec![2.0], 10, 0),
+            upd(0, vec![9.0], 10, 3), // duplicate delivery of client 0
+            upd(2, vec![3.0], 10, 0),
+            upd(1, vec![8.0], 10, 1),
+        ];
+        let dropped = dedup_updates(&mut ups);
+        assert_eq!(dropped, 2);
+        let clients: Vec<usize> = ups.iter().map(|u| u.client).collect();
+        assert_eq!(clients, vec![0, 1, 2]);
+        assert_eq!(ups[0].delta, vec![1.0], "first delivery wins");
+        assert_eq!(ups[1].delta, vec![2.0]);
+    }
+
+    #[test]
+    fn dedup_noop_on_distinct_clients() {
+        let mut ups = vec![upd(0, vec![1.0], 1, 0), upd(1, vec![2.0], 1, 0)];
+        assert_eq!(dedup_updates(&mut ups), 0);
+        assert_eq!(ups.len(), 2);
     }
 
     #[test]

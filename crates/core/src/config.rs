@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use float_data::federated::FederatedConfig;
 use float_data::Task;
 use float_models::Architecture;
+use float_sim::FaultPlan;
 use float_traces::InterferenceModel;
 
 /// Which client-selection algorithm drives the run.
@@ -148,6 +149,14 @@ pub struct ExperimentConfig {
     /// never changes results — see `DESIGN.md` §Two-phase engine.
     #[serde(default)]
     pub num_threads: usize,
+    /// Deterministic fault-injection schedule layered on top of the
+    /// benign failure model: per-(round, client, attempt) crashes,
+    /// network stalls, duplicate deliveries, and corrupt payloads, all
+    /// drawn from the root seed. Defaults to no faults; see
+    /// [`FaultPlan::chaos`] for the chaos-testing preset and `DESIGN.md`
+    /// §Fault model for the semantics.
+    #[serde(default)]
+    pub fault_plan: FaultPlan,
 }
 
 impl ExperimentConfig {
@@ -187,6 +196,7 @@ impl ExperimentConfig {
             assume_no_dropouts: false,
             seed: 20240422,
             num_threads: 0,
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -216,6 +226,7 @@ impl ExperimentConfig {
             assume_no_dropouts: false,
             seed: 7,
             num_threads: 0,
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -297,6 +308,7 @@ impl ExperimentConfig {
         {
             return Err("reward weights must be non-negative and not both zero".into());
         }
+        self.fault_plan.validate()?;
         Ok(())
     }
 }
@@ -343,6 +355,12 @@ mod tests {
         let mut c = base;
         c.deadline_s = f64::NAN;
         assert!(c.validate().is_err());
+        let mut c = base;
+        c.fault_plan.crash_rate = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.fault_plan = FaultPlan::chaos();
+        c.validate().expect("chaos preset must validate");
     }
 
     #[test]

@@ -83,6 +83,10 @@ pub struct RoundRecord {
     pub completed: usize,
     /// Clients that dropped.
     pub dropped: usize,
+    /// Of the dropped clients, how many were quarantined by payload
+    /// validation (subset of `dropped`).
+    #[serde(default)]
+    pub quarantined: usize,
     /// Virtual wall-clock at the end of the round, seconds.
     pub clock_s: f64,
     /// Mean client accuracy, if this was an evaluation round.
@@ -109,6 +113,18 @@ pub struct ExperimentReport {
     pub total_dropouts: u64,
     /// Total completion events across the run.
     pub total_completions: u64,
+    /// Updates rejected by server-side payload validation (non-finite
+    /// deltas). Counted in `total_dropouts` too.
+    #[serde(default)]
+    pub total_quarantined: u64,
+    /// Duplicate deliveries of the same client's update suppressed before
+    /// aggregation.
+    #[serde(default)]
+    pub duplicates_suppressed: u64,
+    /// Retries issued for network-stalled clients (sync engine's bounded
+    /// retry/backoff).
+    #[serde(default)]
+    pub stall_retries: u64,
     /// Resource ledger totals.
     pub resources: LedgerTotals,
     /// Final virtual wall-clock, hours.
@@ -151,6 +167,27 @@ impl ExperimentReport {
             .iter()
             .filter_map(|r| r.mean_reward.map(|w| (r.round, w)))
             .collect()
+    }
+
+    /// Whether every floating-point quantity in the report is finite —
+    /// the no-NaN/no-Inf invariant chaos runs assert even under hostile
+    /// fault schedules.
+    pub fn is_finite(&self) -> bool {
+        [
+            self.accuracy.top10,
+            self.accuracy.mean,
+            self.accuracy.bottom10,
+        ]
+        .iter()
+        .all(|v| v.is_finite())
+            && self.client_accuracies.iter().all(|v| v.is_finite())
+            && self.wall_clock_h.is_finite()
+            && self.resources.is_physical()
+            && self.rounds.iter().all(|r| {
+                r.clock_s.is_finite()
+                    && r.mean_accuracy.is_none_or(f64::is_finite)
+                    && r.mean_reward.is_none_or(f64::is_finite)
+            })
     }
 
     /// Serialize the per-round log as JSON Lines (one round per line) —
@@ -213,6 +250,9 @@ mod tests {
             completed_count: vec![1],
             total_dropouts: 0,
             total_completions: 1,
+            total_quarantined: 0,
+            duplicates_suppressed: 0,
+            stall_retries: 0,
             resources: Default::default(),
             wall_clock_h: 1.0,
             technique_stats: Default::default(),
@@ -222,6 +262,7 @@ mod tests {
                     selected: 3,
                     completed: 2,
                     dropped: 1,
+                    quarantined: 1,
                     clock_s: 100.0,
                     mean_accuracy: Some(0.4),
                     mean_reward: None,
@@ -231,12 +272,14 @@ mod tests {
                     selected: 3,
                     completed: 3,
                     dropped: 0,
+                    quarantined: 0,
                     clock_s: 200.0,
                     mean_accuracy: None,
                     mean_reward: Some(0.7),
                 },
             ],
         };
+        assert!(report.is_finite());
         let jsonl = report.round_log_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
         assert_eq!(lines.len(), 2);
@@ -244,6 +287,9 @@ mod tests {
             let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON line");
             assert!(v.get("round").is_some());
         }
+        let mut bad = report;
+        bad.wall_clock_h = f64::NAN;
+        assert!(!bad.is_finite());
     }
 
     #[test]

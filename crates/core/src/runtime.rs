@@ -15,14 +15,14 @@ use float_select::{
     SelectionFeedback, TiflSelector,
 };
 use float_sim::{
-    estimate_round_time_s, execute_client_round, ClientRoundOutcome, ResourceLedger, RoundParams,
-    SimClock,
+    apply_outcome_fault, estimate_round_time_s, execute_client_round, ClientRoundOutcome,
+    DropReason, FaultKind, ResourceLedger, RoundParams, SimClock,
 };
 use float_tensor::rng::split_seed;
 use float_tensor::{Mlp, MlpConfig, Sgd};
 use float_traces::{DeviceProfile, ResourceSampler, ResourceSnapshot};
 
-use crate::aggregate::{aggregate, PendingUpdate};
+use crate::aggregate::{aggregate, dedup_updates, PendingUpdate};
 use crate::config::{AccelMode, ExperimentConfig, SelectorChoice};
 use crate::engine::parallel_map_with;
 use crate::metrics::{AccuracySummary, ExperimentReport, RoundRecord};
@@ -56,15 +56,23 @@ pub struct Experiment {
     clock: SimClock,
     ledger: ResourceLedger,
     report: ExperimentReport,
+    /// Wall-clock backoff accumulated by stall retries in the current
+    /// synchronous round; drained into the round's wall time.
+    round_backoff_s: f64,
 }
 
 /// The frozen inputs of one client attempt, produced by the sequential
 /// *plan* phase. Everything the parallel *execute* phase needs is captured
 /// here by value, so execution is a pure function of `(global params,
-/// task)` plus read-only experiment state.
+/// task)` plus read-only experiment state. `Clone` so a stall retry can
+/// re-execute the same plan under a fresh attempt number.
+#[derive(Clone)]
 struct AttemptTask {
     client: usize,
     staleness: u64,
+    /// Which delivery attempt this is (0 for the first; stall retries
+    /// bump it so the fault schedule redraws).
+    attempt: u32,
     snap: ResourceSnapshot,
     profile: DeviceProfile,
     action: AccelAction,
@@ -87,6 +95,9 @@ struct AttemptExec {
     /// Updated error-feedback residual (top-k compression only); written
     /// back to the experiment in the commit phase, in client order.
     error_feedback: Option<ErrorFeedback>,
+    /// An injected duplicate-delivery fault hit this attempt: the
+    /// transport will hand the aggregator the update twice.
+    duplicate: bool,
 }
 
 /// Per-worker reusable buffers for the execute phase. Contents are fully
@@ -114,6 +125,12 @@ struct Attempt {
     reward: Option<f64>,
     /// Pending update if the client completed.
     update: Option<PendingUpdate>,
+    /// The update arrived but payload validation quarantined it.
+    quarantined: bool,
+    /// The transport will deliver this update twice.
+    duplicate: bool,
+    /// The upload stalled past the server timeout (retry candidate).
+    stalled: bool,
 }
 
 impl Experiment {
@@ -186,6 +203,9 @@ impl Experiment {
             completed_count: vec![0; config.num_clients],
             total_dropouts: 0,
             total_completions: 0,
+            total_quarantined: 0,
+            duplicates_suppressed: 0,
+            stall_retries: 0,
             resources: Default::default(),
             wall_clock_h: 0.0,
             technique_stats: Default::default(),
@@ -207,6 +227,7 @@ impl Experiment {
             clock: SimClock::new(),
             ledger: ResourceLedger::new(),
             report,
+            round_backoff_s: 0.0,
         })
     }
 
@@ -389,6 +410,7 @@ impl Experiment {
         AttemptTask {
             client,
             staleness,
+            attempt: 0,
             snap,
             profile: self.sampler.client(client).profile,
             action,
@@ -440,10 +462,23 @@ impl Experiment {
         );
         // Fig. 3 "no dropouts" counterfactual: every client that started
         // finishes, no matter how long it took.
-        if self.config.assume_no_dropouts
-            && outcome.dropped != Some(float_sim::DropReason::Unavailable)
-        {
+        if self.config.assume_no_dropouts && outcome.dropped != Some(DropReason::Unavailable) {
             outcome.dropped = None;
+        }
+        // Injected faults land after the counterfactual override: the ND
+        // analysis removes *benign* dropouts, not adversarial ones. The
+        // draw is a pure function of (seed, round, client, attempt), so
+        // it is identical no matter which worker executes the attempt.
+        let fault = self.config.fault_plan.draw(
+            self.config.seed,
+            round as u64,
+            task.client as u64,
+            task.attempt,
+        );
+        if let Some(kind) = fault {
+            if !kind.affects_payload() {
+                apply_outcome_fault(&mut outcome, kind, &round_params);
+            }
         }
         if !outcome.completed() {
             return AttemptExec {
@@ -452,6 +487,7 @@ impl Experiment {
                 improvement: 0.0,
                 update: None,
                 error_feedback: None,
+                duplicate: false,
             };
         }
 
@@ -492,7 +528,7 @@ impl Experiment {
         // grid, pruning zeros, sparsification). The attempt plan already
         // carries the masks — they depend only on the action, the global
         // parameters, and the seed, so no second plan is needed.
-        let (delta, error_feedback) = if task.action == AccelAction::TopK10 {
+        let (mut delta, error_feedback) = if task.action == AccelAction::TopK10 {
             // Sparsified uploads carry per-client error feedback so the
             // untransmitted mass is not lost (see float_accel::feedback).
             // Work on a copy of the residual state; the commit phase writes
@@ -503,6 +539,14 @@ impl Experiment {
         } else {
             (transform_update(task.action, &scratch.delta, &plan), None)
         };
+        // A corrupt-payload fault poisons the wire delta with non-finite
+        // values; server-side validation must catch these in the commit
+        // phase before they reach aggregation.
+        if fault == Some(FaultKind::CorruptPayload) && !delta.is_empty() {
+            let mid = delta.len() / 2;
+            delta[0] = f32::NAN;
+            delta[mid] = f32::INFINITY;
+        }
         // Oort's statistical utility: loss magnitude scaled by dataset size.
         let utility = f64::from(last_loss.max(0.0)) * (shard.len() as f64).sqrt();
         // Per-round accuracy improvements are a few percent at most, while
@@ -522,6 +566,7 @@ impl Experiment {
                 staleness: task.staleness,
             }),
             error_feedback,
+            duplicate: fault == Some(FaultKind::DuplicateDelivery),
         }
     }
 
@@ -529,7 +574,30 @@ impl Experiment {
     /// error-feedback residual, agent feedback, report bookkeeping) in
     /// client order. Always sequential, so these effects are identical no
     /// matter how many workers ran the execute phase.
-    fn commit_attempt(&mut self, round: usize, task: &AttemptTask, exec: AttemptExec) -> Attempt {
+    fn commit_attempt(
+        &mut self,
+        round: usize,
+        task: &AttemptTask,
+        mut exec: AttemptExec,
+    ) -> Attempt {
+        // Server-side payload validation: an update carrying NaN/Inf would
+        // poison the global model through aggregation, so it is quarantined
+        // — dropped before aggregation, its resources counted as wasted,
+        // and the event surfaced in the ledger and report.
+        let quarantined = exec
+            .update
+            .as_ref()
+            .is_some_and(|u| u.delta.iter().any(|v| !v.is_finite()));
+        if quarantined {
+            exec.outcome.dropped = Some(DropReason::Quarantined);
+            exec.update = None;
+            // Discard the residual too: error feedback distilled from a
+            // poisoned update must not leak into future rounds.
+            exec.error_feedback = None;
+            exec.utility = 0.0;
+            exec.improvement = 0.0;
+            self.report.total_quarantined += 1;
+        }
         self.ledger.record(&exec.outcome);
         self.sampler
             .drain_battery(task.client, exec.outcome.energy_j);
@@ -578,17 +646,28 @@ impl Experiment {
             utility: exec.utility,
             reward,
             update: exec.update,
+            quarantined,
+            duplicate: exec.duplicate && completed,
+            stalled: exec.outcome.dropped == Some(DropReason::NetworkStall),
         }
     }
 
     /// Plan, execute (fanned out over `scratches`), and commit a batch of
     /// client attempts. Results come back in cohort order.
+    ///
+    /// With `retry_stalled` set (the synchronous engine), clients whose
+    /// upload hit an injected network stall are re-requested up to the
+    /// fault plan's retry bound, each retry charging its backoff to the
+    /// round's wall clock. Retries run sequentially in cohort order with a
+    /// bumped attempt number, so the fault schedule redraws and the result
+    /// stays independent of worker-thread count.
     fn run_attempts(
         &mut self,
         round: usize,
         cohort: &[usize],
         global_params: &[f32],
         scratches: &mut [WorkerScratch],
+        retry_stalled: bool,
     ) -> Vec<Attempt> {
         let mut tasks = Vec::with_capacity(cohort.len());
         for &client in cohort {
@@ -598,11 +677,27 @@ impl Experiment {
         let execs = parallel_map_with(scratches, &tasks, |scratch, task| {
             self.execute_attempt(global_params, round, task, scratch)
         });
-        tasks
+        let mut attempts: Vec<Attempt> = tasks
             .iter()
             .zip(execs)
             .map(|(task, exec)| self.commit_attempt(round, task, exec))
-            .collect()
+            .collect();
+        let max_retries = self.config.fault_plan.stall_max_retries;
+        if retry_stalled && max_retries > 0 {
+            for (i, task0) in tasks.iter().enumerate() {
+                let mut attempt_no = 0u32;
+                while attempts[i].stalled && attempt_no < max_retries {
+                    attempt_no += 1;
+                    let mut task = task0.clone();
+                    task.attempt = attempt_no;
+                    self.round_backoff_s += self.config.fault_plan.stall_backoff_s;
+                    self.report.stall_retries += 1;
+                    let exec = self.execute_attempt(global_params, round, &task, &mut scratches[0]);
+                    attempts[i] = self.commit_attempt(round, &task, exec);
+                }
+            }
+        }
+        attempts
     }
 
     fn worker_scratches(&self) -> Vec<WorkerScratch> {
@@ -631,19 +726,30 @@ impl Experiment {
                 .selector
                 .select(round, &eligible, self.config.cohort_size);
             let mut global = self.global_model.params();
-            let mut attempts = self.run_attempts(round, &cohort, &global, &mut scratches);
-            // Aggregate completed updates, taken by move.
-            let updates: Vec<PendingUpdate> = attempts
-                .iter_mut()
-                .filter_map(|a| a.update.take())
-                .collect();
+            let mut attempts = self.run_attempts(round, &cohort, &global, &mut scratches, true);
+            // Aggregate completed updates, taken by move. An injected
+            // duplicate-delivery fault hands the aggregator the same
+            // update twice; the dedup pass suppresses the extra copy so a
+            // faulty transport cannot double-weight a client.
+            let mut updates: Vec<PendingUpdate> = Vec::with_capacity(attempts.len());
+            for a in attempts.iter_mut() {
+                if let Some(u) = a.update.take() {
+                    if a.duplicate {
+                        updates.push(u.clone());
+                    }
+                    updates.push(u);
+                }
+            }
+            self.report.duplicates_suppressed += dedup_updates(&mut updates);
             aggregate(&mut global, &updates);
             self.global_model
                 .set_params(&global)
                 .expect("aggregation preserves parameter count");
 
             // Wall clock: the server waits for the slowest completer, or
-            // the full deadline if anyone missed it.
+            // the full deadline if anyone missed it — plus any backoff the
+            // stall retries charged.
+            let backoff_s = std::mem::take(&mut self.round_backoff_s);
             let any_miss = attempts.iter().any(|a| !a.completed && a.was_available);
             let max_complete = attempts
                 .iter()
@@ -654,7 +760,7 @@ impl Experiment {
                 self.config.deadline_s
             } else {
                 max_complete.max(1.0)
-            };
+            } + backoff_s;
             self.clock.advance(round_wall);
             self.sampler.charge_all();
 
@@ -715,7 +821,9 @@ impl Experiment {
                 let launched = self
                     .selector
                     .select(agg_round, &eligible, self.config.cohort_size);
-                for a in self.run_attempts(agg_round, &launched, &global_params, &mut scratches) {
+                for a in
+                    self.run_attempts(agg_round, &launched, &global_params, &mut scratches, false)
+                {
                     // Completions arrive when the client finishes. A failed
                     // client never reports back, so its slot is only
                     // reclaimed when the server-side timeout (the round
@@ -752,17 +860,26 @@ impl Experiment {
                         duration_s: attempt.duration_s,
                         utility: attempt.utility,
                         was_available: attempt.was_available,
+                        quarantined: attempt.quarantined,
                     }],
                 );
                 round_attempts.push(ev.attempt_idx);
                 if ev.completed {
+                    let duplicate = attempts_store[ev.attempt_idx].duplicate;
                     if let Some(mut u) = attempts_store[ev.attempt_idx].update.take() {
                         u.staleness = agg_count - launch_agg[ev.attempt_idx];
+                        // An at-least-once transport delivers the update
+                        // twice; both copies land in the buffer and the
+                        // pre-aggregation dedup suppresses the extra one.
+                        if duplicate {
+                            buffer.push(u.clone());
+                        }
                         buffer.push(u);
                     }
                 }
             }
             if !buffer.is_empty() {
+                self.report.duplicates_suppressed += dedup_updates(&mut buffer);
                 let mut global = self.global_model.params();
                 aggregate(&mut global, &buffer);
                 self.global_model
@@ -794,6 +911,7 @@ impl Experiment {
                 duration_s: a.duration_s,
                 utility: a.utility,
                 was_available: a.was_available,
+                quarantined: a.quarantined,
             })
             .collect();
         self.selector.feedback(round, &fb);
@@ -804,6 +922,7 @@ impl Experiment {
     fn bookkeep_round_refs(&mut self, round: usize, attempts: &[&Attempt]) {
         let completed = attempts.iter().filter(|a| a.completed).count();
         let dropped = attempts.len() - completed;
+        let quarantined = attempts.iter().filter(|a| a.quarantined).count();
         for a in attempts {
             if a.completed {
                 self.report.completed_count[a.client] += 1;
@@ -831,6 +950,7 @@ impl Experiment {
             selected: attempts.len(),
             completed,
             dropped,
+            quarantined,
             clock_s: self.clock.now_s(),
             mean_accuracy,
             mean_reward,
@@ -960,5 +1080,58 @@ mod tests {
         let mut cfg = ExperimentConfig::small(SelectorChoice::FedAvg, AccelMode::Off, 5);
         cfg.cohort_size = 0;
         assert!(Experiment::new(cfg).is_err());
+    }
+
+    #[test]
+    fn chaos_sync_run_is_finite_and_accounts_faults() {
+        let mut cfg = ExperimentConfig::small(SelectorChoice::FedAvg, AccelMode::Rlhf, 10);
+        cfg.fault_plan = float_sim::FaultPlan::chaos();
+        let r = Experiment::new(cfg).expect("valid config").run();
+        assert!(r.is_finite(), "report carries NaN/Inf under faults");
+        assert_eq!(
+            r.total_quarantined, r.resources.quarantined,
+            "report and ledger disagree on quarantine count"
+        );
+        assert!(
+            r.total_quarantined > 0,
+            "5% corrupt rate over 100 attempts should quarantine something"
+        );
+        assert!(r.duplicates_suppressed > 0, "no duplicates suppressed");
+        assert!(r.stall_retries > 0, "no stall retries issued");
+        let round_quarantines: usize = r.rounds.iter().map(|x| x.quarantined).sum();
+        assert_eq!(round_quarantines as u64, r.total_quarantined);
+    }
+
+    #[test]
+    fn chaos_async_run_is_finite() {
+        let mut cfg = ExperimentConfig::small(SelectorChoice::FedBuff, AccelMode::Off, 6);
+        cfg.fault_plan = float_sim::FaultPlan::chaos();
+        let r = Experiment::new(cfg).expect("valid config").run();
+        assert!(r.is_finite(), "async report carries NaN/Inf under faults");
+        assert_eq!(r.total_quarantined, r.resources.quarantined);
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let mut cfg = ExperimentConfig::small(SelectorChoice::Oort, AccelMode::Rlhf, 6);
+        cfg.fault_plan = float_sim::FaultPlan::chaos();
+        let a = Experiment::new(cfg).expect("valid").run();
+        let b = Experiment::new(cfg).expect("valid").run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        // FaultPlan::none() must be a true no-op: same results as a config
+        // that never heard of fault injection.
+        let cfg = ExperimentConfig::small(SelectorChoice::FedAvg, AccelMode::Rlhf, 5);
+        let mut cfg_faultless = cfg;
+        cfg_faultless.fault_plan = float_sim::FaultPlan::none();
+        let a = Experiment::new(cfg).expect("valid").run();
+        let b = Experiment::new(cfg_faultless).expect("valid").run();
+        assert_eq!(a, b);
+        assert_eq!(a.total_quarantined, 0);
+        assert_eq!(a.stall_retries, 0);
+        assert_eq!(a.duplicates_suppressed, 0);
     }
 }

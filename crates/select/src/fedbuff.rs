@@ -105,6 +105,7 @@ mod tests {
             duration_s: 50.0,
             utility: 1.0,
             was_available: true,
+            quarantined: false,
         }
     }
 

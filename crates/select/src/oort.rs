@@ -115,6 +115,28 @@ impl OortSelector {
         let staleness = ((round - r.last_selected_round) as f64).sqrt() * 0.01;
         util + staleness
     }
+
+    /// Deduplicate a tentative pick list (order-preserving, across *all*
+    /// elements — `Vec::dedup` only removes adjacent repeats) and then
+    /// bump the per-client counters, so a double-picked id is counted
+    /// once. Counting before deduplication used to inflate `selected`,
+    /// silently depressing the reliability term of [`Self::priority`].
+    fn commit_selection(&mut self, mut picked: Vec<usize>, round: usize) -> Vec<usize> {
+        let mut seen = vec![false; self.records.len()];
+        picked.retain(|&c| {
+            if seen[c] {
+                false
+            } else {
+                seen[c] = true;
+                true
+            }
+        });
+        for &c in &picked {
+            self.records[c].selected += 1;
+            self.records[c].last_selected_round = round;
+        }
+        picked
+    }
 }
 
 impl ClientSelector for OortSelector {
@@ -130,14 +152,16 @@ impl ClientSelector for OortSelector {
         let explore_n = ((target as f64) * self.exploration_fraction).round() as usize;
         let exploit_n = target - explore_n;
 
-        // Exploitation: top eligible clients by priority.
-        let mut by_priority: Vec<usize> = eligible.to_vec();
-        by_priority.sort_by(|&a, &b| {
-            self.priority(b, round)
-                .partial_cmp(&self.priority(a, round))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let mut picked: Vec<usize> = by_priority.into_iter().take(exploit_n).collect();
+        // Exploitation: top eligible clients by priority. Priorities are
+        // computed once per call into a scratch vector — the comparator
+        // used to call `priority()` twice per comparison, turning the sort
+        // into O(n log n) full priority evaluations.
+        let mut scored: Vec<(f64, usize)> = eligible
+            .iter()
+            .map(|&c| (self.priority(c, round), c))
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut picked: Vec<usize> = scored.into_iter().take(exploit_n).map(|(_, c)| c).collect();
 
         // Exploration: random among the rest, preferring untried clients.
         let mut rest: Vec<usize> = eligible
@@ -151,13 +175,7 @@ impl ClientSelector for OortSelector {
         for c in rest.into_iter().take(explore_n) {
             picked.push(c);
         }
-        for &c in &picked {
-            self.records[c].selected += 1;
-            self.records[c].last_selected_round = round;
-        }
-        // Defensive dedup (priorities and exploration are disjoint by
-        // construction, but a future edit must not silently double-select).
-        picked.dedup();
+        let picked = self.commit_selection(picked, round);
         let _ = rng.gen::<u64>();
         picked
     }
@@ -174,6 +192,12 @@ impl ClientSelector for OortSelector {
                 r.stat_utility = 0.7 * r.stat_utility + 0.3 * f.utility;
                 r.last_duration_s = f.duration_s;
                 round_utility += f.utility;
+            } else if f.quarantined {
+                // A quarantined payload is worse than slowness: the client
+                // consumed a slot and shipped poison. Decay its utility
+                // harder than an ordinary dropout.
+                r.last_duration_s = r.last_duration_s.max(f.duration_s);
+                r.stat_utility *= 0.5;
             } else {
                 // A dropout tells Oort the client is slow/unreliable.
                 r.last_duration_s = r.last_duration_s.max(f.duration_s);
@@ -201,6 +225,7 @@ mod tests {
             duration_s: duration,
             utility,
             was_available: true,
+            quarantined: false,
         }
     }
 
@@ -300,6 +325,44 @@ mod tests {
             s.preferred_duration_s(),
             t0,
             "pacer relaxed despite improving utility"
+        );
+    }
+
+    #[test]
+    fn double_selected_id_is_counted_once() {
+        // Regression: counters used to be bumped before the defensive
+        // dedup (which, being Vec::dedup, also missed non-adjacent
+        // repeats), so a double-picked id double-counted `selected`.
+        let mut s = OortSelector::new(5, 60.0);
+        s.ensure(4);
+        let picked = s.commit_selection(vec![3, 1, 3, 2, 1], 7);
+        assert_eq!(picked, vec![3, 1, 2], "order-preserving dedup");
+        assert_eq!(
+            s.records[3].selected, 1,
+            "non-adjacent duplicate counted once"
+        );
+        assert_eq!(s.records[1].selected, 1);
+        assert_eq!(s.records[2].selected, 1);
+        assert_eq!(s.records[3].last_selected_round, 7);
+    }
+
+    #[test]
+    fn quarantined_clients_lose_utility_faster_than_dropouts() {
+        let mut slow = OortSelector::new(6, 60.0);
+        let mut poison = OortSelector::new(6, 60.0);
+        // Build up identical utility first.
+        for s in [&mut slow, &mut poison] {
+            s.feedback(0, &[feedback(0, true, 30.0, 1.0)]);
+        }
+        slow.feedback(1, &[feedback(0, false, 600.0, 0.0)]);
+        let mut q = feedback(0, false, 30.0, 0.0);
+        q.quarantined = true;
+        poison.feedback(1, &[q]);
+        assert!(
+            poison.records[0].stat_utility < slow.records[0].stat_utility,
+            "quarantine decay {} !< dropout decay {}",
+            poison.records[0].stat_utility,
+            slow.records[0].stat_utility
         );
     }
 

@@ -146,6 +146,7 @@ mod tests {
             duration_s: duration,
             utility: 1.0,
             was_available: available,
+            quarantined: false,
         }
     }
 

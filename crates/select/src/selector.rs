@@ -49,6 +49,13 @@ pub struct SelectionFeedback {
     pub utility: f64,
     /// Whether the client was reachable when the round started.
     pub was_available: bool,
+    /// Whether the client's update reached the server but was quarantined
+    /// by payload validation (non-finite deltas). Implies `!completed`.
+    /// Distinct from a no-show: the client was fast enough, its payload
+    /// was poison — selectors may penalize that more harshly than
+    /// slowness.
+    #[serde(default)]
+    pub quarantined: bool,
 }
 
 /// A client-selection strategy.

@@ -212,6 +212,7 @@ mod tests {
             duration_s: duration,
             utility,
             was_available: true,
+            quarantined: false,
         }
     }
 

@@ -34,6 +34,11 @@ pub struct LedgerTotals {
     pub completions: u64,
     /// Dropped client-rounds.
     pub dropouts: u64,
+    /// Dropped client-rounds whose update reached the server but was
+    /// quarantined by payload validation (non-finite deltas). Always a
+    /// subset of `dropouts`.
+    #[serde(default)]
+    pub quarantined: u64,
 }
 
 impl LedgerTotals {
@@ -60,6 +65,25 @@ impl LedgerTotals {
         } else {
             self.wasted_compute_h / t
         }
+    }
+
+    /// Whether every total is finite and non-negative and the quarantine
+    /// count stays within the dropout count — the physicality invariant
+    /// chaos runs and property tests assert.
+    pub fn is_physical(&self) -> bool {
+        [
+            self.useful_compute_h,
+            self.useful_comm_h,
+            self.useful_memory_tb,
+            self.wasted_compute_h,
+            self.wasted_comm_h,
+            self.wasted_memory_tb,
+            self.useful_energy_j,
+            self.wasted_energy_j,
+        ]
+        .iter()
+        .all(|v| v.is_finite() && *v >= 0.0)
+            && self.quarantined <= self.dropouts
     }
 }
 
@@ -92,6 +116,9 @@ impl ResourceLedger {
             self.totals.wasted_memory_tb += memory_tb;
             self.totals.wasted_energy_j += outcome.energy_j;
             self.totals.dropouts += 1;
+            if outcome.dropped == Some(crate::round::DropReason::Quarantined) {
+                self.totals.quarantined += 1;
+            }
         }
     }
 
@@ -114,6 +141,7 @@ impl ResourceLedger {
         t.wasted_energy_j += o.wasted_energy_j;
         t.completions += o.completions;
         t.dropouts += o.dropouts;
+        t.quarantined += o.quarantined;
     }
 }
 
@@ -165,6 +193,31 @@ mod tests {
         let l = ResourceLedger::new();
         assert_eq!(l.totals().compute_waste_fraction(), 0.0);
         assert_eq!(l.totals().total_compute_h(), 0.0);
+    }
+
+    #[test]
+    fn quarantined_outcomes_are_counted_as_dropouts_and_quarantines() {
+        let mut l = ResourceLedger::new();
+        let mut o = outcome(false, 100.0, 50.0, 1e9);
+        o.dropped = Some(DropReason::Quarantined);
+        l.record(&o);
+        l.record(&outcome(false, 100.0, 50.0, 1e9)); // plain deadline miss
+        let t = l.totals();
+        assert_eq!(t.dropouts, 2);
+        assert_eq!(t.quarantined, 1);
+        assert!(t.is_physical());
+    }
+
+    #[test]
+    fn merge_carries_quarantine_counts() {
+        let mut a = ResourceLedger::new();
+        let mut b = ResourceLedger::new();
+        let mut o = outcome(false, 1.0, 1.0, 1.0);
+        o.dropped = Some(DropReason::Quarantined);
+        a.record(&o);
+        b.record(&o);
+        a.merge(&b);
+        assert_eq!(a.totals().quarantined, 2);
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! metrics — compute hours, communication hours, and memory terabytes
 //! split into useful (completed round) and wasted (dropped client) work —
 //! and a [`SimClock`] tracks virtual wall-clock time for synchronous and
-//! asynchronous execution.
+//! asynchronous execution. A seeded [`FaultPlan`] deterministically
+//! injects hostile failure modes — mid-round crashes, network stalls,
+//! duplicate deliveries, corrupt payloads — on top of the benign model.
 //!
 //! [`ResourceSnapshot`]: float_traces::ResourceSnapshot
 //! [`RoundCost`]: float_models::RoundCost
@@ -18,10 +20,12 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod fault;
 pub mod ledger;
 pub mod round;
 
 pub use clock::SimClock;
+pub use fault::{apply_outcome_fault, FaultKind, FaultPlan};
 pub use ledger::{LedgerTotals, ResourceLedger};
 pub use round::{
     estimate_round_time_s, execute_client_round, ClientRoundOutcome, DropReason, RoundParams,

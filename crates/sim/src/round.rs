@@ -22,6 +22,16 @@ pub enum DropReason {
     /// The device went away mid-round (user activity, network loss,
     /// battery death during the round).
     MidRoundFailure,
+    /// Fault injection: the device crashed mid-round after finishing its
+    /// local work ([`crate::fault::FaultKind::MidRoundCrash`]).
+    InjectedCrash,
+    /// Fault injection: the upload stalled past the server's timeout
+    /// ([`crate::fault::FaultKind::NetworkStall`]).
+    NetworkStall,
+    /// The update arrived but server-side validation rejected it: the
+    /// payload carried non-finite values (corrupt wire bytes or diverged
+    /// training). Quarantined updates never reach aggregation.
+    Quarantined,
 }
 
 /// Fixed parameters of a round execution.

@@ -6,6 +6,7 @@
 //! time but never a single output bit.
 
 use float::core::{AccelMode, Experiment, ExperimentConfig, SelectorChoice};
+use float::sim::FaultPlan;
 
 fn run_with_threads(mut cfg: ExperimentConfig, threads: usize) -> float::core::ExperimentReport {
     cfg.num_threads = threads;
@@ -31,6 +32,15 @@ fn assert_bit_identical(cfg: ExperimentConfig) {
     );
     assert_eq!(one.resources, four.resources, "resource ledger");
     assert_eq!(one.wall_clock_h, four.wall_clock_h, "wall clock");
+    assert_eq!(
+        one.total_quarantined, four.total_quarantined,
+        "total_quarantined"
+    );
+    assert_eq!(
+        one.duplicates_suppressed, four.duplicates_suppressed,
+        "duplicates_suppressed"
+    );
+    assert_eq!(one.stall_retries, four.stall_retries, "stall_retries");
     assert_eq!(one.technique_stats, four.technique_stats, "technique stats");
     assert_eq!(one.rounds, four.rounds, "per-round records");
     // And the whole report, in case a field is added later and forgotten
@@ -81,6 +91,26 @@ fn extended_catalogue_error_feedback_is_thread_count_independent() {
         AccelMode::RlhfExtended,
         8,
     ));
+}
+
+#[test]
+fn sync_chaos_is_thread_count_independent() {
+    // Fault injection must not break the contract: the fault draw is a
+    // pure function of (seed, round, client, attempt), quarantine and
+    // dedup run in the sequential commit path, and stall retries run
+    // sequentially in cohort order.
+    let mut cfg = ExperimentConfig::small(SelectorChoice::FedAvg, AccelMode::Rlhf, 6);
+    cfg.fault_plan = FaultPlan::chaos();
+    assert_bit_identical(cfg);
+}
+
+#[test]
+fn async_chaos_is_thread_count_independent() {
+    // The event-driven engine under faults: duplicate buffer entries and
+    // quarantined arrivals must be worker-count independent too.
+    let mut cfg = ExperimentConfig::small(SelectorChoice::FedBuff, AccelMode::Rlhf, 6);
+    cfg.fault_plan = FaultPlan::chaos();
+    assert_bit_identical(cfg);
 }
 
 #[test]

@@ -5,7 +5,10 @@
 use proptest::prelude::*;
 
 use float::models::{Architecture, RoundCost};
-use float::sim::{estimate_round_time_s, execute_client_round, RoundParams};
+use float::sim::{
+    estimate_round_time_s, execute_client_round, ClientRoundOutcome, DropReason, FaultPlan,
+    ResourceLedger, RoundParams,
+};
 use float::traces::{InterferenceModel, ResourceSampler, ResourceSnapshot};
 
 fn snapshot(gflops: f64, mbps: f64, mem: f64) -> ResourceSnapshot {
@@ -24,6 +27,37 @@ fn snapshot(gflops: f64, mbps: f64, mem: f64) -> ResourceSnapshot {
 fn profile() -> float::traces::DeviceProfile {
     let s = ResourceSampler::new(1, InterferenceModel::None, 1);
     s.client(0).profile
+}
+
+/// Decode an arbitrary u64 into a client-round outcome, covering every
+/// drop reason (including the fault-injected ones) and a spread of
+/// resource magnitudes. The shim proptest has no tuple strategies, so
+/// outcome streams are generated as `Vec<u64>` and decoded here.
+fn decode_outcome(w: u64) -> ClientRoundOutcome {
+    let dropped = match w % 8 {
+        0 | 1 => None, // completions ~25% of the stream
+        2 => Some(DropReason::Unavailable),
+        3 => Some(DropReason::OutOfMemory),
+        4 => Some(DropReason::DeadlineMiss),
+        5 => Some(DropReason::MidRoundFailure),
+        6 => Some(DropReason::InjectedCrash),
+        _ => {
+            if w & 8 == 0 {
+                Some(DropReason::NetworkStall)
+            } else {
+                Some(DropReason::Quarantined)
+            }
+        }
+    };
+    ClientRoundOutcome {
+        dropped,
+        download_s: ((w >> 8) & 0xFFFF) as f64 / 7.0,
+        train_s: ((w >> 24) & 0xFFFF) as f64 / 3.0,
+        upload_s: ((w >> 40) & 0xFFFF) as f64 / 11.0,
+        memory_bytes: ((w >> 16) & 0xFFFF_FFFF) as f64 * 1e3,
+        energy_j: (w & 0xFF_FFFF) as f64 / 13.0,
+        deadline_overrun: ((w >> 48) & 0xFF) as f64 / 100.0,
+    }
 }
 
 proptest! {
@@ -122,6 +156,61 @@ proptest! {
         if with_short.completed() {
             prop_assert!(with_long.completed(), "longer deadline caused a dropout");
         }
+    }
+
+    #[test]
+    fn ledger_totals_stay_physical_under_arbitrary_outcomes(
+        words in prop::collection::vec(any::<u64>(), 0..200)
+    ) {
+        let mut ledger = ResourceLedger::new();
+        let mut expected_quarantined = 0u64;
+        for &w in &words {
+            let outcome = decode_outcome(w);
+            if outcome.dropped == Some(DropReason::Quarantined) {
+                expected_quarantined += 1;
+            }
+            ledger.record(&outcome);
+        }
+        let t = ledger.totals();
+        prop_assert!(t.is_physical(), "non-physical totals: {t:?}");
+        // Every recorded outcome is exactly one of completion / dropout.
+        prop_assert_eq!(t.completions + t.dropouts, words.len() as u64);
+        prop_assert_eq!(t.quarantined, expected_quarantined);
+        prop_assert!(t.quarantined <= t.dropouts);
+    }
+
+    #[test]
+    fn ledger_merge_preserves_physicality(a_words in prop::collection::vec(any::<u64>(), 0..60),
+                                          b_words in prop::collection::vec(any::<u64>(), 0..60)) {
+        let mut a = ResourceLedger::new();
+        for &w in &a_words {
+            a.record(&decode_outcome(w));
+        }
+        let mut b = ResourceLedger::new();
+        for &w in &b_words {
+            b.record(&decode_outcome(w));
+        }
+        a.merge(&b);
+        let t = a.totals();
+        prop_assert!(t.is_physical());
+        prop_assert_eq!(t.completions + t.dropouts, (a_words.len() + b_words.len()) as u64);
+    }
+
+    #[test]
+    fn fault_draws_respect_empty_and_full_plans(seed in any::<u64>(),
+                                                round in 0u64..1000,
+                                                client in 0u64..1000) {
+        let empty = FaultPlan::none();
+        prop_assert!(empty.draw(seed, round, client, 0).is_none());
+        let mut certain = FaultPlan::none();
+        certain.crash_rate = 1.0;
+        prop_assert!(certain.draw(seed, round, client, 0).is_some());
+        // Purity: the same coordinates always draw the same fault.
+        let plan = FaultPlan::chaos();
+        prop_assert_eq!(
+            plan.draw(seed, round, client, 1),
+            plan.draw(seed, round, client, 1)
+        );
     }
 
     #[test]

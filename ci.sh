@@ -32,6 +32,15 @@ if [[ "${1:-}" != "quick" ]]; then
   # asserts reports stay finite and bit-identical across thread counts.
   step "chaos smoke (faults on)"
   cargo run --release --offline --example chaos_smoke
+
+  # Kernel micro-bench in quick mode: asserts the blocked GEMM stays
+  # bit-identical to the ascending-order reference and that the emitted
+  # report parses with positive throughput on every shape. Writes to a
+  # scratch path so the checked-in BENCH_kernels.json (full run) is not
+  # clobbered by CI's reduced iteration counts.
+  step "kernel throughput (quick self-check)"
+  cargo run --release --offline -p float-bench --bin kernel_throughput -- \
+    --quick --out target/BENCH_kernels_ci.json
 fi
 
 step "CI green"

@@ -17,23 +17,42 @@
 /// mantissa bytes of a gradient) fall back to raw, so compression never
 /// more than marginally hurts — exactly how honest gradient codecs behave.
 pub fn compress_f32_update(values: &[f32]) -> Vec<u8> {
-    let mut bytes = Vec::with_capacity(values.len() * 4);
-    for v in values {
-        bytes.extend_from_slice(&v.to_le_bytes());
-    }
     let n = values.len();
-    let mut out = Vec::with_capacity(bytes.len() / 2 + 8);
-    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    let mut out = Vec::with_capacity(2 * n + 8);
+    out.extend_from_slice(&((n * 4) as u32).to_le_bytes());
+    // Plane bytes are read straight out of the bit patterns (little-endian
+    // byte `plane` of value `i` is `bits >> (8 * plane)`), so no transposed
+    // copy of the buffer is ever materialized — this codec runs per cohort
+    // attempt on the round hot path.
     for plane in 0..4 {
-        let plane_bytes: Vec<u8> = (0..n).map(|i| bytes[i * 4 + plane]).collect();
-        let mut rle = Vec::new();
-        rle_encode(&plane_bytes, &mut rle);
-        if rle.len() < plane_bytes.len() {
-            out.push(1);
-            out.extend_from_slice(&rle);
-        } else {
+        let shift = 8 * plane;
+        let byte_at = |i: usize| (values[i].to_bits() >> shift) as u8;
+        let tag_pos = out.len();
+        out.push(1);
+        let rle_start = out.len();
+        let mut i = 0;
+        while i < n {
+            // RLE can no longer beat raw: abort instead of finishing the
+            // encode just to throw it away (mantissa planes take this exit
+            // about halfway through).
+            if out.len() - rle_start >= n {
+                break;
+            }
+            let b = byte_at(i);
+            let mut run = 1usize;
+            while i + run < n && run < 255 && byte_at(i + run) == b {
+                run += 1;
+            }
+            out.push(run as u8);
+            out.push(b);
+            i += run;
+        }
+        if i < n || out.len() - rle_start >= n {
+            // Raw fallback, same decision rule as encoding fully and
+            // comparing sizes: RLE wins only when strictly smaller.
+            out.truncate(tag_pos);
             out.push(0);
-            out.extend_from_slice(&plane_bytes);
+            out.extend((0..n).map(byte_at));
         }
     }
     out
@@ -82,21 +101,6 @@ pub fn decompress_f32_update(data: &[u8]) -> Option<Vec<f32>> {
         out.push(f32::from_le_bytes([b0, b1, b2, b3]));
     }
     Some(out)
-}
-
-/// RLE encode `input` as `(count: u8, byte)` pairs appended to `out`.
-fn rle_encode(input: &[u8], out: &mut Vec<u8>) {
-    let mut i = 0;
-    while i < input.len() {
-        let b = input[i];
-        let mut run = 1usize;
-        while i + run < input.len() && input[i + run] == b && run < 255 {
-            run += 1;
-        }
-        out.push(run as u8);
-        out.push(b);
-        i += run;
-    }
 }
 
 /// Decode `expected` bytes of RLE data; returns `(bytes, consumed)`.
@@ -152,6 +156,14 @@ impl SparseUpdate {
 
 /// Keep the `keep_fraction` largest-magnitude coordinates of `values`.
 ///
+/// Magnitudes are ranked with [`f32::total_cmp`], so the comparator is a
+/// genuine total order even on non-finite data (a `partial_cmp`-with-
+/// `Equal`-fallback comparator is intransitive around NaN and makes the
+/// std sort panic). Under `total_cmp`, NaN magnitudes rank above infinity
+/// — a poisoned coordinate is always retained rather than silently
+/// dropped, matching the runtime's quarantine path which needs to *see*
+/// non-finite updates.
+///
 /// # Panics
 ///
 /// Panics if `keep_fraction` is not in `(0, 1]`.
@@ -164,14 +176,18 @@ pub fn top_k_sparsify(values: &[f32], keep_fraction: f64) -> SparseUpdate {
         .max(1)
         .min(values.len());
     let mut order: Vec<usize> = (0..values.len()).collect();
-    order.sort_by(|&a, &b| {
-        values[b]
-            .abs()
-            .partial_cmp(&values[a].abs())
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
-    let mut keep: Vec<usize> = order.into_iter().take(k).collect();
+    // Quickselect the k largest-magnitude indices (descending comparator),
+    // then sort just those k by position: O(n + k log k), not O(n log n) —
+    // this runs per cohort attempt on the round hot path. The index
+    // tiebreak makes keys distinct, so the selected *set* is unique even
+    // though the partition order is not.
+    if k < order.len() {
+        order.select_nth_unstable_by(k - 1, |&a, &b| {
+            values[b].abs().total_cmp(&values[a].abs()).then(a.cmp(&b))
+        });
+    }
+    order.truncate(k);
+    let mut keep = order;
     keep.sort_unstable();
     SparseUpdate {
         indices: keep.iter().map(|&i| i as u32).collect(),
@@ -270,5 +286,16 @@ mod tests {
     #[should_panic(expected = "keep_fraction")]
     fn zero_keep_fraction_panics() {
         let _ = top_k_sparsify(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn top_k_ranks_nan_above_everything() {
+        // NaN magnitudes must survive sparsification (and not panic the
+        // sort) so the quarantine path downstream can observe them.
+        let vals = [1.0f32, f32::NAN, f32::INFINITY, -2.0];
+        let s = top_k_sparsify(&vals, 0.5);
+        assert_eq!(s.indices, vec![1, 2]);
+        assert!(s.values[0].is_nan());
+        assert_eq!(s.values[1], f32::INFINITY);
     }
 }

@@ -1,10 +1,21 @@
 //! Magnitude pruning masks.
 
+/// Ascending (|value|, index) comparator. `total_cmp` keeps this a genuine
+/// total order on non-finite data (the `partial_cmp`-with-`Equal`-fallback
+/// pattern is intransitive around NaN and panics the std sort); the index
+/// tiebreak makes all keys distinct, so any selection of the smallest
+/// `drop` keys is unique and therefore deterministic.
+fn by_magnitude(values: &[f32]) -> impl Fn(&usize, &usize) -> std::cmp::Ordering + '_ {
+    |&a, &b| values[a].abs().total_cmp(&values[b].abs()).then(a.cmp(&b))
+}
+
 /// Build a keep-mask retaining the top `(1 - fraction)` of `values` by
 /// absolute magnitude. `mask[i] == true` means parameter `i` survives.
 ///
 /// Ties are broken by index (earlier parameters survive), which keeps the
-/// mask deterministic.
+/// mask deterministic. Runs in `O(n)` via quickselect — this executes per
+/// cohort attempt on the round hot path, where a full sort showed up in
+/// profiles.
 ///
 /// # Panics
 ///
@@ -20,14 +31,9 @@ pub fn magnitude_mask(values: &[f32], fraction: f64) -> Vec<bool> {
         return vec![false; n];
     }
     let mut order: Vec<usize> = (0..n).collect();
-    // Sort ascending by |value| so the first `drop` indices are pruned.
-    order.sort_by(|&a, &b| {
-        values[a]
-            .abs()
-            .partial_cmp(&values[b].abs())
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
+    // Partition so the `drop` smallest-magnitude indices land in front —
+    // membership of that set is unique, internal order irrelevant.
+    order.select_nth_unstable_by(drop - 1, by_magnitude(values));
     let mut mask = vec![true; n];
     for &i in &order[..drop] {
         mask[i] = false;
@@ -53,13 +59,7 @@ pub fn magnitude_mask_protected(values: &[f32], fraction: f64, protected: &[bool
         return mask;
     }
     let mut order = candidates;
-    order.sort_by(|&a, &b| {
-        values[a]
-            .abs()
-            .partial_cmp(&values[b].abs())
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
+    order.select_nth_unstable_by(drop - 1, by_magnitude(values));
     for &i in order.iter().take(drop) {
         mask[i] = false;
     }

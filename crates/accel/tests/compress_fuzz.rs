@@ -1,0 +1,118 @@
+//! Property-based fuzzing of the update codecs.
+//!
+//! The lossless RLE codec and top-k sparsifier sit on the wire path of
+//! every simulated round, so they must round-trip *bit patterns* (not just
+//! values — NaN payloads and signed zeros included), survive adversarial
+//! run lengths around the 255-byte RLE cap, and never panic on arbitrary
+//! decoder input.
+
+use float_accel::compress::{compress_f32_update, decompress_f32_update, top_k_sparsify};
+use proptest::prelude::*;
+
+/// Bitwise equality for float buffers: `==` would treat NaN != NaN and
+/// -0.0 == +0.0, both of which hide codec bugs.
+fn same_bits(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn roundtrip_preserves_arbitrary_bit_patterns(
+        bits in prop::collection::vec(any::<u32>(), 0..260),
+    ) {
+        // from_bits covers NaNs (with payloads), infinities, subnormals,
+        // and signed zeros — everything a gradient buffer can contain.
+        let vals: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+        let compressed = compress_f32_update(&vals);
+        let back = decompress_f32_update(&compressed);
+        prop_assert!(back.is_some(), "valid stream failed to decode");
+        prop_assert!(same_bits(&back.unwrap(), &vals));
+    }
+
+    #[test]
+    fn roundtrip_survives_adversarial_run_lengths(
+        pattern in any::<u32>(),
+        len in 0usize..700,
+        break_every in 0usize..300,
+    ) {
+        // Constant buffers produce byte-plane runs that straddle the
+        // encoder's 255-count cap; an optional periodic "break" value
+        // exercises run restarts at every phase.
+        let mut vals = vec![f32::from_bits(pattern); len];
+        if break_every > 0 {
+            for (i, v) in vals.iter_mut().enumerate() {
+                if i % (break_every + 1) == break_every {
+                    *v = f32::from_bits(!pattern);
+                }
+            }
+        }
+        let compressed = compress_f32_update(&vals);
+        let back = decompress_f32_update(&compressed);
+        prop_assert!(back.is_some(), "valid stream failed to decode");
+        prop_assert!(same_bits(&back.unwrap(), &vals));
+    }
+
+    #[test]
+    fn decompress_never_panics_on_arbitrary_bytes(
+        data in prop::collection::vec(any::<u8>(), 0..400),
+    ) {
+        // Any outcome is acceptable except a panic; on success the codec
+        // must honor its own declared length.
+        if let Some(vals) = decompress_f32_update(&data) {
+            let declared =
+                u32::from_le_bytes([data[0], data[1], data[2], data[3]]) as usize;
+            prop_assert_eq!(vals.len() * 4, declared);
+        }
+    }
+
+    #[test]
+    fn top_k_keeps_the_contract(
+        bits in prop::collection::vec(any::<u32>(), 0..200),
+        keep_pct in 1u32..=100,
+    ) {
+        let vals: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+        let frac = f64::from(keep_pct) / 100.0;
+        let s = top_k_sparsify(&vals, frac);
+        prop_assert_eq!(s.dense_len, vals.len());
+        prop_assert_eq!(s.indices.len(), s.values.len());
+        if !vals.is_empty() {
+            let expected_k = (((vals.len() as f64) * frac).round() as usize)
+                .max(1)
+                .min(vals.len());
+            prop_assert_eq!(s.indices.len(), expected_k);
+        }
+        // Indices strictly ascending (hence unique and in range) and each
+        // retained value bitwise equal to its dense source.
+        prop_assert!(s.indices.windows(2).all(|w| w[0] < w[1]));
+        for (&i, &v) in s.indices.iter().zip(&s.values) {
+            prop_assert!((i as usize) < vals.len());
+            prop_assert_eq!(v.to_bits(), vals[i as usize].to_bits());
+        }
+    }
+
+    #[test]
+    fn top_k_full_keep_roundtrips_dense(
+        bits in prop::collection::vec(any::<u32>(), 1..100),
+    ) {
+        // keep_fraction = 1.0 must be the identity: every finite value
+        // survives to_dense at its original position. (NaNs are excluded
+        // here because to_dense rebuilds via `=` and the invariant under
+        // test is positional, not bit-level.)
+        let vals: Vec<f32> = bits
+            .iter()
+            .map(|&b| {
+                let v = f32::from_bits(b);
+                if v.is_nan() {
+                    0.0
+                } else {
+                    v
+                }
+            })
+            .collect();
+        let s = top_k_sparsify(&vals, 1.0);
+        prop_assert_eq!(s.indices.len(), vals.len());
+        prop_assert!(same_bits(&s.to_dense(), &vals));
+    }
+}

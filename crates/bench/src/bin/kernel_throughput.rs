@@ -1,0 +1,212 @@
+//! `kernel_throughput` — GFLOP/s of the blocked GEMM kernels on the
+//! training hot-path shapes, against a naive triple-loop baseline.
+//!
+//! Shapes mirror what one local-training step actually runs (the MLP
+//! proxy's forward/backward GEMMs at the default batch size, plus the
+//! im2col convolution path and two square sizes that exercise the cache
+//! blocking). Before timing, each GEMM shape is checked bit-identical to
+//! the ascending-order reference — the determinism contract the round
+//! engine relies on. Results land in `BENCH_kernels.json`, which the tool
+//! re-reads and validates (`--quick` keeps iteration counts CI-sized).
+//!
+//! ```text
+//! kernel_throughput [--quick] [--out PATH]
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use float_tensor::conv::{Conv2d, FeatureShape};
+use float_tensor::{kernels, seed_rng, Tensor};
+use rand::Rng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ShapeResult {
+    name: String,
+    m: usize,
+    k: usize,
+    n: usize,
+    iters: usize,
+    gflops: f64,
+    naive_gflops: f64,
+    speedup_vs_naive: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    benchmark: String,
+    quick: bool,
+    results: Vec<ShapeResult>,
+    conv_fwd_bwd_gflops: f64,
+}
+
+/// Ascending-`p` triple loop — the pre-kernel implementation, kept here as
+/// the honest baseline and bitwise reference.
+fn naive_gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+fn random_vec(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = seed_rng(seed);
+    (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+fn usage() -> ! {
+    eprintln!("usage: kernel_throughput [--quick] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_kernels.json".to_string();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = it.next().cloned().unwrap_or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+
+    // The MLP proxy (24 → 128 → 10 at batch 16) forward/backward GEMMs,
+    // the im2col conv lowering, and two square blocking stress shapes.
+    let shapes: &[(&str, usize, usize, usize)] = &[
+        ("mlp_fwd_l0", 16, 24, 128),
+        ("mlp_fwd_l1", 16, 128, 10),
+        ("mlp_bwd_gw_l0", 24, 16, 128),
+        ("mlp_bwd_gw_l1", 128, 16, 10),
+        ("mlp_bwd_gin_l1", 16, 10, 128),
+        ("conv_im2col_8x8", 8, 18, 64),
+        ("square_128", 128, 128, 128),
+        ("square_256", 256, 256, 256),
+    ];
+
+    let mut results = Vec::new();
+    for &(name, m, k, n) in shapes {
+        let a = random_vec(m * k, 0xA5);
+        let b = random_vec(k * n, 0x5A);
+        let mut out = vec![0.0f32; m * n];
+        let mut reference = vec![0.0f32; m * n];
+
+        // Determinism contract: bit-identical to the ascending-order
+        // reference (all hot-path shapes fit in one k-panel).
+        naive_gemm(m, k, n, &a, &b, &mut reference);
+        kernels::gemm_nn(m, k, n, &a, &b, &mut out);
+        assert!(
+            out.iter()
+                .zip(&reference)
+                .all(|(x, y)| x.to_bits() == y.to_bits()),
+            "{name}: blocked GEMM diverged from the ascending-order reference"
+        );
+
+        let flops_per_iter = 2.0 * m as f64 * k as f64 * n as f64;
+        let iters = if quick {
+            10
+        } else {
+            ((2e8 / flops_per_iter).ceil() as usize).clamp(20, 200_000)
+        };
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            kernels::gemm_nn(m, k, n, black_box(&a), black_box(&b), &mut out);
+            black_box(&out);
+        }
+        let blocked_s = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            naive_gemm(m, k, n, black_box(&a), black_box(&b), &mut out);
+            black_box(&out);
+        }
+        let naive_s = start.elapsed().as_secs_f64();
+
+        let gflops = flops_per_iter * iters as f64 / blocked_s.max(1e-12) / 1e9;
+        let naive_gflops = flops_per_iter * iters as f64 / naive_s.max(1e-12) / 1e9;
+        eprintln!(
+            "  {name:>16} ({m:>3}x{k:>3}x{n:>3}): {gflops:7.2} GFLOP/s  \
+             (naive {naive_gflops:6.2}, x{:.2})",
+            gflops / naive_gflops.max(1e-12)
+        );
+        results.push(ShapeResult {
+            name: name.to_string(),
+            m,
+            k,
+            n,
+            iters,
+            gflops,
+            naive_gflops,
+            speedup_vs_naive: gflops / naive_gflops.max(1e-12),
+        });
+    }
+
+    // End-to-end im2col convolution: forward + backward over a batch.
+    let shape = FeatureShape::new(2, 8, 8);
+    let (oc, kernel, batch) = (8usize, 3usize, 16usize);
+    let mut conv = Conv2d::new(shape, oc, kernel, 7);
+    let x = Tensor::from_vec(batch, shape.len(), random_vec(batch * shape.len(), 0xC0))
+        .expect("sized by construction");
+    let grad = Tensor::from_vec(
+        batch,
+        conv.output_shape().len(),
+        random_vec(batch * conv.output_shape().len(), 0xC1),
+    )
+    .expect("sized by construction");
+    let conv_iters = if quick { 5 } else { 2000 };
+    let fan_in = shape.channels * kernel * kernel;
+    let hw = shape.height * shape.width;
+    // Forward GEMM + two backward GEMMs per sample.
+    let conv_flops = 6.0 * (oc * fan_in * hw * batch) as f64;
+    let start = Instant::now();
+    for _ in 0..conv_iters {
+        let y = conv.forward(black_box(&x)).expect("conv input fits");
+        black_box(&y);
+        let gin = conv.backward(black_box(&grad)).expect("after forward");
+        black_box(&gin);
+    }
+    let conv_s = start.elapsed().as_secs_f64();
+    let conv_gflops = conv_flops * conv_iters as f64 / conv_s.max(1e-12) / 1e9;
+    eprintln!("  conv2d fwd+bwd (2x8x8 -> 8ch, batch 16): {conv_gflops:.2} GFLOP/s");
+
+    let report = BenchReport {
+        benchmark: "kernel_throughput".to_string(),
+        quick,
+        results,
+        conv_fwd_bwd_gflops: conv_gflops,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write benchmark output");
+    eprintln!("wrote {out_path}");
+
+    // Self-check: the file must parse back and every rate must be a
+    // positive finite number — this is what CI's quick run asserts.
+    let text = std::fs::read_to_string(&out_path).expect("benchmark output readable");
+    let v: serde_json::Value = serde_json::from_str(&text).expect("benchmark output parses");
+    let parsed = v
+        .get("results")
+        .and_then(|r| r.as_array())
+        .expect("results array present");
+    assert_eq!(parsed.len(), shapes.len(), "one result per shape");
+    for entry in parsed {
+        let g = entry
+            .get("gflops")
+            .and_then(|g| g.as_f64())
+            .expect("gflops present");
+        assert!(g.is_finite() && g > 0.0, "non-positive GFLOP/s in report");
+    }
+    let cg = v
+        .get("conv_fwd_bwd_gflops")
+        .and_then(|g| g.as_f64())
+        .expect("conv rate present");
+    assert!(cg.is_finite() && cg > 0.0, "non-positive conv GFLOP/s");
+    eprintln!("self-check OK: report parses, all rates positive");
+}

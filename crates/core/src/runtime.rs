@@ -502,7 +502,7 @@ impl Experiment {
         local
             .set_params(global_params)
             .expect("scratch model shares the global architecture");
-        let before = local.evaluate(test).accuracy as f64;
+        let before = local.evaluate_mut(test).accuracy as f64;
         let mut opt = Sgd::new(self.config.learning_rate);
         let mut last_loss = 0.0f32;
         for e in 0..self.config.local_epochs {
@@ -517,7 +517,7 @@ impl Experiment {
                 &plan.train_options,
             );
         }
-        let after = local.evaluate(test).accuracy as f64;
+        let after = local.evaluate_mut(test).accuracy as f64;
         // Update delta, computed in place into the scratch buffer.
         local.params_into(&mut scratch.params);
         scratch.delta.clear();

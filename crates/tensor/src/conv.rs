@@ -2,9 +2,12 @@
 //!
 //! The FL experiments drive an MLP proxy for speed, but the substrate a
 //! downstream user adopts needs convolutional models — the paper's
-//! workloads are CNNs. These layers use direct (non-im2col) loops, which
-//! are simple, allocation-light, and fast enough for the small proxy
-//! resolutions the simulator trains at.
+//! workloads are CNNs. Convolution lowers each sample to a column matrix
+//! (im2col) and runs the blocked GEMM kernels from [`crate::kernels`]:
+//! forward is `weight · cols`, the weight gradient is `grad_out · colsᵀ`,
+//! and the input gradient is `weightᵀ · grad_out` scattered back through
+//! col2im. The column buffer lives on the layer and is reused across
+//! samples and batches, so steady-state training does not allocate.
 //!
 //! Feature maps are packed row-major as `[batch, channel, y, x]` inside
 //! the 2-D [`Tensor`] type: each batch row holds `channels * height *
@@ -12,6 +15,7 @@
 
 use rand::Rng;
 
+use crate::kernels;
 use crate::rng::seed_rng;
 use crate::{Tensor, TensorError};
 
@@ -52,6 +56,76 @@ impl FeatureShape {
     }
 }
 
+/// Lower one sample to its column matrix: `cols[(ic·k + ky)·k + kx][y·w + x]`
+/// holds `x[ic][y + ky - half][x + kx - half]`, or `0.0` where the shifted
+/// index falls in the zero padding. `cols` must be `fan_in × (h·w)`.
+fn im2col(input: FeatureShape, kernel: usize, xin: &[f32], cols: &mut [f32]) {
+    let (h, w) = (input.height, input.width);
+    let hw = h * w;
+    let half = (kernel / 2) as isize;
+    let mut row = 0usize;
+    for ic in 0..input.channels {
+        let chan = &xin[ic * hw..(ic + 1) * hw];
+        for ky in 0..kernel {
+            let dy = ky as isize - half;
+            for kx in 0..kernel {
+                let dx = kx as isize - half;
+                let dst = &mut cols[row * hw..(row + 1) * hw];
+                for y in 0..h {
+                    let yy = y as isize + dy;
+                    let drow = &mut dst[y * w..(y + 1) * w];
+                    if yy < 0 || yy >= h as isize {
+                        drow.fill(0.0);
+                        continue;
+                    }
+                    let srow = &chan[yy as usize * w..(yy as usize + 1) * w];
+                    for (x, d) in drow.iter_mut().enumerate() {
+                        let xx = x as isize + dx;
+                        *d = if xx < 0 || xx >= w as isize {
+                            0.0
+                        } else {
+                            srow[xx as usize]
+                        };
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Adjoint of [`im2col`]: scatter-add the column-matrix gradient back onto
+/// the (flat) input-gradient sample. Padding positions are dropped.
+fn col2im_acc(input: FeatureShape, kernel: usize, gcols: &[f32], gin: &mut [f32]) {
+    let (h, w) = (input.height, input.width);
+    let hw = h * w;
+    let half = (kernel / 2) as isize;
+    let mut row = 0usize;
+    for ic in 0..input.channels {
+        for ky in 0..kernel {
+            let dy = ky as isize - half;
+            for kx in 0..kernel {
+                let dx = kx as isize - half;
+                let src = &gcols[row * hw..(row + 1) * hw];
+                for y in 0..h {
+                    let yy = y as isize + dy;
+                    if yy < 0 || yy >= h as isize {
+                        continue;
+                    }
+                    let srow = &src[y * w..(y + 1) * w];
+                    for (x, &g) in srow.iter().enumerate() {
+                        let xx = x as isize + dx;
+                        if xx >= 0 && xx < w as isize {
+                            gin[input.at(ic, yy as usize, xx as usize)] += g;
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
 /// A 2-D convolution with stride 1 and zero ("same") padding of
 /// `kernel / 2`, so output spatial dims equal input spatial dims for odd
 /// kernels.
@@ -72,6 +146,10 @@ pub struct Conv2d {
     /// Bias gradient, filled by [`Conv2d::backward`].
     pub grad_bias: Tensor,
     cached_input: Option<Tensor>,
+    /// Reusable im2col column buffer, `[fan_in, h·w]`.
+    cols: Tensor,
+    /// Reusable column-gradient buffer for the backward pass.
+    grad_cols: Tensor,
 }
 
 impl Conv2d {
@@ -103,6 +181,8 @@ impl Conv2d {
             grad_weight: Tensor::zeros(out_channels, fan_in),
             grad_bias: Tensor::zeros(1, out_channels),
             cached_input: None,
+            cols: Tensor::default(),
+            grad_cols: Tensor::default(),
         }
     }
 
@@ -127,38 +207,30 @@ impl Conv2d {
         Ok(())
     }
 
-    fn forward_impl(&self, x: &Tensor) -> Tensor {
+    /// im2col + GEMM forward for every sample, writing into a fresh output
+    /// tensor. `cols` is the reusable column buffer (resized as needed).
+    fn forward_impl(&self, x: &Tensor, cols: &mut Tensor) -> Tensor {
         let n = x.rows();
         let out_shape = self.output_shape();
+        let hw = self.input.height * self.input.width;
+        let fan_in = self.weight.cols();
+        cols.resize(fan_in, hw);
         let mut out = Tensor::zeros(n, out_shape.len());
-        let k = self.kernel as isize;
-        let half = k / 2;
-        let (h, w) = (self.input.height as isize, self.input.width as isize);
         for b in 0..n {
-            let xin = x.row(b);
-            for oc in 0..self.out_channels {
-                let wrow = self.weight.row(oc);
-                let bias = self.bias.at(0, oc);
-                for y in 0..h {
-                    for xx in 0..w {
-                        let mut acc = bias;
-                        let mut wi = 0usize;
-                        for ic in 0..self.input.channels {
-                            for ky in -half..=half {
-                                let yy = y + ky;
-                                for kx in -half..=half {
-                                    let xx2 = xx + kx;
-                                    if yy >= 0 && yy < h && xx2 >= 0 && xx2 < w {
-                                        acc += wrow[wi]
-                                            * xin[self.input.at(ic, yy as usize, xx2 as usize)];
-                                    }
-                                    wi += 1;
-                                }
-                            }
-                        }
-                        out.data_mut()
-                            [b * out_shape.len() + out_shape.at(oc, y as usize, xx as usize)] = acc;
-                    }
+            im2col(self.input, self.kernel, x.row(b), cols.data_mut());
+            let orow = &mut out.data_mut()[b * out_shape.len()..(b + 1) * out_shape.len()];
+            kernels::gemm_nn(
+                self.out_channels,
+                fan_in,
+                hw,
+                self.weight.data(),
+                cols.data(),
+                orow,
+            );
+            for (oc, seg) in orow.chunks_exact_mut(hw).enumerate() {
+                let bv = self.bias.at(0, oc);
+                for v in seg {
+                    *v += bv;
                 }
             }
         }
@@ -172,19 +244,23 @@ impl Conv2d {
     /// Returns a shape error if `x` does not pack `input` features.
     pub fn forward(&mut self, x: &Tensor) -> Result<Tensor, TensorError> {
         self.check_input(x)?;
-        let out = self.forward_impl(x);
+        let mut cols = std::mem::take(&mut self.cols);
+        let out = self.forward_impl(x, &mut cols);
+        self.cols = cols;
         self.cached_input = Some(x.clone());
         Ok(out)
     }
 
-    /// Inference-only forward pass.
+    /// Inference-only forward pass. Uses a local column buffer (reused
+    /// across the samples of the batch) so `&self` suffices.
     ///
     /// # Errors
     ///
     /// Returns a shape error if `x` does not pack `input` features.
     pub fn forward_inference(&self, x: &Tensor) -> Result<Tensor, TensorError> {
         self.check_input(x)?;
-        Ok(self.forward_impl(x))
+        let mut cols = Tensor::default();
+        Ok(self.forward_impl(x, &mut cols))
     }
 
     /// Backward pass: fills `grad_weight` / `grad_bias` and returns the
@@ -207,58 +283,50 @@ impl Conv2d {
                 rhs: vec![n, out_shape.len()],
             });
         }
-        self.grad_weight = Tensor::zeros(self.weight.rows(), self.weight.cols());
-        self.grad_bias = Tensor::zeros(1, self.out_channels);
+        let hw = self.input.height * self.input.width;
+        let fan_in = self.weight.cols();
+        self.grad_weight.data_mut().fill(0.0);
+        self.grad_bias.data_mut().fill(0.0);
         let mut grad_in = Tensor::zeros(n, self.input.len());
-        let k = self.kernel as isize;
-        let half = k / 2;
-        let (h, w) = (self.input.height as isize, self.input.width as isize);
+        let mut cols = std::mem::take(&mut self.cols);
+        let mut gcols = std::mem::take(&mut self.grad_cols);
+        cols.resize(fan_in, hw);
+        gcols.resize(fan_in, hw);
         for b in 0..n {
-            let xin = x.row(b);
-            let gout = grad_out.row(b);
-            for oc in 0..self.out_channels {
-                let wrow = self.weight.row(oc);
-                let mut gw_acc = vec![0.0f32; self.weight.cols()];
-                let mut gb_acc = 0.0f32;
-                for y in 0..h {
-                    for xx in 0..w {
-                        let g = gout[out_shape.at(oc, y as usize, xx as usize)];
-                        if g == 0.0 {
-                            continue;
-                        }
-                        gb_acc += g;
-                        let mut wi = 0usize;
-                        for ic in 0..self.input.channels {
-                            for ky in -half..=half {
-                                let yy = y + ky;
-                                for kx in -half..=half {
-                                    let xx2 = xx + kx;
-                                    if yy >= 0 && yy < h && xx2 >= 0 && xx2 < w {
-                                        let xi = self.input.at(ic, yy as usize, xx2 as usize);
-                                        gw_acc[wi] += g * xin[xi];
-                                        grad_in.data_mut()[b * self.input.len() + xi] +=
-                                            g * wrow[wi];
-                                    }
-                                    wi += 1;
-                                }
-                            }
-                        }
-                    }
-                }
-                for (dst, v) in self
-                    .grad_weight
-                    .data_mut()
-                    .iter_mut()
-                    .skip(oc * gw_acc.len())
-                    .take(gw_acc.len())
-                    .zip(&gw_acc)
-                {
-                    *dst += v;
-                }
-                let gb = self.grad_bias.at(0, oc) + gb_acc;
-                self.grad_bias.set(0, oc, gb);
+            im2col(self.input, self.kernel, x.row(b), cols.data_mut());
+            let g = grad_out.row(b);
+            // grad_weight += grad_out · colsᵀ  (accumulated across the batch).
+            kernels::gemm_nt_acc(
+                self.out_channels,
+                hw,
+                fan_in,
+                g,
+                cols.data(),
+                self.grad_weight.data_mut(),
+            );
+            for (oc, seg) in g.chunks_exact(hw).enumerate() {
+                let s: f32 = seg.iter().sum();
+                let cur = self.grad_bias.at(0, oc);
+                self.grad_bias.set(0, oc, cur + s);
             }
+            // grad_cols = weightᵀ · grad_out, scattered back through col2im.
+            kernels::gemm_tn(
+                fan_in,
+                self.out_channels,
+                hw,
+                self.weight.data(),
+                g,
+                gcols.data_mut(),
+            );
+            col2im_acc(
+                self.input,
+                self.kernel,
+                gcols.data(),
+                &mut grad_in.data_mut()[b * self.input.len()..(b + 1) * self.input.len()],
+            );
         }
+        self.cols = cols;
+        self.grad_cols = gcols;
         Ok(grad_in)
     }
 }
@@ -316,7 +384,8 @@ impl MaxPool2 {
         let n = x.rows();
         let out_shape = self.output_shape();
         let mut out = Tensor::zeros(n, out_shape.len());
-        self.argmax = vec![0; n * out_shape.len()];
+        self.argmax.clear();
+        self.argmax.resize(n * out_shape.len(), 0);
         self.batch = n;
         for b in 0..n {
             let xin = x.row(b);

@@ -143,6 +143,24 @@ impl Dataset {
         }
     }
 
+    /// Gather the rows at `indices` into caller scratch (`features` is
+    /// resized to `[indices.len(), dim]`, `labels` cleared and refilled) —
+    /// the allocation-free counterpart of [`Dataset::subset`] used for
+    /// minibatching in the training hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather_into(&self, indices: &[usize], features: &mut Tensor, labels: &mut Vec<usize>) {
+        let d = self.dim();
+        features.resize(indices.len(), d);
+        labels.clear();
+        for (dst, &i) in features.data_mut().chunks_exact_mut(d).zip(indices) {
+            dst.copy_from_slice(self.features.row(i));
+            labels.push(self.labels[i]);
+        }
+    }
+
     /// Histogram of label counts, length `num_classes`.
     pub fn label_histogram(&self) -> Vec<usize> {
         let mut h = vec![0usize; self.num_classes];

@@ -1,0 +1,473 @@
+//! Cache-blocked, register-tiled compute kernels for the training hot path.
+//!
+//! The FL experiments spend nearly all wall-clock inside the three GEMM
+//! variants (`matmul`, `t_matmul`, `matmul_t`) and the convolution loops.
+//! This module is the single place that work happens: a packed-panel GEMM
+//! with a fixed `4×8` register micro-kernel, plus the fused elementwise
+//! passes (bias+ReLU forward, ReLU-mask backward) the layers use.
+//!
+//! # Design
+//!
+//! - **Blocking.** The driver tiles `C[m×n] = Σ_p A'[m×k]·B'[k×n]` with
+//!   the classic three-loop structure: `NC`-wide column panels of `B`,
+//!   `KC`-deep depth panels, `MC`-tall row panels of `A`. Each panel is
+//!   packed into a contiguous, tile-major scratch buffer so the micro-kernel
+//!   streams with unit stride regardless of the logical layout — the same
+//!   packing routine serves the `N·N`, `T·N`, and `N·T` variants by
+//!   walking the source with configurable row/column strides.
+//! - **Micro-kernel.** A fixed `MR×NR = 4×8` accumulator block updated
+//!   over the packed depth dimension. All loop bounds are compile-time
+//!   constants over fixed-size arrays and `chunks_exact` slices, so LLVM
+//!   fully unrolls and autovectorizes the inner loop; there is no
+//!   per-element branching (the old `a == 0.0` skip defeated both the
+//!   vectorizer and NaN propagation).
+//! - **Determinism.** For every output element the reduction over the
+//!   depth dimension runs in ascending index order: ascending `p` inside a
+//!   depth panel, panels visited in ascending order, partial sums committed
+//!   to `C` per panel. The order is a pure function of the operand shapes —
+//!   never of thread count or data values — so results are bit-identical
+//!   run-to-run and across the round engine's worker-pool sizes. For
+//!   `k ≤ KC` (every shape on the MLP hot path) the reduction degenerates
+//!   to a single ascending pass, which is bit-identical to the pre-kernel
+//!   naive loops on finite inputs.
+//! - **Allocation.** Packing buffers are thread-local and grown once;
+//!   steady-state calls perform zero heap allocation. The `*_into` entry
+//!   points on [`crate::Tensor`] write into caller-owned scratch.
+//!
+//! Inputs containing NaN/Inf propagate through (IEEE semantics); nothing
+//! here filters non-finite values, so poisoned updates stay poisoned until
+//! the server-side quarantine sees them.
+
+use std::cell::RefCell;
+
+/// Micro-kernel rows (register-blocked rows of `C`).
+pub const MR: usize = 4;
+/// Micro-kernel columns (register-blocked, autovectorized columns of `C`).
+pub const NR: usize = 8;
+/// Row-panel height of packed `A` blocks.
+const MC: usize = 64;
+/// Depth of packed panels; reductions with `k ≤ KC` are single-pass.
+const KC: usize = 256;
+/// Column-panel width of packed `B` blocks.
+const NC: usize = 256;
+
+thread_local! {
+    static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// `C[m×n] = A[m×k] · B[k×n]`, all row-major. Overwrites `out`.
+///
+/// # Panics
+///
+/// Panics (debug and release) if a slice is shorter than its shape implies.
+pub fn gemm_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    gemm_strided(m, k, n, a, k, 1, b, n, 1, out, false);
+}
+
+/// `C[m×n] += A[m×k] · B[k×n]`, all row-major.
+pub fn gemm_nn_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    gemm_strided(m, k, n, a, k, 1, b, n, 1, out, true);
+}
+
+/// `C[m×n] = Aᵀ · B` where `A` is stored row-major `[k×m]` (so the logical
+/// left operand is its transpose) and `B` is `[k×n]`. Overwrites `out`.
+pub fn gemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    gemm_strided(m, k, n, a, 1, m, b, n, 1, out, false);
+}
+
+/// `C[m×n] = A · Bᵀ` where `A` is `[m×k]` and `B` is stored row-major
+/// `[n×k]`. Overwrites `out`.
+pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    gemm_strided(m, k, n, a, k, 1, b, 1, k, out, false);
+}
+
+/// `C[m×n] += A · Bᵀ` where `A` is `[m×k]` and `B` is stored row-major
+/// `[n×k]` (used to accumulate conv weight gradients across a batch).
+pub fn gemm_nt_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    gemm_strided(m, k, n, a, k, 1, b, 1, k, out, true);
+}
+
+/// Strided GEMM driver: `C[i][j] (+)= Σ_p A'[i][p] · B'[p][j]` where
+/// `A'[i][p] = a[i*a_rs + p*a_cs]` and `B'[p][j] = b[p*b_rs + j*b_cs]`.
+/// `out` is row-major `[m×n]` and is zeroed first unless `accumulate`.
+#[allow(clippy::too_many_arguments)]
+fn gemm_strided(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    a_rs: usize,
+    a_cs: usize,
+    b: &[f32],
+    b_rs: usize,
+    b_cs: usize,
+    out: &mut [f32],
+    accumulate: bool,
+) {
+    assert!(out.len() >= m * n, "output buffer too small for {m}x{n}");
+    if !accumulate {
+        out[..m * n].fill(0.0);
+    }
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    PACK_A.with(|pa| {
+        PACK_B.with(|pb| {
+            let pa = &mut *pa.borrow_mut();
+            let pb = &mut *pb.borrow_mut();
+            for jc in (0..n).step_by(NC) {
+                let nc = NC.min(n - jc);
+                for pc in (0..k).step_by(KC) {
+                    let kc = KC.min(k - pc);
+                    pack_b(pb, b, b_rs, b_cs, pc, kc, jc, nc);
+                    for ic in (0..m).step_by(MC) {
+                        let mc = MC.min(m - ic);
+                        pack_a(pa, a, a_rs, a_cs, ic, mc, pc, kc);
+                        macro_kernel(pa, pb, mc, kc, nc, out, ic, jc, n);
+                    }
+                }
+            }
+        })
+    });
+}
+
+/// Pack an `mc×kc` panel of `A'` (rows `ic..`, depth `pc..`) tile-major:
+/// tile `t` holds rows `[t*MR, t*MR+MR)` as `kc` groups of `MR` adjacent
+/// values. Rows past `mc` pad with zeros so the micro-kernel never
+/// branches on the edge.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    dst: &mut Vec<f32>,
+    a: &[f32],
+    rs: usize,
+    cs: usize,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+) {
+    let tiles = mc.div_ceil(MR);
+    dst.clear();
+    dst.resize(tiles * kc * MR, 0.0);
+    for t in 0..tiles {
+        let tile = &mut dst[t * kc * MR..(t + 1) * kc * MR];
+        let rows = MR.min(mc - t * MR);
+        for (p, group) in tile.chunks_exact_mut(MR).enumerate() {
+            for (r, slot) in group.iter_mut().take(rows).enumerate() {
+                *slot = a[(ic + t * MR + r) * rs + (pc + p) * cs];
+            }
+            for slot in group.iter_mut().skip(rows) {
+                *slot = 0.0;
+            }
+        }
+    }
+}
+
+/// Pack a `kc×nc` panel of `B'` (depth `pc..`, columns `jc..`) tile-major:
+/// tile `u` holds columns `[u*NR, u*NR+NR)` as `kc` groups of `NR`
+/// adjacent values, zero-padded past `nc`.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    dst: &mut Vec<f32>,
+    b: &[f32],
+    rs: usize,
+    cs: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+) {
+    let tiles = nc.div_ceil(NR);
+    dst.clear();
+    dst.resize(tiles * kc * NR, 0.0);
+    for u in 0..tiles {
+        let tile = &mut dst[u * kc * NR..(u + 1) * kc * NR];
+        let cols = NR.min(nc - u * NR);
+        for (p, group) in tile.chunks_exact_mut(NR).enumerate() {
+            for (c, slot) in group.iter_mut().take(cols).enumerate() {
+                *slot = b[(pc + p) * rs + (jc + u * NR + c) * cs];
+            }
+            for slot in group.iter_mut().skip(cols) {
+                *slot = 0.0;
+            }
+        }
+    }
+}
+
+/// Multiply one packed `A` panel by one packed `B` panel, committing each
+/// micro-tile's partial sum into `out` (`+=`, `out` pre-zeroed by the
+/// driver on the first depth panel).
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    pa: &[f32],
+    pb: &[f32],
+    mc: usize,
+    kc: usize,
+    nc: usize,
+    out: &mut [f32],
+    ic: usize,
+    jc: usize,
+    ldc: usize,
+) {
+    let row_tiles = mc.div_ceil(MR);
+    let col_tiles = nc.div_ceil(NR);
+    for t in 0..row_tiles {
+        let ap = &pa[t * kc * MR..(t + 1) * kc * MR];
+        let rows = MR.min(mc - t * MR);
+        for u in 0..col_tiles {
+            let bp = &pb[u * kc * NR..(u + 1) * kc * NR];
+            let acc = micro_kernel(ap, bp);
+            let cols = NR.min(nc - u * NR);
+            for (r, acc_row) in acc.iter().enumerate().take(rows) {
+                let row0 = (ic + t * MR + r) * ldc + jc + u * NR;
+                let crow = &mut out[row0..row0 + cols];
+                for (dst, v) in crow.iter_mut().zip(acc_row) {
+                    *dst += v;
+                }
+            }
+        }
+    }
+}
+
+/// The `MR×NR` register block: `acc[r][c] += ap[p][r] * bp[p][c]` over the
+/// packed depth dimension, in ascending `p`. Fixed-size arrays and
+/// `chunks_exact` give LLVM exact trip counts, so the two inner loops
+/// unroll into straight-line vector code with no bounds checks.
+#[inline]
+fn micro_kernel(ap: &[f32], bp: &[f32]) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (av, bv) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let a = av[r];
+            for (c, slot) in acc_row.iter_mut().enumerate() {
+                *slot += a * bv[c];
+            }
+        }
+    }
+    acc
+}
+
+/// Fused bias-add + ReLU forward over a row-major `[rows×cols]` activation
+/// buffer: `y = max(y + bias, 0)` in one pass, recording the post-bias
+/// positive mask for the backward pass. `mask` is cleared and refilled.
+///
+/// # Panics
+///
+/// Panics if `bias.len() != cols` or `y.len() != rows * cols`.
+pub fn bias_relu_forward(
+    y: &mut [f32],
+    rows: usize,
+    cols: usize,
+    bias: &[f32],
+    mask: &mut Vec<bool>,
+) {
+    assert_eq!(bias.len(), cols, "bias width mismatch");
+    assert_eq!(y.len(), rows * cols, "activation buffer shape mismatch");
+    mask.clear();
+    mask.reserve(rows * cols);
+    for row in y.chunks_exact_mut(cols) {
+        for (v, &b) in row.iter_mut().zip(bias) {
+            let z = *v + b;
+            mask.push(z > 0.0);
+            *v = if z > 0.0 { z } else { 0.0 };
+        }
+    }
+}
+
+/// Inference-only fused bias-add + ReLU (no mask recording).
+///
+/// # Panics
+///
+/// Panics if `bias.len() != cols` or `y.len() != rows * cols`.
+pub fn bias_relu_inference(y: &mut [f32], rows: usize, cols: usize, bias: &[f32]) {
+    assert_eq!(bias.len(), cols, "bias width mismatch");
+    assert_eq!(y.len(), rows * cols, "activation buffer shape mismatch");
+    for row in y.chunks_exact_mut(cols) {
+        for (v, &b) in row.iter_mut().zip(bias) {
+            let z = *v + b;
+            *v = if z > 0.0 { z } else { 0.0 };
+        }
+    }
+}
+
+/// Fused ReLU-mask backward: zero `g[i]` wherever the forward activation
+/// was non-positive, in place.
+///
+/// # Panics
+///
+/// Panics if `g.len() != mask.len()`.
+pub fn relu_mask_backward(g: &mut [f32], mask: &[bool]) {
+    assert_eq!(g.len(), mask.len(), "gradient/mask length mismatch");
+    for (v, &keep) in g.iter_mut().zip(mask) {
+        if !keep {
+            *v = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive reference: plain triple loop, ascending-p accumulation.
+    fn reference(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    fn pseudo(n: usize, salt: u64) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(salt);
+                ((h >> 40) as f32 / 8388608.0) - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gemm_nn_matches_reference_over_shapes() {
+        // Shapes straddle every tile boundary: below, at, and above MR/NR,
+        // and above KC to exercise multi-panel depth reduction.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 8, 8),
+            (5, 9, 17),
+            (16, 24, 128),
+            (16, 128, 10),
+            (65, 300, 70),
+        ] {
+            let a = pseudo(m * k, 1);
+            let b = pseudo(k * n, 2);
+            let mut out = vec![f32::NAN; m * n];
+            gemm_nn(m, k, n, &a, &b, &mut out);
+            let want = reference(m, k, n, &a, &b);
+            for (i, (&got, &w)) in out.iter().zip(&want).enumerate() {
+                assert!(
+                    (got - w).abs() <= 1e-4 * w.abs().max(1.0),
+                    "({m},{k},{n}) elem {i}: {got} vs {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nn_single_panel_is_bitwise_ascending_order() {
+        // For k ≤ KC the kernel must reproduce the naive ascending-p sum
+        // bit for bit — this is what keeps pinned experiment seeds valid.
+        let (m, k, n) = (7, 129, 33);
+        let a = pseudo(m * k, 3);
+        let b = pseudo(k * n, 4);
+        let mut out = vec![0.0f32; m * n];
+        gemm_nn(m, k, n, &a, &b, &mut out);
+        assert_eq!(out, reference(m, k, n, &a, &b));
+    }
+
+    #[test]
+    fn gemm_tn_matches_transposed_reference() {
+        let (m, k, n) = (13, 6, 21); // A stored [k×m]
+        let a = pseudo(k * m, 5);
+        let b = pseudo(k * n, 6);
+        let mut at = vec![0.0f32; m * k];
+        for p in 0..k {
+            for i in 0..m {
+                at[i * k + p] = a[p * m + i];
+            }
+        }
+        let mut out = vec![0.0f32; m * n];
+        gemm_tn(m, k, n, &a, &b, &mut out);
+        assert_eq!(out, reference(m, k, n, &at, &b));
+    }
+
+    #[test]
+    fn gemm_nt_matches_transposed_reference() {
+        let (m, k, n) = (9, 14, 11); // B stored [n×k]
+        let a = pseudo(m * k, 7);
+        let b = pseudo(n * k, 8);
+        let mut bt = vec![0.0f32; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                bt[p * n + j] = b[j * k + p];
+            }
+        }
+        let mut out = vec![0.0f32; m * n];
+        gemm_nt(m, k, n, &a, &b, &mut out);
+        assert_eq!(out, reference(m, k, n, &a, &bt));
+    }
+
+    #[test]
+    fn accumulate_variants_add_to_existing() {
+        let (m, k, n) = (5, 4, 6);
+        let a = pseudo(m * k, 9);
+        let b = pseudo(k * n, 10);
+        let mut out = vec![1.0f32; m * n];
+        gemm_nn_acc(m, k, n, &a, &b, &mut out);
+        let want = reference(m, k, n, &a, &b);
+        for (got, w) in out.iter().zip(&want) {
+            assert!((got - (w + 1.0)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn zero_k_zeroes_output_unless_accumulating() {
+        let mut out = vec![3.0f32; 4];
+        gemm_nn(2, 0, 2, &[], &[], &mut out);
+        assert_eq!(out, vec![0.0; 4]);
+        let mut out = vec![3.0f32; 4];
+        gemm_nn_acc(2, 0, 2, &[], &[], &mut out);
+        assert_eq!(out, vec![3.0; 4]);
+    }
+
+    #[test]
+    fn nan_propagates_through_gemm() {
+        // The old zero-skip silently dropped `0 * NaN`; the kernel must
+        // keep IEEE semantics so poisoned payloads reach quarantine.
+        let a = [0.0f32, 0.0];
+        let b = [f32::NAN, 1.0, 2.0, 3.0];
+        let mut out = [0.0f32; 2];
+        gemm_nn(1, 2, 2, &a, &b, &mut out);
+        assert!(out[0].is_nan(), "0·NaN must stay NaN");
+    }
+
+    #[test]
+    fn bias_relu_forward_matches_separate_passes() {
+        let rows = 3;
+        let cols = 5;
+        let mut y = pseudo(rows * cols, 11);
+        let bias = pseudo(cols, 12);
+        let mut want = y.clone();
+        for row in want.chunks_exact_mut(cols) {
+            for (v, &b) in row.iter_mut().zip(&bias) {
+                *v += b;
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+        }
+        let mut mask = Vec::new();
+        bias_relu_forward(&mut y, rows, cols, &bias, &mut mask);
+        assert_eq!(y, want);
+        for (v, &keep) in y.iter().zip(&mask) {
+            assert_eq!(keep, *v > 0.0);
+        }
+    }
+
+    #[test]
+    fn relu_mask_backward_zeroes_dead_units() {
+        let mut g = vec![1.0f32, 2.0, 3.0];
+        relu_mask_backward(&mut g, &[true, false, true]);
+        assert_eq!(g, vec![1.0, 0.0, 3.0]);
+    }
+}

@@ -71,6 +71,53 @@ impl Linear {
         Ok(y)
     }
 
+    /// Matmul-only forward into caller scratch: `out = x · W`, no bias, no
+    /// caching. The hot path ([`crate::Mlp`]) fuses the bias add with the
+    /// following ReLU and keeps the activation as the backward-pass input
+    /// itself, so the layer never clones `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `x` is not `[*, in_dim]`.
+    pub fn forward_matmul_into(&self, x: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
+        x.matmul_into(&self.weight, out)
+    }
+
+    /// Fill `grad_weight` / `grad_bias` from an explicit forward input
+    /// (instead of the cached clone), writing the input gradient into
+    /// `grad_in`. Allocation-free once the gradient tensors have capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `x` / `grad_out` disagree with the layer.
+    pub fn backward_into(
+        &mut self,
+        x: &Tensor,
+        grad_out: &Tensor,
+        grad_in: &mut Tensor,
+    ) -> Result<(), TensorError> {
+        x.t_matmul_into(grad_out, &mut self.grad_weight)?;
+        grad_out.sum_rows_into(&mut self.grad_bias);
+        grad_out.matmul_t_into(&self.weight, grad_in)
+    }
+
+    /// [`Linear::backward_into`] without the input gradient — the first
+    /// layer of a network has no upstream consumer, so the `matmul_t` is
+    /// pure waste there.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `x` / `grad_out` disagree with the layer.
+    pub fn backward_params_only(
+        &mut self,
+        x: &Tensor,
+        grad_out: &Tensor,
+    ) -> Result<(), TensorError> {
+        x.t_matmul_into(grad_out, &mut self.grad_weight)?;
+        grad_out.sum_rows_into(&mut self.grad_bias);
+        Ok(())
+    }
+
     /// Backward pass: consumes the cached input, fills `grad_weight` /
     /// `grad_bias`, and returns the gradient w.r.t. the layer input.
     ///
@@ -83,9 +130,9 @@ impl Linear {
             .cached_input
             .take()
             .ok_or_else(|| TensorError::InvalidData("backward before forward".into()))?;
-        self.grad_weight = x.t_matmul(grad_out)?;
-        self.grad_bias = grad_out.sum_rows();
-        grad_out.matmul_t(&self.weight)
+        let mut grad_in = Tensor::default();
+        self.backward_into(&x, grad_out, &mut grad_in)?;
+        Ok(grad_in)
     }
 }
 
@@ -124,6 +171,28 @@ impl Relu {
         y
     }
 
+    /// Fused bias-add + ReLU forward, in place: `y = max(y + bias, 0)`,
+    /// recording the positive mask for [`Relu::backward_in_place`]. One
+    /// pass over the activation buffer instead of the separate
+    /// broadcast-add and clamp the unfused path performs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `bias` is not
+    /// `[1, y.cols()]`.
+    pub fn forward_fused_bias(&mut self, y: &mut Tensor, bias: &Tensor) -> Result<(), TensorError> {
+        if bias.rows() != 1 || bias.cols() != y.cols() {
+            return Err(TensorError::ShapeMismatch {
+                op: "bias_relu",
+                lhs: vec![y.rows(), y.cols()],
+                rhs: vec![bias.rows(), bias.cols()],
+            });
+        }
+        let (rows, cols) = (y.rows(), y.cols());
+        crate::kernels::bias_relu_forward(y.data_mut(), rows, cols, bias.data(), &mut self.mask);
+        Ok(())
+    }
+
     /// Backward pass: zero the gradient where the forward input was
     /// non-positive.
     ///
@@ -133,18 +202,25 @@ impl Relu {
     /// match the cached mask (i.e. `forward` was not called with a matching
     /// batch).
     pub fn backward(&self, grad_out: &Tensor) -> Result<Tensor, TensorError> {
-        if grad_out.len() != self.mask.len() {
+        let mut g = grad_out.clone();
+        self.backward_in_place(&mut g)?;
+        Ok(g)
+    }
+
+    /// [`Relu::backward`] applied in place to caller scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidData`] on a mask/gradient size
+    /// mismatch.
+    pub fn backward_in_place(&self, grad: &mut Tensor) -> Result<(), TensorError> {
+        if grad.len() != self.mask.len() {
             return Err(TensorError::InvalidData(
                 "relu backward called with mismatched batch".into(),
             ));
         }
-        let mut g = grad_out.clone();
-        for (v, &keep) in g.data_mut().iter_mut().zip(&self.mask) {
-            if !keep {
-                *v = 0.0;
-            }
-        }
-        Ok(g)
+        crate::kernels::relu_mask_backward(grad.data_mut(), &self.mask);
+        Ok(())
     }
 }
 

@@ -38,6 +38,7 @@
 
 pub mod conv;
 pub mod dataset;
+pub mod kernels;
 pub mod layers;
 pub mod loss;
 pub mod model;

@@ -26,6 +26,24 @@ pub fn softmax_cross_entropy(
     logits: &Tensor,
     labels: &[usize],
 ) -> Result<(f32, Tensor), TensorError> {
+    let mut grad = Tensor::default();
+    let loss = softmax_cross_entropy_into(logits, labels, &mut grad)?;
+    Ok((loss, grad))
+}
+
+/// [`softmax_cross_entropy`] writing the gradient into caller scratch
+/// (resized as needed); returns the mean loss. Allocation-free once `grad`
+/// has capacity.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidData`] if `labels.len() != logits.rows()`
+/// or any label is out of range for the logit width.
+pub fn softmax_cross_entropy_into(
+    logits: &Tensor,
+    labels: &[usize],
+    grad: &mut Tensor,
+) -> Result<f32, TensorError> {
     let (n, c) = (logits.rows(), logits.cols());
     if labels.len() != n {
         return Err(TensorError::InvalidData(format!(
@@ -34,7 +52,52 @@ pub fn softmax_cross_entropy(
             n
         )));
     }
-    let mut grad = Tensor::zeros(n, c);
+    grad.resize(n, c);
+    let mut total = 0.0f64;
+    for (i, &y) in labels.iter().enumerate().take(n) {
+        if y >= c {
+            return Err(TensorError::InvalidData(format!(
+                "label {y} out of range for {c} classes"
+            )));
+        }
+        let row = logits.row(i);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        // Stage the exponentials in the gradient row so the second pass
+        // reuses them instead of recomputing each `exp` — same values in
+        // the same order, so the result is bit-identical.
+        let grow = &mut grad.data_mut()[i * c..(i + 1) * c];
+        let mut denom = 0.0f32;
+        for (g, &v) in grow.iter_mut().zip(row) {
+            let e = (v - max).exp();
+            *g = e;
+            denom += e;
+        }
+        let log_denom = denom.ln();
+        total += f64::from(log_denom - (row[y] - max));
+        for (j, g) in grow.iter_mut().enumerate() {
+            let p = *g / denom;
+            *g = (p - if j == y { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    Ok(total as f32 / n as f32)
+}
+
+/// Mean softmax cross-entropy loss without computing the gradient (the
+/// evaluation path needs only the scalar).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidData`] under the same conditions as
+/// [`softmax_cross_entropy`].
+pub fn cross_entropy_loss(logits: &Tensor, labels: &[usize]) -> Result<f32, TensorError> {
+    let (n, c) = (logits.rows(), logits.cols());
+    if labels.len() != n {
+        return Err(TensorError::InvalidData(format!(
+            "{} labels for {} logit rows",
+            labels.len(),
+            n
+        )));
+    }
     let mut total = 0.0f64;
     for (i, &y) in labels.iter().enumerate().take(n) {
         if y >= c {
@@ -48,15 +111,9 @@ pub fn softmax_cross_entropy(
         for &v in row {
             denom += (v - max).exp();
         }
-        let log_denom = denom.ln();
-        total += f64::from(log_denom - (row[y] - max));
-        let grow = &mut grad.data_mut()[i * c..(i + 1) * c];
-        for (j, g) in grow.iter_mut().enumerate() {
-            let p = (row[j] - max).exp() / denom;
-            *g = (p - if j == y { 1.0 } else { 0.0 }) / n as f32;
-        }
+        total += f64::from(denom.ln() - (row[y] - max));
     }
-    Ok((total as f32 / n as f32, grad))
+    Ok(total as f32 / n as f32)
 }
 
 /// Top-1 accuracy of `logits` against `labels`.
@@ -69,8 +126,21 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
     if labels.is_empty() {
         return 0.0;
     }
-    let preds = logits.argmax_rows();
-    let correct = preds.iter().zip(labels).filter(|(p, y)| p == y).count();
+    // Inline argmax (same tie-breaking as `Tensor::argmax_rows`: first
+    // maximum wins) so the hot evaluation path allocates nothing.
+    let mut correct = 0usize;
+    for (r, &y) in labels.iter().enumerate() {
+        let row = logits.row(r);
+        let mut best = (0usize, f32::NEG_INFINITY);
+        for (j, &v) in row.iter().enumerate() {
+            if v > best.1 {
+                best = (j, v);
+            }
+        }
+        if best.0 == y {
+            correct += 1;
+        }
+    }
     correct as f32 / labels.len() as f32
 }
 

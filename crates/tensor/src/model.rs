@@ -5,7 +5,7 @@
 use rand::seq::SliceRandom;
 
 use crate::layers::{Linear, Relu};
-use crate::loss::{accuracy, softmax_cross_entropy, Evaluation};
+use crate::loss::{accuracy, cross_entropy_loss, softmax_cross_entropy_into, Evaluation};
 use crate::optim::Sgd;
 use crate::rng::{seed_rng, split_seed};
 use crate::{Dataset, Tensor, TensorError};
@@ -55,12 +55,34 @@ pub struct TrainOptions {
     pub frozen: Option<Vec<bool>>,
 }
 
+/// Reusable buffers for the forward/backward and minibatching hot path.
+/// Everything here is overwritten before use; after the first batch the
+/// buffers reach steady-state capacity and training allocates nothing.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// Per-layer activations; `acts[i]` is the output of layer `i` (post
+    /// bias+ReLU for hidden layers, raw logits for the last).
+    acts: Vec<Tensor>,
+    /// Gradient ping-pong buffers for the backward sweep.
+    grad: Tensor,
+    grad2: Tensor,
+    /// Gathered minibatch (features, labels), reused across batches.
+    batch: Tensor,
+    batch_labels: Vec<usize>,
+    /// Shuffled sample order for one epoch.
+    order: Vec<usize>,
+    /// Flat parameter / gradient mirrors for the optimizer step.
+    params: Vec<f32>,
+    grads: Vec<f32>,
+}
+
 /// A feed-forward classifier: `Linear → ReLU → … → Linear`.
 #[derive(Debug, Clone)]
 pub struct Mlp {
     config: MlpConfig,
     layers: Vec<Linear>,
     activations: Vec<Relu>,
+    scratch: Scratch,
 }
 
 impl Mlp {
@@ -82,6 +104,7 @@ impl Mlp {
             config: config.clone(),
             layers,
             activations,
+            scratch: Scratch::default(),
         }
     }
 
@@ -187,24 +210,60 @@ impl Mlp {
         Ok(h)
     }
 
+    /// Forward pass through the scratch activation buffers: `acts[i]`
+    /// receives layer `i`'s output. `record_masks` controls whether the
+    /// hidden ReLUs store their masks (training) or skip them (eval).
+    fn forward_scratch(&mut self, x: &Tensor, record_masks: bool) -> Result<(), TensorError> {
+        let n_layers = self.layers.len();
+        self.scratch.acts.resize_with(n_layers, Tensor::default);
+        for i in 0..n_layers {
+            let (prev, rest) = self.scratch.acts.split_at_mut(i);
+            let out = &mut rest[0];
+            let input = if i == 0 { x } else { &prev[i - 1] };
+            self.layers[i].forward_matmul_into(input, out)?;
+            if i < n_layers - 1 {
+                if record_masks {
+                    self.activations[i].forward_fused_bias(out, &self.layers[i].bias)?;
+                } else {
+                    let (rows, cols) = (out.rows(), out.cols());
+                    crate::kernels::bias_relu_inference(
+                        out.data_mut(),
+                        rows,
+                        cols,
+                        self.layers[i].bias.data(),
+                    );
+                }
+            } else {
+                out.add_row_broadcast(&self.layers[i].bias)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Forward + backward over one batch; populates per-layer gradients and
-    /// returns the mean loss.
+    /// returns the mean loss. Runs entirely in reusable scratch buffers —
+    /// zero heap allocation once the buffers are warm.
     ///
     /// # Errors
     ///
     /// Propagates shape errors from the layers or the loss.
     pub fn forward_backward(&mut self, x: &Tensor, y: &[usize]) -> Result<f32, TensorError> {
-        let mut h = self.layers[0].forward(x)?;
-        for i in 1..self.layers.len() {
-            h = self.activations[i - 1].forward(&h);
-            h = self.layers[i].forward(&h)?;
+        self.forward_scratch(x, true)?;
+        let n_layers = self.layers.len();
+        let Mlp {
+            layers,
+            activations,
+            scratch,
+            ..
+        } = self;
+        let loss = softmax_cross_entropy_into(&scratch.acts[n_layers - 1], y, &mut scratch.grad)?;
+        for i in (1..n_layers).rev() {
+            layers[i].backward_into(&scratch.acts[i - 1], &scratch.grad, &mut scratch.grad2)?;
+            activations[i - 1].backward_in_place(&mut scratch.grad2)?;
+            std::mem::swap(&mut scratch.grad, &mut scratch.grad2);
         }
-        let (loss, mut grad) = softmax_cross_entropy(&h, y)?;
-        for i in (1..self.layers.len()).rev() {
-            grad = self.layers[i].backward(&grad)?;
-            grad = self.activations[i - 1].backward(&grad)?;
-        }
-        self.layers[0].backward(&grad)?;
+        // The input gradient of the first layer has no consumer; skip it.
+        layers[0].backward_params_only(x, &scratch.grad)?;
         Ok(loss)
     }
 
@@ -240,19 +299,26 @@ impl Mlp {
         if data.is_empty() || batch_size == 0 {
             return 0.0;
         }
-        let mut order: Vec<usize> = (0..data.len()).collect();
+        // Move the minibatch scratch out of `self` so the gathered batch can
+        // be borrowed across `forward_backward`; restored below. After the
+        // first epoch every buffer is at steady-state capacity and the loop
+        // performs zero heap allocation.
+        let mut order = std::mem::take(&mut self.scratch.order);
+        let mut batch = std::mem::take(&mut self.scratch.batch);
+        let mut batch_labels = std::mem::take(&mut self.scratch.batch_labels);
+        let mut params = std::mem::take(&mut self.scratch.params);
+        let mut grads = std::mem::take(&mut self.scratch.grads);
+        order.clear();
+        order.extend(0..data.len());
         order.shuffle(&mut seed_rng(seed));
         let mut total = 0.0;
         let mut batches = 0;
-        // Hoisted out of the batch loop: `params` mirrors the layer
-        // parameters exactly (every write path goes through `set_params`
-        // below), so one read up front suffices and the per-batch
-        // `params()`/`grads()` allocations disappear.
-        let mut params = self.params();
-        let mut grads = Vec::with_capacity(params.len());
+        // `params` mirrors the layer parameters exactly (every write path
+        // goes through `set_params` below), so one read up front suffices.
+        self.params_into(&mut params);
         for chunk in order.chunks(batch_size) {
-            let batch = data.subset(chunk);
-            match self.forward_backward(batch.features(), batch.labels()) {
+            data.gather_into(chunk, &mut batch, &mut batch_labels);
+            match self.forward_backward(&batch, &batch_labels) {
                 Ok(loss) => {
                     total += loss;
                     batches += 1;
@@ -276,8 +342,13 @@ impl Mlp {
                 }
             }
             self.set_params(&params)
-                .expect("params buffer produced by self.params() always fits");
+                .expect("params buffer produced by self.params_into() always fits");
         }
+        self.scratch.order = order;
+        self.scratch.batch = batch;
+        self.scratch.batch_labels = batch_labels;
+        self.scratch.params = params;
+        self.scratch.grads = grads;
         if batches == 0 {
             0.0
         } else {
@@ -297,12 +368,37 @@ impl Mlp {
             };
         }
         match self.forward_inference(data.features()) {
-            Ok(logits) => {
-                let (loss, _) = softmax_cross_entropy(&logits, data.labels())
-                    .unwrap_or((f32::INFINITY, Tensor::zeros(1, 1)));
+            Ok(logits) => Evaluation {
+                loss: cross_entropy_loss(&logits, data.labels()).unwrap_or(f32::INFINITY),
+                accuracy: accuracy(&logits, data.labels()),
+                samples: data.len(),
+            },
+            Err(_) => Evaluation {
+                loss: f32::INFINITY,
+                accuracy: 0.0,
+                samples: data.len(),
+            },
+        }
+    }
+
+    /// [`Mlp::evaluate`] through the reusable scratch activations —
+    /// allocation-free once the buffers are warm. The round runtime calls
+    /// this on every cohort attempt, so the per-call logits allocation of
+    /// the `&self` path matters there.
+    pub fn evaluate_mut(&mut self, data: &Dataset) -> Evaluation {
+        if data.is_empty() {
+            return Evaluation {
+                loss: 0.0,
+                accuracy: 0.0,
+                samples: 0,
+            };
+        }
+        match self.forward_scratch(data.features(), false) {
+            Ok(()) => {
+                let logits = &self.scratch.acts[self.layers.len() - 1];
                 Evaluation {
-                    loss,
-                    accuracy: accuracy(&logits, data.labels()),
+                    loss: cross_entropy_loss(logits, data.labels()).unwrap_or(f32::INFINITY),
+                    accuracy: accuracy(logits, data.labels()),
                     samples: data.len(),
                 }
             }
@@ -414,6 +510,21 @@ mod tests {
                 assert_eq!(p, 0.0, "pruned param {i} drifted to {p}");
             }
         }
+    }
+
+    #[test]
+    fn evaluate_mut_matches_evaluate() {
+        let data = xor_like();
+        let mut m = Mlp::new(&MlpConfig::new(2, &[8], 2), 3);
+        let mut opt = Sgd::new(0.2);
+        for e in 0..3 {
+            m.train_epoch(&data, 16, &mut opt, e);
+        }
+        let by_ref = m.evaluate(&data);
+        let by_scratch = m.evaluate_mut(&data);
+        assert_eq!(by_ref, by_scratch);
+        // A second scratch evaluation must be unaffected by buffer reuse.
+        assert_eq!(m.evaluate_mut(&data), by_scratch);
     }
 
     #[test]

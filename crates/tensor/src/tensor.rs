@@ -1,14 +1,18 @@
 //! Row-major dense `f32` tensors with the handful of kernels the MLP
 //! substrate needs: matmul, transpose-matmul variants, elementwise ops,
 //! and reductions.
+//!
+//! The matrix products delegate to the blocked, register-tiled kernels in
+//! [`crate::kernels`]; the `*_into` variants write into caller-owned
+//! scratch so steady-state training performs no heap allocation.
 
-use crate::TensorError;
+use crate::{kernels, TensorError};
 
 /// A row-major, 2-D dense `f32` tensor.
 ///
 /// All model math in the reproduction is rank-2 (`[batch, features]` or
 /// `[in, out]` weight matrices); bias vectors are represented as `[1, n]`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Tensor {
     rows: usize,
     cols: usize,
@@ -102,6 +106,14 @@ impl Tensor {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Reshape in place to `rows × cols`, reusing the existing buffer.
+    /// Contents after the call are unspecified; callers overwrite.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// Matrix multiplication `self (m×k) · rhs (k×n) → m×n`.
     ///
     /// # Errors
@@ -109,6 +121,19 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] when the inner dimensions
     /// disagree.
     pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        let mut out = Tensor::default();
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Tensor::matmul`] writing into caller scratch (resized as needed,
+    /// allocation-free once `out` has capacity).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the inner dimensions
+    /// disagree.
+    pub fn matmul_into(&self, rhs: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
         if self.cols != rhs.rows {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul",
@@ -117,23 +142,9 @@ impl Tensor {
             });
         }
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = Tensor::zeros(m, n);
-        // i-k-j loop order keeps the inner loop streaming over contiguous
-        // memory in both `rhs` and `out`.
-        for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let rrow = &rhs.data[p * n..(p + 1) * n];
-                let orow = &mut out.data[i * n..(i + 1) * n];
-                for j in 0..n {
-                    orow[j] += a * rrow[j];
-                }
-            }
-        }
-        Ok(out)
+        out.resize(m, n);
+        kernels::gemm_nn(m, k, n, &self.data, &rhs.data, &mut out.data);
+        Ok(())
     }
 
     /// `selfᵀ (k×m)ᵀ · rhs (m×n) → k×n` without materializing the transpose.
@@ -142,6 +153,17 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] when row counts disagree.
     pub fn t_matmul(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        let mut out = Tensor::default();
+        self.t_matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Tensor::t_matmul`] writing into caller scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when row counts disagree.
+    pub fn t_matmul_into(&self, rhs: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
         if self.rows != rhs.rows {
             return Err(TensorError::ShapeMismatch {
                 op: "t_matmul",
@@ -149,22 +171,10 @@ impl Tensor {
                 rhs: vec![rhs.rows, rhs.cols],
             });
         }
-        let (m, k, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = Tensor::zeros(k, n);
-        for i in 0..m {
-            let lrow = &self.data[i * k..(i + 1) * k];
-            let rrow = &rhs.data[i * n..(i + 1) * n];
-            for (p, &a) in lrow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &mut out.data[p * n..(p + 1) * n];
-                for j in 0..n {
-                    orow[j] += a * rrow[j];
-                }
-            }
-        }
-        Ok(out)
+        let (m, k, n) = (self.cols, self.rows, rhs.cols);
+        out.resize(m, n);
+        kernels::gemm_tn(m, k, n, &self.data, &rhs.data, &mut out.data);
+        Ok(())
     }
 
     /// `self (m×k) · rhsᵀ (n×k)ᵀ → m×n` without materializing the transpose.
@@ -173,6 +183,17 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] when column counts disagree.
     pub fn matmul_t(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        let mut out = Tensor::default();
+        self.matmul_t_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Tensor::matmul_t`] writing into caller scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when column counts disagree.
+    pub fn matmul_t_into(&self, rhs: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
         if self.cols != rhs.cols {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul_t",
@@ -181,19 +202,9 @@ impl Tensor {
             });
         }
         let (m, k, n) = (self.rows, self.cols, rhs.rows);
-        let mut out = Tensor::zeros(m, n);
-        for i in 0..m {
-            let lrow = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let rrow = &rhs.data[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for p in 0..k {
-                    acc += lrow[p] * rrow[p];
-                }
-                out.data[i * n + j] = acc;
-            }
-        }
-        Ok(out)
+        out.resize(m, n);
+        kernels::gemm_nt(m, k, n, &self.data, &rhs.data, &mut out.data);
+        Ok(())
     }
 
     /// Materialized transpose.
@@ -250,14 +261,23 @@ impl Tensor {
 
     /// Sum over rows, producing a `[1, cols]` tensor (used for bias grads).
     pub fn sum_rows(&self) -> Tensor {
-        let mut out = Tensor::zeros(1, self.cols);
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+        let mut out = Tensor::default();
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// [`Tensor::sum_rows`] writing into caller scratch.
+    pub fn sum_rows_into(&self, out: &mut Tensor) {
+        out.resize(1, self.cols);
+        out.data.fill(0.0);
+        if self.cols == 0 {
+            return;
+        }
+        for row in self.data.chunks_exact(self.cols) {
             for (o, v) in out.data.iter_mut().zip(row) {
                 *o += v;
             }
         }
-        out
     }
 
     /// Scale every element in place.
@@ -360,5 +380,55 @@ mod tests {
     #[test]
     fn from_vec_rejects_bad_length() {
         assert!(Tensor::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn matmul_propagates_nan_through_zero_rows() {
+        // Regression: the old kernel skipped `a == 0.0` per element, so a
+        // zero activation silently swallowed a NaN weight (`0 * NaN` must
+        // stay NaN for the server-side quarantine to ever see it).
+        let a = t(1, 2, &[0.0, 0.0]);
+        let b = t(2, 2, &[f32::NAN, 1.0, 2.0, 3.0]);
+        let c = a.matmul(&b).unwrap();
+        assert!(c.data()[0].is_nan(), "0·NaN swallowed in matmul");
+        let c = a.t_matmul(&t(1, 2, &[f32::NAN, 1.0])).unwrap();
+        assert!(c.data()[0].is_nan(), "0·NaN swallowed in t_matmul");
+        let c = t(1, 2, &[0.0, 0.0])
+            .matmul_t(&t(1, 2, &[f32::NAN, 1.0]))
+            .unwrap();
+        assert!(c.data()[0].is_nan(), "0·NaN swallowed in matmul_t");
+    }
+
+    #[test]
+    fn matmul_propagates_inf() {
+        let a = t(1, 2, &[1.0, 0.0]);
+        let b = t(2, 1, &[f32::INFINITY, 5.0]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data()[0], f32::INFINITY);
+    }
+
+    #[test]
+    fn into_variants_reuse_scratch_and_match() {
+        let a = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let mut out = Tensor::zeros(9, 9); // wrong shape: must be resized
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+        a.t_matmul_into(&a, &mut out).unwrap();
+        assert_eq!(out, a.transpose().matmul(&a).unwrap());
+        a.matmul_t_into(&a, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&a.transpose()).unwrap());
+        let mut s = Tensor::default();
+        a.sum_rows_into(&mut s);
+        assert_eq!(s, a.sum_rows());
+    }
+
+    #[test]
+    fn into_variants_reject_bad_shapes() {
+        let a = Tensor::zeros(2, 3);
+        let mut out = Tensor::default();
+        assert!(a.matmul_into(&Tensor::zeros(2, 3), &mut out).is_err());
+        assert!(a.t_matmul_into(&Tensor::zeros(3, 3), &mut out).is_err());
+        assert!(a.matmul_t_into(&Tensor::zeros(3, 4), &mut out).is_err());
     }
 }

@@ -1,0 +1,165 @@
+//! Finite-difference gradient checks for the im2col convolution path.
+//!
+//! The inline unit tests cover single layers; these checks drive the full
+//! conv → max-pool → linear → softmax chain and compare every analytic
+//! gradient surface (conv weights, conv bias, input pixels, pooled
+//! routing) against central differences. Tolerances are relative: max
+//! pooling is only piecewise linear, so a perturbation that flips an
+//! argmax produces a legitimate (small) mismatch.
+
+use float_tensor::loss::{cross_entropy_loss, softmax_cross_entropy};
+use float_tensor::{seed_rng, Conv2d, FeatureShape, Linear, MaxPool2, Tensor};
+use rand::Rng;
+
+const EPS: f32 = 1e-2;
+const REL_TOL: f32 = 0.05;
+
+fn sample_input(shape: FeatureShape, n: usize, seed: u64) -> Tensor {
+    let mut rng = seed_rng(seed);
+    let data = (0..n * shape.len())
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
+    Tensor::from_vec(n, shape.len(), data).expect("sized by construction")
+}
+
+fn close(numeric: f32, analytic: f32, what: &str) {
+    assert!(
+        (numeric - analytic).abs() <= REL_TOL * numeric.abs().max(1.0),
+        "{what}: numeric {numeric} vs analytic {analytic}"
+    );
+}
+
+/// Mean cross-entropy of the conv → pool → linear chain, inference path.
+fn chain_loss(conv: &Conv2d, pool: &mut MaxPool2, head: &Linear, x: &Tensor, ys: &[usize]) -> f32 {
+    let h1 = conv.forward_inference(x).expect("conv input fits");
+    let h2 = pool.forward(&h1).expect("pool input fits");
+    let logits = head.forward_inference(&h2).expect("head input fits");
+    cross_entropy_loss(&logits, ys).expect("labels in range")
+}
+
+#[test]
+fn conv_chain_gradients_match_finite_differences() {
+    let shape = FeatureShape::new(2, 4, 4);
+    let mut conv = Conv2d::new(shape, 3, 3, 17);
+    let mut pool = MaxPool2::new(conv.output_shape());
+    let mut head = Linear::new(pool.output_shape().len(), 4, 19);
+    let mut x = sample_input(shape, 3, 23);
+    let ys = [0usize, 2, 3];
+
+    // Analytic pass through the training path (im2col forward + GEMM
+    // backward).
+    let h1 = conv.forward(&x).expect("conv input fits");
+    let h2 = pool.forward(&h1).expect("pool input fits");
+    let logits = head.forward(&h2).expect("head input fits");
+    let (_, grad) = softmax_cross_entropy(&logits, &ys).expect("labels in range");
+    let g2 = head.backward(&grad).expect("after forward");
+    let g1 = pool.backward(&g2).expect("after forward");
+    let grad_in = conv.backward(&g1).expect("after forward");
+
+    // Conv weight gradients, sampled across channels and taps.
+    for &(r, c) in &[(0usize, 0usize), (1, 5), (2, 17), (0, 9), (2, 0)] {
+        let base = conv.weight.at(r, c);
+        conv.weight.set(r, c, base + EPS);
+        let up = chain_loss(&conv, &mut pool, &head, &x, &ys);
+        conv.weight.set(r, c, base - EPS);
+        let down = chain_loss(&conv, &mut pool, &head, &x, &ys);
+        conv.weight.set(r, c, base);
+        close(
+            (up - down) / (2.0 * EPS),
+            conv.grad_weight.at(r, c),
+            &format!("conv weight [{r},{c}]"),
+        );
+    }
+
+    // Conv bias gradients — the im2col path adds bias after the GEMM.
+    for oc in 0..3 {
+        let base = conv.bias.at(0, oc);
+        conv.bias.set(0, oc, base + EPS);
+        let up = chain_loss(&conv, &mut pool, &head, &x, &ys);
+        conv.bias.set(0, oc, base - EPS);
+        let down = chain_loss(&conv, &mut pool, &head, &x, &ys);
+        conv.bias.set(0, oc, base);
+        close(
+            (up - down) / (2.0 * EPS),
+            conv.grad_bias.at(0, oc),
+            &format!("conv bias [{oc}]"),
+        );
+    }
+
+    // Input gradients through conv, pooling's argmax routing, and the
+    // head — exercises col2im end to end.
+    for i in [0usize, 7, 13, 21, 30, shape.len() * 3 - 1] {
+        let base = x.data()[i];
+        x.data_mut()[i] = base + EPS;
+        let up = chain_loss(&conv, &mut pool, &head, &x, &ys);
+        x.data_mut()[i] = base - EPS;
+        let down = chain_loss(&conv, &mut pool, &head, &x, &ys);
+        x.data_mut()[i] = base;
+        close(
+            (up - down) / (2.0 * EPS),
+            grad_in.data()[i],
+            &format!("input [{i}]"),
+        );
+    }
+}
+
+#[test]
+fn maxpool_backward_matches_finite_differences() {
+    let shape = FeatureShape::new(2, 4, 4);
+    let mut pool = MaxPool2::new(shape);
+    let mut x = sample_input(shape, 2, 31);
+    // Loss = Σ w_o · pool(x)_o with fixed random weights, so the analytic
+    // input gradient is pool.backward(w).
+    let w = sample_input(pool.output_shape(), 2, 37);
+    let loss = |pool: &mut MaxPool2, x: &Tensor| -> f32 {
+        let y = pool.forward(x).expect("pool input fits");
+        y.data().iter().zip(w.data()).map(|(a, b)| a * b).sum()
+    };
+    let _ = pool.forward(&x).expect("pool input fits");
+    let grad_in = pool.backward(&w).expect("after forward");
+    for i in [0usize, 3, 11, 19, 27, shape.len() * 2 - 1] {
+        let base = x.data()[i];
+        x.data_mut()[i] = base + EPS;
+        let up = loss(&mut pool, &x);
+        x.data_mut()[i] = base - EPS;
+        let down = loss(&mut pool, &x);
+        x.data_mut()[i] = base;
+        close(
+            (up - down) / (2.0 * EPS),
+            grad_in.data()[i],
+            &format!("pool input [{i}]"),
+        );
+    }
+}
+
+#[test]
+fn one_by_one_kernel_gradients_match() {
+    // kernel = 1 degenerates im2col to a copy; the GEMM backward must
+    // still agree with finite differences.
+    let shape = FeatureShape::new(3, 2, 2);
+    let mut conv = Conv2d::new(shape, 2, 1, 41);
+    let x = sample_input(shape, 2, 43);
+    let y = conv.forward(&x).expect("conv input fits");
+    let ones = Tensor::from_vec(y.rows(), y.cols(), vec![1.0; y.len()]).expect("sized");
+    let _ = conv.backward(&ones).expect("after forward");
+    let loss = |c: &Conv2d| -> f32 {
+        c.forward_inference(&x)
+            .expect("conv input fits")
+            .data()
+            .iter()
+            .sum()
+    };
+    for &(r, c) in &[(0usize, 0usize), (1, 2), (0, 1)] {
+        let base = conv.weight.at(r, c);
+        conv.weight.set(r, c, base + EPS);
+        let up = loss(&conv);
+        conv.weight.set(r, c, base - EPS);
+        let down = loss(&conv);
+        conv.weight.set(r, c, base);
+        close(
+            (up - down) / (2.0 * EPS),
+            conv.grad_weight.at(r, c),
+            &format!("1x1 weight [{r},{c}]"),
+        );
+    }
+}

@@ -28,10 +28,23 @@ step "fault-injection property tests"
 cargo test -q --offline --test fault_injection --test sim_properties
 
 if [[ "${1:-}" != "quick" ]]; then
-  # Short chaos run with a fixed seed and every fault kind active:
-  # asserts reports stay finite and bit-identical across thread counts.
-  step "chaos smoke (faults on)"
+  # Short chaos run with a fixed seed, every fault kind active, and
+  # telemetry on: asserts reports *and event streams* stay finite and
+  # bit-identical across thread counts, and writes the sync run's JSONL
+  # event stream + report JSON to target/obs/ for the next step.
+  step "chaos smoke (faults + telemetry on)"
   cargo run --release --offline --example chaos_smoke
+
+  # Replay the event stream and reconcile it against the report: every
+  # committed attempt must appear exactly once as a ClientOutcome event,
+  # so the ledger totals, retry/dedup counters, and per-round records
+  # must all be derivable from the JSONL alone. obsdump exits 1 on any
+  # mismatch.
+  step "telemetry reconcile (obsdump)"
+  cargo run --release --offline -p float-bench --bin obsdump -- \
+    target/obs/chaos_sync.jsonl --report target/obs/chaos_sync.report.json \
+    --clients 1 > target/obs/obsdump_ci.txt
+  grep -q "event stream and report reconcile exactly" target/obs/obsdump_ci.txt
 
   # Kernel micro-bench in quick mode: asserts the blocked GEMM stays
   # bit-identical to the ascending-order reference and that the emitted

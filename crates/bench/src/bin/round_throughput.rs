@@ -25,6 +25,20 @@ struct ThreadResult {
 }
 
 #[derive(Serialize)]
+struct TelemetryOverhead {
+    /// rounds/s with `ObsConfig::off()` (the config default) — this is the
+    /// number to diff against the pre-telemetry baseline: a disabled
+    /// `Collector` must cost nothing measurable.
+    off_rounds_per_sec: f64,
+    /// rounds/s with the full event stream + metrics registry enabled.
+    on_rounds_per_sec: f64,
+    /// `(off - on) / off`, percent. The *enabled* cost, for context.
+    enabled_overhead_pct: f64,
+    /// Events recorded by the enabled run.
+    events_recorded: u64,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     benchmark: String,
     selector: String,
@@ -35,6 +49,7 @@ struct BenchReport {
     host_parallelism: usize,
     deterministic_across_thread_counts: bool,
     results: Vec<ThreadResult>,
+    telemetry: TelemetryOverhead,
 }
 
 fn usage() -> ! {
@@ -117,6 +132,47 @@ fn main() {
         eprintln!("WARNING: reports diverged across thread counts — determinism bug!");
     }
 
+    // Telemetry overhead: the same workload at 1 thread with the
+    // collector off (default) and fully on. Best-of-3 each, so a stray
+    // scheduler hiccup doesn't masquerade as overhead.
+    let telemetry = {
+        let mut c = cfg;
+        c.num_threads = 1;
+        let off_secs = (0..3)
+            .map(|_| {
+                let exp = Experiment::new(c).expect("valid config");
+                let start = Instant::now();
+                let _ = exp.run();
+                start.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min);
+        let mut c_on = c;
+        c_on.obs = float_obs::ObsConfig::on();
+        let mut events_recorded = 0u64;
+        let on_secs = (0..3)
+            .map(|_| {
+                let exp = Experiment::new(c_on).expect("valid config");
+                let start = Instant::now();
+                let (_, tel) = exp.run_traced();
+                events_recorded = tel.summary.events_recorded;
+                start.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min);
+        let off_rps = rounds as f64 / off_secs.max(1e-9);
+        let on_rps = rounds as f64 / on_secs.max(1e-9);
+        let overhead = (off_rps - on_rps) / off_rps.max(1e-9) * 100.0;
+        eprintln!(
+            "  telemetry: off {off_rps:6.2} rounds/s, on {on_rps:6.2} rounds/s \
+             ({overhead:+.1}% when enabled, {events_recorded} events)"
+        );
+        TelemetryOverhead {
+            off_rounds_per_sec: off_rps,
+            on_rounds_per_sec: on_rps,
+            enabled_overhead_pct: overhead,
+            events_recorded,
+        }
+    };
+
     let report = BenchReport {
         benchmark: "round_throughput".to_string(),
         selector: "fedavg".to_string(),
@@ -127,6 +183,7 @@ fn main() {
         host_parallelism: host,
         deterministic_across_thread_counts: deterministic,
         results,
+        telemetry,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, format!("{json}\n")).expect("write benchmark output");

@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use float_data::federated::FederatedConfig;
 use float_data::Task;
 use float_models::Architecture;
+use float_obs::ObsConfig;
 use float_sim::FaultPlan;
 use float_traces::InterferenceModel;
 
@@ -157,6 +158,12 @@ pub struct ExperimentConfig {
     /// §Fault model for the semantics.
     #[serde(default)]
     pub fault_plan: FaultPlan,
+    /// Telemetry switchboard: off by default (near-zero overhead), or the
+    /// deterministic event stream + metrics registry of `float-obs`. Like
+    /// the thread count, enabling telemetry never changes results — see
+    /// `DESIGN.md` §Telemetry & determinism contract.
+    #[serde(default)]
+    pub obs: ObsConfig,
 }
 
 impl ExperimentConfig {
@@ -197,6 +204,7 @@ impl ExperimentConfig {
             seed: 20240422,
             num_threads: 0,
             fault_plan: FaultPlan::none(),
+            obs: ObsConfig::off(),
         }
     }
 
@@ -227,6 +235,7 @@ impl ExperimentConfig {
             seed: 7,
             num_threads: 0,
             fault_plan: FaultPlan::none(),
+            obs: ObsConfig::off(),
         }
     }
 
@@ -269,7 +278,7 @@ impl ExperimentConfig {
     /// Returns a description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
         if self.num_clients == 0 {
-            return Err("num_clients must be positive".into());
+            return Err(format!("num_clients {} must be positive", self.num_clients));
         }
         if self.cohort_size == 0 || self.cohort_size > self.num_clients {
             return Err(format!(
@@ -278,7 +287,7 @@ impl ExperimentConfig {
             ));
         }
         if self.rounds == 0 {
-            return Err("rounds must be positive".into());
+            return Err(format!("rounds {} must be positive", self.rounds));
         }
         if self.async_buffer == 0 || self.async_buffer > self.async_concurrency {
             return Err(format!(
@@ -287,28 +296,38 @@ impl ExperimentConfig {
             ));
         }
         if self.batch_size == 0 || self.local_epochs == 0 {
-            return Err("batch_size and local_epochs must be positive".into());
+            return Err(format!(
+                "batch_size {} and local_epochs {} must be positive",
+                self.batch_size, self.local_epochs
+            ));
         }
         if self.deadline_s <= 0.0 || self.deadline_s.is_nan() {
-            return Err("deadline must be positive".into());
+            return Err(format!("deadline_s {} must be positive", self.deadline_s));
         }
         if let Some(a) = self.alpha {
             if a <= 0.0 || a.is_nan() {
-                return Err("alpha must be positive".into());
+                return Err(format!("alpha {a} must be positive"));
             }
         }
         if self.eval_every == 0 {
-            return Err("eval_every must be positive".into());
+            return Err(format!("eval_every {} must be positive", self.eval_every));
         }
         if self.failure_hazard_per_s < 0.0 || self.failure_hazard_per_s.is_nan() {
-            return Err("failure hazard must be non-negative".into());
+            return Err(format!(
+                "failure_hazard_per_s {} must be non-negative",
+                self.failure_hazard_per_s
+            ));
         }
         if !(self.reward_w_participation >= 0.0 && self.reward_w_accuracy >= 0.0)
             || self.reward_w_participation + self.reward_w_accuracy <= 0.0
         {
-            return Err("reward weights must be non-negative and not both zero".into());
+            return Err(format!(
+                "reward weights (participation {}, accuracy {}) must be non-negative and not both zero",
+                self.reward_w_participation, self.reward_w_accuracy
+            ));
         }
         self.fault_plan.validate()?;
+        self.obs.validate()?;
         Ok(())
     }
 }
@@ -361,6 +380,37 @@ mod tests {
         let mut c = base;
         c.fault_plan = FaultPlan::chaos();
         c.validate().expect("chaos preset must validate");
+        let mut c = base;
+        c.obs.wall_timers = true; // without enabled
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.obs = ObsConfig::profiled();
+        c.validate().expect("profiled telemetry must validate");
+    }
+
+    #[test]
+    fn validation_messages_carry_offending_values() {
+        let base = ExperimentConfig::small(SelectorChoice::FedAvg, AccelMode::Off, 5);
+        let mut c = base;
+        c.cohort_size = 77;
+        c.num_clients = 40;
+        let err = c.validate().expect_err("bad cohort");
+        assert!(err.contains("77") && err.contains("40"), "message: {err}");
+        let mut c = base;
+        c.deadline_s = -3.5;
+        let err = c.validate().expect_err("bad deadline");
+        assert!(err.contains("-3.5"), "message: {err}");
+        let mut c = base;
+        c.fault_plan.stall_backoff_s = -1.0;
+        let err = c.validate().expect_err("bad backoff");
+        assert!(err.contains("-1"), "message: {err}");
+        let mut c = base;
+        c.obs.wall_timers = true;
+        let err = c.validate().expect_err("bad obs");
+        assert!(
+            err.contains("wall_timers true") && err.contains("enabled false"),
+            "message: {err}"
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use float_accel::AccelAction;
+use float_obs::TelemetrySummary;
 use float_sim::LedgerTotals;
 
 /// Summary of per-client accuracies: the paper's three-way split designed
@@ -34,7 +35,10 @@ impl AccuracySummary {
             };
         }
         let mut sorted = accs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        // total_cmp gives a real total order: NaNs sort to the top instead
+        // of freezing wherever the comparison happened to see them, so a
+        // poisoned accuracy cannot scramble the deciles.
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len();
         let decile = (n / 10).max(1);
         let bottom10 = sorted[..decile].iter().sum::<f64>() / decile as f64;
@@ -69,6 +73,13 @@ impl TechniqueStats {
         } else {
             self.successes as f64 / total as f64
         }
+    }
+
+    /// Fold another technique's counts into this one (combining reports
+    /// from sharded or repeated runs).
+    pub fn merge(&mut self, other: &TechniqueStats) {
+        self.successes += other.successes;
+        self.failures += other.failures;
     }
 }
 
@@ -133,6 +144,12 @@ pub struct ExperimentReport {
     pub technique_stats: HashMap<String, TechniqueStats>,
     /// Per-round log.
     pub rounds: Vec<RoundRecord>,
+    /// End-of-run telemetry totals (`None` unless the run enabled
+    /// observability via `ExperimentConfig::obs`). Contains only
+    /// simulated-state data, so it is covered by the report's bit-identical
+    /// determinism guarantee.
+    #[serde(default)]
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl ExperimentReport {
@@ -172,6 +189,7 @@ impl ExperimentReport {
     /// Whether every floating-point quantity in the report is finite —
     /// the no-NaN/no-Inf invariant chaos runs assert even under hostile
     /// fault schedules.
+    #[must_use = "is_finite reports an invariant check; ignoring it hides NaN/Inf corruption"]
     pub fn is_finite(&self) -> bool {
         [
             self.accuracy.top10,
@@ -241,6 +259,52 @@ mod tests {
     }
 
     #[test]
+    fn summary_of_single_client_uses_it_for_every_decile() {
+        let s = AccuracySummary::from_accuracies(&[0.42]);
+        assert!((s.top10 - 0.42).abs() < 1e-12);
+        assert!((s.mean - 0.42).abs() < 1e-12);
+        assert!((s.bottom10 - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_is_stable_with_nan_input() {
+        // Regression: the old partial_cmp(..).unwrap_or(Equal) comparator
+        // stopped sorting at the first NaN, leaving the deciles scrambled.
+        // total_cmp sends NaNs to the top decile deterministically; the
+        // bottom decile and the finite prefix stay correct.
+        let mut accs: Vec<f64> = (0..20).map(|i| i as f64 / 20.0).collect();
+        accs[7] = f64::NAN;
+        let s = AccuracySummary::from_accuracies(&accs);
+        assert!((s.bottom10 - (0.0 + 0.05) / 2.0).abs() < 1e-12);
+        assert!(s.top10.is_nan(), "NaN must surface in the top decile");
+        // Same input permuted must give the same summary (total order).
+        accs.reverse();
+        let s2 = AccuracySummary::from_accuracies(&accs);
+        assert_eq!(s.bottom10.to_bits(), s2.bottom10.to_bits());
+        assert_eq!(s.top10.to_bits(), s2.top10.to_bits());
+    }
+
+    #[test]
+    fn technique_stats_merge_adds_counts() {
+        let mut a = TechniqueStats {
+            successes: 3,
+            failures: 1,
+        };
+        let b = TechniqueStats {
+            successes: 2,
+            failures: 5,
+        };
+        a.merge(&b);
+        assert_eq!(a.successes, 5);
+        assert_eq!(a.failures, 6);
+        assert!((a.success_rate() - 5.0 / 11.0).abs() < 1e-12);
+        // Merging the empty stats is the identity.
+        let before = a;
+        a.merge(&TechniqueStats::default());
+        assert_eq!(a, before);
+    }
+
+    #[test]
     fn round_log_jsonl_is_one_valid_object_per_line() {
         let report = ExperimentReport {
             label: "t".into(),
@@ -256,6 +320,7 @@ mod tests {
             resources: Default::default(),
             wall_clock_h: 1.0,
             technique_stats: Default::default(),
+            telemetry: None,
             rounds: vec![
                 RoundRecord {
                     round: 0,

@@ -9,6 +9,8 @@ use float_accel::apply::transform_update;
 use float_accel::{apply_action_protected, AccelAction, ActionCatalogue, ErrorFeedback};
 use float_data::FederatedDataset;
 use float_models::RoundCost;
+use float_obs::metrics::{LATENCY_BUCKETS_S, PAYLOAD_BUCKETS_BYTES, UTILIZATION_BUCKETS};
+use float_obs::{Collector, Event, OutcomeKind, Phase, Recorder, Telemetry};
 use float_rl::{AgentConfig, DeadlineLevel, GlobalState, LocalState, RlhfAgent};
 use float_select::{
     ClientSelector, FedAvgSelector, FedBuffSelector, HeuristicPolicy, OortSelector, ReflSelector,
@@ -59,6 +61,11 @@ pub struct Experiment {
     /// Wall-clock backoff accumulated by stall retries in the current
     /// synchronous round; drained into the round's wall time.
     round_backoff_s: f64,
+    /// Telemetry collector (`ObsConfig::off()` by default). All events are
+    /// recorded from the sequential plan/commit phases in cohort order, so
+    /// enabling telemetry neither changes results nor breaks the
+    /// bit-identical-across-thread-counts guarantee.
+    obs: Collector,
 }
 
 /// The frozen inputs of one client attempt, produced by the sequential
@@ -70,6 +77,9 @@ pub struct Experiment {
 struct AttemptTask {
     client: usize,
     staleness: u64,
+    /// Position in the launching cohort. Only telemetry consumes it (the
+    /// per-worker recorder merge orders samples by `(slot, attempt)`).
+    slot: u64,
     /// Which delivery attempt this is (0 for the first; stall retries
     /// bump it so the fault schedule redraws).
     attempt: u32,
@@ -98,6 +108,9 @@ struct AttemptExec {
     /// An injected duplicate-delivery fault hit this attempt: the
     /// transport will hand the aggregator the update twice.
     duplicate: bool,
+    /// The fault (if any) the schedule injected into this attempt, carried
+    /// back so the sequential commit phase can emit its telemetry event.
+    fault: Option<FaultKind>,
 }
 
 /// Per-worker reusable buffers for the execute phase. Contents are fully
@@ -112,6 +125,22 @@ struct WorkerScratch {
     params: Vec<f32>,
     /// Update-delta buffer.
     delta: Vec<f32>,
+    /// Telemetry sample buffer; drained into the central registry by the
+    /// commit phase in `(slot, attempt)` order, so which worker recorded a
+    /// sample never matters.
+    recorder: Recorder,
+}
+
+/// Registry counter name for one committed-attempt outcome kind (counter
+/// names must be `&'static str`).
+fn outcome_counter(kind: OutcomeKind) -> &'static str {
+    match kind {
+        OutcomeKind::Completed => "outcomes_completed",
+        OutcomeKind::Duplicate => "outcomes_duplicate",
+        OutcomeKind::Quarantined => "outcomes_quarantined",
+        OutcomeKind::Stalled => "outcomes_stalled",
+        OutcomeKind::Dropped => "outcomes_dropped",
+    }
 }
 
 /// Outcome of executing one client attempt (used by both engines).
@@ -210,6 +239,7 @@ impl Experiment {
             wall_clock_h: 0.0,
             technique_stats: Default::default(),
             rounds: Vec::new(),
+            telemetry: None,
         };
         let protected = global_model.protected_mask();
         Ok(Experiment {
@@ -228,6 +258,7 @@ impl Experiment {
             ledger: ResourceLedger::new(),
             report,
             round_backoff_s: 0.0,
+            obs: Collector::new(config.obs),
         })
     }
 
@@ -292,14 +323,39 @@ impl Experiment {
         &self.config
     }
 
-    /// Run to completion and produce the report.
-    pub fn run(mut self) -> ExperimentReport {
+    fn run_engine(&mut self) {
         if self.config.selector == SelectorChoice::FedBuff {
             self.run_async();
         } else {
             self.run_sync();
         }
+    }
+
+    /// Run to completion and produce the report.
+    pub fn run(mut self) -> ExperimentReport {
+        self.run_engine();
         self.finalize()
+    }
+
+    /// Run to completion and also return the recorded telemetry (the full
+    /// event stream plus the summary, for JSONL export and digests).
+    /// Requires the config to enable observability — with telemetry off
+    /// the stream would be silently empty, which is never what a caller
+    /// of this method wants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.obs` is disabled.
+    pub fn run_traced(mut self) -> (ExperimentReport, Telemetry) {
+        assert!(
+            self.obs.enabled(),
+            "run_traced on a run with telemetry disabled (enable config.obs)"
+        );
+        self.run_engine();
+        let events = self.obs.take_events();
+        let report = self.finalize();
+        let summary = report.telemetry.clone().unwrap_or_default();
+        (report, Telemetry { events, summary })
     }
 
     /// Run to completion and also return the trained RLHF agent (for the
@@ -318,11 +374,7 @@ impl Experiment {
             "accel mode {:?} trains no agent",
             self.config.accel
         );
-        if self.config.selector == SelectorChoice::FedBuff {
-            self.run_async();
-        } else {
-            self.run_sync();
-        }
+        self.run_engine();
         let agent = self.agent.take().expect("RL modes imply an agent");
         (self.finalize(), agent)
     }
@@ -351,21 +403,34 @@ impl Experiment {
     }
 
     /// Decide the acceleration action for a client given its snapshot.
+    /// When telemetry is on, emits the [`Event::AccelDecision`] for this
+    /// attempt — still inside the sequential plan phase, so decision
+    /// events appear in cohort order.
     fn choose_action(
         &mut self,
         client: usize,
         snap: &ResourceSnapshot,
         round: usize,
     ) -> AccelAction {
-        match self.config.accel {
-            AccelMode::Off => AccelAction::NoOp,
-            AccelMode::Static(idx) => self.catalogue.action(idx % self.catalogue.len()),
+        let (action, agent_state, q, explore) = match self.config.accel {
+            AccelMode::Off => (AccelAction::NoOp, None, 0.0, false),
+            AccelMode::Static(idx) => (
+                self.catalogue.action(idx % self.catalogue.len()),
+                None,
+                0.0,
+                false,
+            ),
             AccelMode::Heuristic => {
                 let h = self
                     .heuristic
                     .as_mut()
                     .expect("heuristic mode implies a policy");
-                h.choose(snap.cpu_fraction, snap.net_fraction)
+                (
+                    h.choose(snap.cpu_fraction, snap.net_fraction),
+                    None,
+                    0.0,
+                    false,
+                )
             }
             AccelMode::Rl | AccelMode::Rlhf | AccelMode::RlhfExtended => {
                 let global = self.global_state();
@@ -376,10 +441,34 @@ impl Experiment {
                 );
                 let hf = DeadlineLevel::from_overrun(self.hf_overrun_ema[client]);
                 let agent = self.agent.as_mut().expect("RL modes imply an agent");
-                let idx = agent.choose_action(global, local, hf, round, self.config.rounds);
-                self.catalogue.action(idx)
+                // The traced call IS the decision path (`choose_action`
+                // delegates to it), so the RNG stream is identical whether
+                // or not anyone looks at the trace.
+                let trace =
+                    agent.choose_action_traced(global, local, hf, round, self.config.rounds);
+                (
+                    self.catalogue.action(trace.action),
+                    Some((local, hf)),
+                    trace.q_value,
+                    trace.explored,
+                )
             }
+        };
+        if self.obs.enabled() {
+            let state = agent_state.map_or_else(
+                || "-".to_string(),
+                |(local, hf)| format!("s{}h{}", local.index(), hf.index()),
+            );
+            self.obs.record(Event::AccelDecision {
+                round: round as u64,
+                client: client as u64,
+                state,
+                action: action.name().to_string(),
+                q,
+                explore,
+            });
         }
+        action
     }
 
     // ------------------------------------------------------------------
@@ -410,6 +499,7 @@ impl Experiment {
         AttemptTask {
             client,
             staleness,
+            slot: 0, // assigned by run_attempts once the cohort is fixed
             attempt: 0,
             snap,
             profile: self.sampler.client(client).profile,
@@ -481,6 +571,11 @@ impl Experiment {
             }
         }
         if !outcome.completed() {
+            if self.obs.enabled() {
+                scratch
+                    .recorder
+                    .inc(task.slot, task.attempt, "attempts_executed", 1);
+            }
             return AttemptExec {
                 outcome,
                 utility: 0.0,
@@ -488,6 +583,7 @@ impl Experiment {
                 update: None,
                 error_feedback: None,
                 duplicate: false,
+                fault,
             };
         }
 
@@ -555,6 +651,26 @@ impl Experiment {
         // saturates it) so the multi-objective trade-off stays live rather
         // than participation-dominated.
         let improvement = ((after - before) * 10.0).clamp(0.0, 1.0);
+        if self.obs.enabled() {
+            // Samples are simulated quantities keyed by cohort slot, so the
+            // merged registry is identical for any worker-thread count.
+            let r = &mut scratch.recorder;
+            r.inc(task.slot, task.attempt, "attempts_executed", 1);
+            r.observe(
+                task.slot,
+                task.attempt,
+                "client_latency_s",
+                LATENCY_BUCKETS_S,
+                outcome.total_s(),
+            );
+            r.observe(
+                task.slot,
+                task.attempt,
+                "upload_bytes",
+                PAYLOAD_BUCKETS_BYTES,
+                (delta.len() * std::mem::size_of::<f32>()) as f64,
+            );
+        }
         AttemptExec {
             outcome,
             utility,
@@ -567,6 +683,7 @@ impl Experiment {
             }),
             error_feedback,
             duplicate: fault == Some(FaultKind::DuplicateDelivery),
+            fault,
         }
     }
 
@@ -638,6 +755,40 @@ impl Experiment {
             }
         });
         self.report.record_technique(task.action, completed);
+        let duplicate = exec.duplicate && completed;
+        let stalled = exec.outcome.dropped == Some(DropReason::NetworkStall);
+        if self.obs.enabled() {
+            if let Some(kind) = exec.fault {
+                self.obs.record(Event::FaultInjected {
+                    round: round as u64,
+                    client: task.client as u64,
+                    attempt: u64::from(task.attempt),
+                    kind: kind.name().to_string(),
+                });
+                self.obs.registry_mut().inc("faults_injected", 1);
+            }
+            let outcome_kind = if quarantined {
+                OutcomeKind::Quarantined
+            } else if duplicate {
+                OutcomeKind::Duplicate
+            } else if completed {
+                OutcomeKind::Completed
+            } else if stalled {
+                OutcomeKind::Stalled
+            } else {
+                OutcomeKind::Dropped
+            };
+            self.obs.record(Event::ClientOutcome {
+                round: round as u64,
+                client: task.client as u64,
+                attempt: u64::from(task.attempt),
+                outcome: outcome_kind,
+                sim_duration_s: exec.outcome.total_s(),
+            });
+            self.obs
+                .registry_mut()
+                .inc(outcome_counter(outcome_kind), 1);
+        }
         Attempt {
             client: task.client,
             completed,
@@ -647,8 +798,8 @@ impl Experiment {
             reward,
             update: exec.update,
             quarantined,
-            duplicate: exec.duplicate && completed,
-            stalled: exec.outcome.dropped == Some(DropReason::NetworkStall),
+            duplicate,
+            stalled,
         }
     }
 
@@ -669,14 +820,21 @@ impl Experiment {
         scratches: &mut [WorkerScratch],
         retry_stalled: bool,
     ) -> Vec<Attempt> {
+        let plan_t = self.obs.phase_start();
         let mut tasks = Vec::with_capacity(cohort.len());
-        for &client in cohort {
+        for (slot, &client) in cohort.iter().enumerate() {
             self.report.selected_count[client] += 1;
-            tasks.push(self.plan_attempt(client, round, 0));
+            let mut task = self.plan_attempt(client, round, 0);
+            task.slot = slot as u64;
+            tasks.push(task);
         }
+        self.obs.phase_end(round as u64, Phase::Plan, plan_t);
+        let exec_t = self.obs.phase_start();
         let execs = parallel_map_with(scratches, &tasks, |scratch, task| {
             self.execute_attempt(global_params, round, task, scratch)
         });
+        self.obs.phase_end(round as u64, Phase::Execute, exec_t);
+        let commit_t = self.obs.phase_start();
         let mut attempts: Vec<Attempt> = tasks
             .iter()
             .zip(execs)
@@ -692,11 +850,20 @@ impl Experiment {
                     task.attempt = attempt_no;
                     self.round_backoff_s += self.config.fault_plan.stall_backoff_s;
                     self.report.stall_retries += 1;
+                    if self.obs.enabled() {
+                        self.obs.registry_mut().inc("stall_retries", 1);
+                    }
                     let exec = self.execute_attempt(global_params, round, &task, &mut scratches[0]);
                     attempts[i] = self.commit_attempt(round, &task, exec);
                 }
             }
         }
+        // Fold the workers' telemetry buffers into the central registry,
+        // ordered by (cohort slot, attempt) — part of the sequential
+        // commit phase, like every other cross-thread reduction.
+        self.obs
+            .absorb_recorders(scratches.iter_mut().map(|s| &mut s.recorder));
+        self.obs.phase_end(round as u64, Phase::Commit, commit_t);
         attempts
     }
 
@@ -725,6 +892,12 @@ impl Experiment {
             let cohort = self
                 .selector
                 .select(round, &eligible, self.config.cohort_size);
+            self.obs.record(Event::RoundStart {
+                round: round as u64,
+                sim_s: self.clock.now_s(),
+                eligible: eligible.len() as u64,
+                selected: cohort.len() as u64,
+            });
             let mut global = self.global_model.params();
             let mut attempts = self.run_attempts(round, &cohort, &global, &mut scratches, true);
             // Aggregate completed updates, taken by move. An injected
@@ -740,11 +913,18 @@ impl Experiment {
                     updates.push(u);
                 }
             }
-            self.report.duplicates_suppressed += dedup_updates(&mut updates);
+            let suppressed = dedup_updates(&mut updates);
+            self.report.duplicates_suppressed += suppressed;
             aggregate(&mut global, &updates);
             self.global_model
                 .set_params(&global)
                 .expect("aggregation preserves parameter count");
+            self.obs.record(Event::AggregationApplied {
+                round: round as u64,
+                sim_s: self.clock.now_s(),
+                updates: updates.len() as u64,
+                suppressed,
+            });
 
             // Wall clock: the server waits for the slowest completer, or
             // the full deadline if anyone missed it — plus any backoff the
@@ -817,10 +997,20 @@ impl Experiment {
             // The global model only changes at aggregation boundaries, so
             // one parameter readback serves every launch batch in between.
             let global_params = self.global_model.params();
+            let mut round_started = false;
             loop {
                 let launched = self
                     .selector
                     .select(agg_round, &eligible, self.config.cohort_size);
+                if !round_started {
+                    round_started = true;
+                    self.obs.record(Event::RoundStart {
+                        round: agg_round as u64,
+                        sim_s: self.clock.now_s(),
+                        eligible: eligible.len() as u64,
+                        selected: launched.len() as u64,
+                    });
+                }
                 for a in
                     self.run_attempts(agg_round, &launched, &global_params, &mut scratches, false)
                 {
@@ -879,12 +1069,19 @@ impl Experiment {
                 }
             }
             if !buffer.is_empty() {
-                self.report.duplicates_suppressed += dedup_updates(&mut buffer);
+                let suppressed = dedup_updates(&mut buffer);
+                self.report.duplicates_suppressed += suppressed;
                 let mut global = self.global_model.params();
                 aggregate(&mut global, &buffer);
                 self.global_model
                     .set_params(&global)
                     .expect("aggregation preserves parameter count");
+                self.obs.record(Event::AggregationApplied {
+                    round: agg_round as u64,
+                    sim_s: self.clock.now_s(),
+                    updates: buffer.len() as u64,
+                    suppressed,
+                });
                 buffer.clear();
                 agg_count += 1;
             }
@@ -923,6 +1120,23 @@ impl Experiment {
         let completed = attempts.iter().filter(|a| a.completed).count();
         let dropped = attempts.len() - completed;
         let quarantined = attempts.iter().filter(|a| a.quarantined).count();
+        self.obs.record(Event::RoundEnd {
+            round: round as u64,
+            sim_s: self.clock.now_s(),
+            completed: completed as u64,
+            dropped: dropped as u64,
+            quarantined: quarantined as u64,
+        });
+        if self.obs.enabled() {
+            let utilization = if attempts.is_empty() {
+                0.0
+            } else {
+                completed as f64 / attempts.len() as f64
+            };
+            let reg = self.obs.registry_mut();
+            reg.observe("round_utilization", UTILIZATION_BUCKETS, utilization);
+            reg.set_gauge("sim_clock_h", self.clock.now_s() / 3600.0);
+        }
         for a in attempts {
             if a.completed {
                 self.report.completed_count[a.client] += 1;
@@ -963,6 +1177,12 @@ impl Experiment {
         self.report.client_accuracies = accs;
         self.report.resources = self.ledger.totals();
         self.report.wall_clock_h = self.clock.now_hours();
+        if self.obs.enabled() {
+            // The summary is all simulated-state data (event tallies +
+            // registry snapshot), so embedding it keeps the report inside
+            // the bit-identical determinism contract.
+            self.report.telemetry = Some(self.obs.summary());
+        }
         self.report
     }
 }
@@ -1118,6 +1338,119 @@ mod tests {
         let a = Experiment::new(cfg).expect("valid").run();
         let b = Experiment::new(cfg).expect("valid").run();
         assert_eq!(a, b);
+    }
+
+    /// Count ClientOutcome events matching `pred`.
+    fn count_outcomes(
+        events: &[float_obs::Event],
+        pred: impl Fn(float_obs::OutcomeKind, u64) -> bool,
+    ) -> u64 {
+        events
+            .iter()
+            .filter(|e| {
+                matches!(e, float_obs::Event::ClientOutcome { outcome, attempt, .. }
+                    if pred(*outcome, *attempt))
+            })
+            .count() as u64
+    }
+
+    #[test]
+    fn telemetry_is_pure_observation_under_chaos() {
+        // Turning telemetry on must not change a single bit of the report
+        // (beyond carrying the summary), even under the chaos fault plan.
+        let mut cfg = ExperimentConfig::small(SelectorChoice::FedAvg, AccelMode::Rlhf, 8);
+        cfg.fault_plan = float_sim::FaultPlan::chaos();
+        let base = Experiment::new(cfg).expect("valid").run();
+        let mut cfg_obs = cfg;
+        cfg_obs.obs = float_obs::ObsConfig::on();
+        let (report, telemetry) = Experiment::new(cfg_obs).expect("valid").run_traced();
+        let mut stripped = report.clone();
+        stripped.telemetry = None;
+        assert_eq!(stripped, base, "telemetry perturbed the run");
+        assert_eq!(
+            report.telemetry.as_ref().expect("summary embedded"),
+            &telemetry.summary,
+            "embedded summary must match the returned telemetry"
+        );
+        assert!(telemetry.summary.events_dropped == 0);
+        assert_eq!(
+            telemetry.summary.events_recorded as usize,
+            telemetry.events.len()
+        );
+    }
+
+    #[test]
+    fn sync_event_stream_reconciles_with_ledger_and_report() {
+        use float_obs::OutcomeKind;
+        let mut cfg = ExperimentConfig::small(SelectorChoice::Oort, AccelMode::Rlhf, 10);
+        cfg.fault_plan = float_sim::FaultPlan::chaos();
+        cfg.obs = float_obs::ObsConfig::on();
+        let (report, telemetry) = Experiment::new(cfg).expect("valid").run_traced();
+        let events = &telemetry.events;
+        // Ledger counts every committed attempt; so does the event stream.
+        let completions = count_outcomes(events, |k, _| k.is_completion());
+        let dropouts = count_outcomes(events, |k, _| !k.is_completion());
+        let quarantined = count_outcomes(events, |k, _| k == OutcomeKind::Quarantined);
+        assert_eq!(completions, report.resources.completions);
+        assert_eq!(dropouts, report.resources.dropouts);
+        assert_eq!(quarantined, report.resources.quarantined);
+        assert_eq!(quarantined, report.total_quarantined);
+        // Retries carry attempt > 0; the sync engine's retry counter
+        // matches them one-for-one.
+        let retries = count_outcomes(events, |_, attempt| attempt > 0);
+        assert_eq!(retries, report.stall_retries);
+        assert!(retries > 0, "chaos plan should force retries");
+        // Every duplicate outcome is suppressed by dedup the same round.
+        let duplicates = count_outcomes(events, |k, _| k == OutcomeKind::Duplicate);
+        assert_eq!(duplicates, report.duplicates_suppressed);
+        // Aggregation events account for every suppression too.
+        let suppressed: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                float_obs::Event::AggregationApplied { suppressed, .. } => Some(*suppressed),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(suppressed, report.duplicates_suppressed);
+        // Round-end events mirror the per-round report records exactly.
+        let round_ends: Vec<(u64, u64, u64)> = events
+            .iter()
+            .filter_map(|e| match e {
+                float_obs::Event::RoundEnd {
+                    completed,
+                    dropped,
+                    quarantined,
+                    ..
+                } => Some((*completed, *dropped, *quarantined)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(round_ends.len(), report.rounds.len());
+        for (ends, rec) in round_ends.iter().zip(&report.rounds) {
+            assert_eq!(ends.0 as usize, rec.completed);
+            assert_eq!(ends.1 as usize, rec.dropped);
+            assert_eq!(ends.2 as usize, rec.quarantined);
+        }
+        // One decision per planned (non-retry) attempt.
+        let decisions = telemetry.summary.event_count("accel_decision");
+        let planned = count_outcomes(events, |_, attempt| attempt == 0);
+        assert_eq!(decisions, planned);
+    }
+
+    #[test]
+    fn async_event_stream_counts_committed_attempts() {
+        let mut cfg = ExperimentConfig::small(SelectorChoice::FedBuff, AccelMode::Off, 6);
+        cfg.fault_plan = float_sim::FaultPlan::chaos();
+        cfg.obs = float_obs::ObsConfig::on();
+        let (report, telemetry) = Experiment::new(cfg).expect("valid").run_traced();
+        // The async engine commits attempts at launch, so the ledger and
+        // the event stream agree even though some attempts are still
+        // in-flight at run end (those never reach the per-round report).
+        let completions = count_outcomes(&telemetry.events, |k, _| k.is_completion());
+        let dropouts = count_outcomes(&telemetry.events, |k, _| !k.is_completion());
+        assert_eq!(completions, report.resources.completions);
+        assert_eq!(dropouts, report.resources.dropouts);
+        assert!(completions >= report.total_completions);
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Per-worker sample buffers for the parallel execute phase.
+//!
+//! Workers in the parallel phase cannot touch the central
+//! [`MetricsRegistry`] — sharing it would need locks and, worse, make
+//! merge order depend on thread scheduling. Instead each worker owns a
+//! [`Recorder`]: an append-only buffer of `(cohort key, sample)` pairs.
+//! After the fan-out joins, the sequential commit path drains every
+//! worker's buffer and applies the samples **sorted by cohort key**, so
+//! the registry sees exactly the same sequence no matter which worker
+//! executed which attempt. Counters and histogram buckets are commutative
+//! anyway; the ordered merge is what lets gauges and any future
+//! order-sensitive metric join the registry without breaking the
+//! determinism contract.
+
+use crate::metrics::MetricsRegistry;
+
+/// One buffered metric sample.
+#[derive(Debug, Clone, PartialEq)]
+enum Sample {
+    /// Add to a counter.
+    Inc { name: &'static str, delta: u64 },
+    /// Observe into a fixed-bucket histogram.
+    Observe {
+        name: &'static str,
+        bounds: &'static [f64],
+        value: f64,
+    },
+}
+
+/// Ordering key of a buffered sample: `(cohort index, attempt)`. Retries
+/// of the same cohort slot sort after the original attempt.
+type Key = (u64, u32);
+
+/// An append-only per-worker metric buffer.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    entries: Vec<(Key, Sample)>,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Buffer a counter increment for cohort slot `index`, delivery
+    /// `attempt`.
+    pub fn inc(&mut self, index: u64, attempt: u32, name: &'static str, delta: u64) {
+        self.entries
+            .push(((index, attempt), Sample::Inc { name, delta }));
+    }
+
+    /// Buffer a histogram observation for cohort slot `index`, delivery
+    /// `attempt`.
+    pub fn observe(
+        &mut self,
+        index: u64,
+        attempt: u32,
+        name: &'static str,
+        bounds: &'static [f64],
+        value: f64,
+    ) {
+        self.entries.push((
+            (index, attempt),
+            Sample::Observe {
+                name,
+                bounds,
+                value,
+            },
+        ));
+    }
+
+    /// Number of buffered samples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Discard all buffered samples without applying them.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// Drain every recorder and apply the union of their samples to
+/// `registry`, ordered by `(cohort index, attempt)`. Sort order — not
+/// buffer order — defines the merge, so the result is independent of how
+/// the scheduler distributed attempts over workers.
+pub fn merge_in_cohort_order<'a, I>(recorders: I, registry: &mut MetricsRegistry)
+where
+    I: IntoIterator<Item = &'a mut Recorder>,
+{
+    let mut all: Vec<(Key, Sample)> = Vec::new();
+    for r in recorders {
+        all.append(&mut r.entries);
+    }
+    all.sort_by_key(|&(key, _)| key);
+    for (_, sample) in all {
+        match sample {
+            Sample::Inc { name, delta } => registry.inc(name, delta),
+            Sample::Observe {
+                name,
+                bounds,
+                value,
+            } => registry.observe(name, bounds, value),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::LATENCY_BUCKETS_S;
+
+    #[test]
+    fn merge_is_schedule_independent() {
+        // The same six samples split across workers two different ways
+        // must produce identical registries.
+        let build = |splits: &[&[u64]]| {
+            let mut recorders: Vec<Recorder> = splits.iter().map(|_| Recorder::new()).collect();
+            for (w, idxs) in splits.iter().enumerate() {
+                for &i in idxs.iter() {
+                    recorders[w].inc(i, 0, "attempts", 1);
+                    recorders[w].observe(i, 0, "lat", LATENCY_BUCKETS_S, 100.0 * (i + 1) as f64);
+                }
+            }
+            let mut reg = MetricsRegistry::new();
+            merge_in_cohort_order(recorders.iter_mut(), &mut reg);
+            assert!(recorders.iter().all(Recorder::is_empty), "drained");
+            reg
+        };
+        let a = build(&[&[0, 2, 4], &[1, 3, 5]]);
+        let b = build(&[&[5, 1], &[4, 0, 3, 2]]);
+        assert_eq!(a, b);
+        assert_eq!(a.counter("attempts"), 6);
+        assert_eq!(a.histogram("lat").expect("exists").count(), 6);
+    }
+
+    #[test]
+    fn retries_sort_after_the_original_attempt() {
+        let mut r0 = Recorder::new();
+        let mut r1 = Recorder::new();
+        // Worker 1 executed the original attempt of slot 3; worker 0 ran
+        // its retry. Concatenation order would put the retry first; the
+        // keyed sort must not.
+        r0.inc(3, 1, "x", 10);
+        r1.inc(3, 0, "x", 1);
+        let mut reg = MetricsRegistry::new();
+        merge_in_cohort_order([&mut r0, &mut r1], &mut reg);
+        assert_eq!(reg.counter("x"), 11);
+    }
+
+    #[test]
+    fn empty_recorders_merge_to_empty_registry() {
+        let mut reg = MetricsRegistry::new();
+        merge_in_cohort_order(std::iter::empty(), &mut reg);
+        assert_eq!(reg, MetricsRegistry::new());
+        let mut r = Recorder::new();
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        merge_in_cohort_order([&mut r], &mut reg);
+        assert_eq!(reg, MetricsRegistry::new());
+    }
+}

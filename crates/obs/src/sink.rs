@@ -1,0 +1,128 @@
+//! Event-stream sinks: JSONL encoding, decoding, and file output.
+//!
+//! JSONL (one JSON document per line) keeps the format greppable and
+//! streamable: `obsdump` and the CI reconciliation step parse it back
+//! with [`from_jsonl`] without loading any schema machinery.
+
+use crate::event::Event;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Encode events as JSONL: one event per line, in stream order.
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&serde_json::to_string(e).expect("events always serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Decode a JSONL event stream. Blank lines are skipped.
+///
+/// # Errors
+///
+/// Returns a message naming the 1-based line number and the parse error
+/// for the first malformed line.
+pub fn from_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let event: Event = serde_json::from_str(line)
+            .map_err(|e| format!("line {}: malformed event ({e}): {line}", i + 1))?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+/// Write events as JSONL to `path`, creating parent directories as
+/// needed.
+///
+/// # Errors
+///
+/// Propagates any I/O failure from directory creation or the write.
+pub fn write_jsonl<P: AsRef<Path>>(path: P, events: &[Event]) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = fs::File::create(path)?;
+    file.write_all(to_jsonl(events).as_bytes())?;
+    file.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{OutcomeKind, Phase};
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::RoundStart {
+                round: 0,
+                sim_s: 0.0,
+                eligible: 20,
+                selected: 8,
+            },
+            Event::PhaseSpan {
+                round: 0,
+                phase: Phase::Execute,
+                wall_us: 0,
+            },
+            Event::ClientOutcome {
+                round: 0,
+                client: 5,
+                attempt: 1,
+                outcome: OutcomeKind::Completed,
+                sim_duration_s: 431.25,
+            },
+            Event::RoundEnd {
+                round: 0,
+                sim_s: 1800.0,
+                completed: 7,
+                dropped: 1,
+                quarantined: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_roundtrip_preserves_stream_order() {
+        let events = sample_events();
+        let text = to_jsonl(&events);
+        assert_eq!(text.lines().count(), events.len());
+        let back = from_jsonl(&text).expect("parses");
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_and_bad_lines_located() {
+        let events = sample_events();
+        let mut text = to_jsonl(&events[..2]);
+        text.push_str("\n\n");
+        text.push_str(&to_jsonl(&events[2..]));
+        let back = from_jsonl(&text).expect("parses despite blanks");
+        assert_eq!(back, events);
+
+        let err = from_jsonl("{\"NotAnEvent\":{}}").expect_err("must fail");
+        assert!(err.contains("line 1"), "error was: {err}");
+    }
+
+    #[test]
+    fn write_jsonl_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join("float_obs_sink_test");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("events.jsonl");
+        let events = sample_events();
+        write_jsonl(&path, &events).expect("writes");
+        let text = fs::read_to_string(&path).expect("readable");
+        assert_eq!(from_jsonl(&text).expect("parses"), events);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

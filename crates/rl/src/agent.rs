@@ -79,6 +79,20 @@ struct CachedFeedback {
     accuracy: f64,
 }
 
+/// Provenance of one [`RlhfAgent::choose_action_traced`] decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTrace {
+    /// Index of the chosen action in the catalogue.
+    pub action: usize,
+    /// Scalarized Q-value of the chosen action at decision time (0 for a
+    /// never-visited entry).
+    pub q_value: f64,
+    /// Whether the choice came from an exploration draw — the ε-greedy
+    /// branch or the never-seen-state fallback — rather than greedy
+    /// argmax.
+    pub explored: bool,
+}
+
 /// The multi-objective Q-learning RLHF agent.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RlhfAgent {
@@ -163,31 +177,57 @@ impl RlhfAgent {
         round: usize,
         total_rounds: usize,
     ) -> usize {
+        self.choose_action_traced(global, local, hf, round, total_rounds)
+            .action
+    }
+
+    /// [`RlhfAgent::choose_action`] with the decision's provenance
+    /// attached (telemetry). This *is* the decision path — the plain
+    /// `choose_action` delegates here — so tracing consumes exactly the
+    /// same RNG stream as not tracing, and enabling telemetry can never
+    /// shift the policy.
+    pub fn choose_action_traced(
+        &mut self,
+        global: GlobalState,
+        local: LocalState,
+        hf: DeadlineLevel,
+        round: usize,
+        total_rounds: usize,
+    ) -> DecisionTrace {
         let key = self.key(global, local, hf);
         self.decisions += 1;
         let mut rng = seed_rng(split_seed(self.seed, self.decisions));
         use rand::Rng;
         let eps = self.config.epsilon.epsilon(round, total_rounds);
         let explore = rng.gen::<f64>() < eps;
-        if explore {
+        let (action, explored) = if explore {
             if self.config.balanced_exploration {
                 let row = self.table.row_mut(key).to_vec();
-                balanced_explore(&row, &mut rng)
+                (balanced_explore(&row, &mut rng), true)
             } else {
-                uniform_explore(self.config.num_actions, &mut rng)
+                (uniform_explore(self.config.num_actions, &mut rng), true)
             }
         } else {
             match self
                 .table
                 .best_action(&key, self.config.w_participation, self.config.w_accuracy)
             {
-                Some(a) => a,
+                Some(a) => (a, false),
                 // Never-seen state: fall back to balanced exploration.
                 None => {
                     let row = self.table.row_mut(key).to_vec();
-                    balanced_explore(&row, &mut rng)
+                    (balanced_explore(&row, &mut rng), true)
                 }
             }
+        };
+        // Every branch above touched the row, so it exists by now.
+        let q_value = self.table.row(&key).map_or(0.0, |row| {
+            row[action].scalar(self.config.w_participation, self.config.w_accuracy)
+        });
+        DecisionTrace {
+            action,
+            q_value,
+            explored,
         }
     }
 
@@ -400,6 +440,54 @@ mod tests {
             assert_eq!(
                 a.choose_action(gstate(), constrained(), DeadlineLevel::Low, r, 30),
                 b.choose_action(gstate(), constrained(), DeadlineLevel::Low, r, 30)
+            );
+        }
+    }
+
+    #[test]
+    fn traced_and_plain_choices_share_one_rng_stream() {
+        // Alternating traced and untraced calls across two agents with the
+        // same seed must yield the same action sequence: tracing is a
+        // read-only view, not a second decision path.
+        let mut plain = RlhfAgent::new(AgentConfig::rlhf(8), 11);
+        let mut traced = RlhfAgent::new(AgentConfig::rlhf(8), 11);
+        for r in 0..40 {
+            let a = plain.choose_action(gstate(), constrained(), DeadlineLevel::Low, r, 40);
+            let t = traced.choose_action_traced(gstate(), constrained(), DeadlineLevel::Low, r, 40);
+            assert_eq!(a, t.action, "round {r}");
+            assert!(t.q_value.is_finite());
+            if !t.explored {
+                // Greedy choices must carry the row's best scalarized value.
+                let key = traced.key(gstate(), constrained(), DeadlineLevel::Low);
+                let row = traced.table().row(&key).expect("row exists");
+                let best = row
+                    .iter()
+                    .map(|e| e.scalar(0.5, 0.5))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                assert!((t.q_value - best).abs() < 1e-12);
+            }
+            let (p, acc) = env_reward(constrained(), a);
+            plain.feedback(
+                0,
+                gstate(),
+                constrained(),
+                DeadlineLevel::Low,
+                a,
+                p,
+                acc,
+                r,
+                40,
+            );
+            traced.feedback(
+                0,
+                gstate(),
+                constrained(),
+                DeadlineLevel::Low,
+                a,
+                p,
+                acc,
+                r,
+                40,
             );
         }
     }

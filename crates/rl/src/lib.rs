@@ -35,6 +35,6 @@ pub mod explore;
 pub mod qtable;
 pub mod state;
 
-pub use agent::{AgentConfig, RlhfAgent};
+pub use agent::{AgentConfig, DecisionTrace, RlhfAgent};
 pub use qtable::{QKey, QTable};
 pub use state::{DeadlineLevel, GlobalState, Level5, LocalState};

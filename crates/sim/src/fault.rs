@@ -48,6 +48,16 @@ pub enum FaultKind {
 }
 
 impl FaultKind {
+    /// Stable display name, used by telemetry events and digests.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::MidRoundCrash => "mid-round-crash",
+            FaultKind::NetworkStall => "network-stall",
+            FaultKind::DuplicateDelivery => "duplicate-delivery",
+            FaultKind::CorruptPayload => "corrupt-payload",
+        }
+    }
+
     /// Whether this fault perturbs the wire payload (handled by the
     /// runtime) rather than the round outcome (handled by
     /// [`apply_outcome_fault`]).
@@ -217,6 +227,20 @@ pub fn apply_outcome_fault(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_kind_names_are_unique() {
+        let kinds = [
+            FaultKind::MidRoundCrash,
+            FaultKind::NetworkStall,
+            FaultKind::DuplicateDelivery,
+            FaultKind::CorruptPayload,
+        ];
+        let mut names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), kinds.len());
+    }
 
     fn completed_outcome() -> ClientRoundOutcome {
         ClientRoundOutcome {

@@ -70,6 +70,7 @@ impl LedgerTotals {
     /// Whether every total is finite and non-negative and the quarantine
     /// count stays within the dropout count — the physicality invariant
     /// chaos runs and property tests assert.
+    #[must_use = "is_physical reports an invariant check; ignoring it hides ledger corruption"]
     pub fn is_physical(&self) -> bool {
         [
             self.useful_compute_h,

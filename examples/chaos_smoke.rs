@@ -1,34 +1,45 @@
 //! Chaos smoke run: 100 rounds of the synchronous and asynchronous
 //! engines under the hostile fault preset, each at 1 and 4 worker
-//! threads. Asserts the hardening contract end to end — no panic, no
-//! NaN/Inf anywhere in the reports, quarantined updates accounted
-//! identically by ledger and report, and bit-identical results across
-//! thread counts — then prints a fault-accounting summary.
+//! threads, with telemetry enabled throughout. Asserts the hardening
+//! contract end to end — no panic, no NaN/Inf anywhere in the reports,
+//! quarantined updates accounted identically by ledger and report, and
+//! bit-identical results *and event streams* across thread counts — then
+//! prints a fault-accounting summary and the first rounds' telemetry
+//! digests, and writes the sync run's event stream + report to
+//! `target/obs/` for downstream tooling (`obsdump`, see ci.sh).
 //!
 //! ```text
 //! cargo run --release --example chaos_smoke
 //! ```
 
 use float::core::{AccelMode, Experiment, ExperimentConfig, ExperimentReport, SelectorChoice};
+use float::obs::{digest, sink, ObsConfig, Telemetry};
 use float::sim::FaultPlan;
 
 const ROUNDS: usize = 100;
 const SEED: u64 = 20240422;
+const DIGEST_ROUNDS: u64 = 3;
 
-fn run(selector: SelectorChoice, threads: usize) -> ExperimentReport {
+fn run(selector: SelectorChoice, threads: usize) -> (ExperimentReport, Telemetry) {
     let mut cfg = ExperimentConfig::small(selector, AccelMode::Rlhf, ROUNDS);
     cfg.seed = SEED;
     cfg.fault_plan = FaultPlan::chaos();
     cfg.num_threads = threads;
-    Experiment::new(cfg).expect("config validates").run()
+    cfg.obs = ObsConfig::on();
+    Experiment::new(cfg).expect("config validates").run_traced()
 }
 
-fn check(selector: SelectorChoice) -> ExperimentReport {
-    let one = run(selector, 1);
-    let four = run(selector, 4);
+fn check(selector: SelectorChoice) -> (ExperimentReport, Telemetry) {
+    let (one, tel_one) = run(selector, 1);
+    let (four, tel_four) = run(selector, 4);
     assert_eq!(
         one, four,
         "{}: faulted reports must be bit-identical across thread counts",
+        one.label
+    );
+    assert_eq!(
+        tel_one.events, tel_four.events,
+        "{}: telemetry event streams must be bit-identical across thread counts",
         one.label
     );
     assert!(one.is_finite(), "{}: report carries NaN/Inf", one.label);
@@ -42,10 +53,10 @@ fn check(selector: SelectorChoice) -> ExperimentReport {
         "{}: chaos preset quarantined nothing in {ROUNDS} rounds",
         one.label
     );
-    one
+    (one, tel_one)
 }
 
-fn summarize(r: &ExperimentReport) {
+fn summarize(r: &ExperimentReport, tel: &Telemetry) {
     println!("\n=== {} ===", r.label);
     println!(
         "  {} completions, {} dropouts over {} rounds ({:.1} virtual hours)",
@@ -62,6 +73,13 @@ fn summarize(r: &ExperimentReport) {
         "  accuracy: top10% {:.3}  mean {:.3}  bottom10% {:.3}",
         r.accuracy.top10, r.accuracy.mean, r.accuracy.bottom10
     );
+    println!(
+        "  telemetry: {} events recorded, {} dropped",
+        tel.summary.events_recorded, tel.summary.events_dropped
+    );
+    for round in 0..DIGEST_ROUNDS {
+        println!("  {}", digest::round_digest(round, &tel.events));
+    }
 }
 
 fn main() {
@@ -77,12 +95,27 @@ fn main() {
         plan.stall_backoff_s,
     );
 
-    let sync = check(SelectorChoice::FedAvg);
-    summarize(&sync);
+    let (sync, sync_tel) = check(SelectorChoice::FedAvg);
+    summarize(&sync, &sync_tel);
     assert!(sync.stall_retries > 0, "sync engine retried no stalls");
 
-    let async_r = check(SelectorChoice::FedBuff);
-    summarize(&async_r);
+    let (async_r, async_tel) = check(SelectorChoice::FedBuff);
+    summarize(&async_r, &async_tel);
+
+    // Persist the sync run's artefacts so obsdump can replay and
+    // reconcile them (ci.sh asserts the event↔ledger identities).
+    let dir = std::path::Path::new("target/obs");
+    sink::write_jsonl(dir.join("chaos_sync.jsonl"), &sync_tel.events).expect("write event stream");
+    let report_json = serde_json::to_string_pretty(&sync).expect("report serializes");
+    std::fs::write(
+        dir.join("chaos_sync.report.json"),
+        format!("{report_json}\n"),
+    )
+    .expect("write report json");
+    println!(
+        "\nwrote target/obs/chaos_sync.jsonl ({} events) and chaos_sync.report.json",
+        sync_tel.events.len()
+    );
 
     println!("\nchaos smoke passed: finite, deterministic, faults accounted.");
 }

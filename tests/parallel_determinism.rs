@@ -6,6 +6,7 @@
 //! time but never a single output bit.
 
 use float::core::{AccelMode, Experiment, ExperimentConfig, SelectorChoice};
+use float::obs::{Event, ObsConfig, Telemetry};
 use float::sim::FaultPlan;
 
 fn run_with_threads(mut cfg: ExperimentConfig, threads: usize) -> float::core::ExperimentReport {
@@ -111,6 +112,71 @@ fn async_chaos_is_thread_count_independent() {
     let mut cfg = ExperimentConfig::small(SelectorChoice::FedBuff, AccelMode::Rlhf, 6);
     cfg.fault_plan = FaultPlan::chaos();
     assert_bit_identical(cfg);
+}
+
+fn run_traced_with_threads(
+    mut cfg: ExperimentConfig,
+    threads: usize,
+) -> (float::core::ExperimentReport, Telemetry) {
+    cfg.num_threads = threads;
+    cfg.obs = ObsConfig::on();
+    Experiment::new(cfg).expect("valid config").run_traced()
+}
+
+fn assert_telemetry_bit_identical(cfg: ExperimentConfig) {
+    let (report_one, tel_one) = run_traced_with_threads(cfg, 1);
+    let (report_four, tel_four) = run_traced_with_threads(cfg, 4);
+    // The event stream is the strictest artefact: every event, in order.
+    // Compare through JSON lines so a mismatch names the first diverging
+    // event instead of dumping two megabyte-scale vectors.
+    assert_eq!(tel_one.events.len(), tel_four.events.len(), "event count");
+    for (i, (a, b)) in tel_one.events.iter().zip(&tel_four.events).enumerate() {
+        let (ja, jb) = (event_json(a), event_json(b));
+        assert_eq!(ja, jb, "event {i} diverged between 1 and 4 threads");
+    }
+    assert_eq!(tel_one.summary, tel_four.summary, "telemetry summary");
+    assert_eq!(report_one, report_four, "reports with telemetry embedded");
+}
+
+fn event_json(event: &Event) -> String {
+    float::obs::sink::to_jsonl(std::slice::from_ref(event))
+}
+
+#[test]
+fn sync_telemetry_stream_is_thread_count_independent() {
+    // Telemetry on, fault-free: recorder merge order and event emission
+    // sites must be worker-count independent.
+    assert_telemetry_bit_identical(ExperimentConfig::small(
+        SelectorChoice::FedAvg,
+        AccelMode::Rlhf,
+        6,
+    ));
+}
+
+#[test]
+fn sync_chaos_telemetry_stream_is_thread_count_independent() {
+    // Telemetry on under the chaos plan: fault events, quarantine
+    // outcomes, retry attempts, and dedup counts all recorded — still
+    // bit-identical across worker counts.
+    let mut cfg = ExperimentConfig::small(SelectorChoice::FedAvg, AccelMode::Rlhf, 6);
+    cfg.fault_plan = FaultPlan::chaos();
+    assert_telemetry_bit_identical(cfg);
+}
+
+#[test]
+fn async_telemetry_stream_is_thread_count_independent() {
+    assert_telemetry_bit_identical(ExperimentConfig::small(
+        SelectorChoice::FedBuff,
+        AccelMode::Rlhf,
+        6,
+    ));
+}
+
+#[test]
+fn async_chaos_telemetry_stream_is_thread_count_independent() {
+    let mut cfg = ExperimentConfig::small(SelectorChoice::FedBuff, AccelMode::Rlhf, 6);
+    cfg.fault_plan = FaultPlan::chaos();
+    assert_telemetry_bit_identical(cfg);
 }
 
 #[test]

@@ -54,6 +54,21 @@ if [[ "${1:-}" != "quick" ]]; then
   step "kernel throughput (quick self-check)"
   cargo run --release --offline -p float-bench --bin kernel_throughput -- \
     --quick --out target/BENCH_kernels_ci.json
+
+  # Population smoke: 10k clients, sync, fault-free + chaos, 1 vs 4
+  # threads. Asserts bit-identical reports, finite numbers, and that
+  # training-data memory stayed bounded by the shard cache (peak
+  # residency <= capacity << population).
+  step "population smoke (10k clients, lazy shards)"
+  cargo run --release --offline --example population_smoke
+
+  # Population benchmark in quick mode (10k only): runs the 1-vs-2-thread
+  # determinism probe and parses the emitted JSON back, asserting
+  # positive throughput and the cache bound. Writes to target/ so the
+  # checked-in BENCH_population_scale.json (full 10k/100k/1M run) is not
+  # clobbered by CI.
+  step "population scale (quick self-check)"
+  cargo run --release --offline -p float-bench --bin population_scale -- --quick
 fi
 
 step "CI green"

@@ -1,0 +1,232 @@
+//! `population_scale` — round throughput and peak memory at population
+//! scale (10k / 100k / 1M clients).
+//!
+//! The claim under test: with lazy shards, indexed eligibility, top-k
+//! selection, and sampled evaluation, per-round cost is O(cohort) and
+//! training-data memory is O(shard-cache), so a million-client population
+//! runs on a laptop. Each row reports rounds/sec plus the process
+//! high-water RSS (`VmHWM`) and the shard cache's peak residency.
+//!
+//! Populations run in ascending order: `VmHWM` is a monotone per-process
+//! high-water mark, so each row's RSS reflects the largest population run
+//! *so far* — ascending order makes it attributable to that row's scale.
+//!
+//! A 10k-client determinism probe (1 vs 2 worker threads) and a parse-back
+//! self-check of the emitted JSON guard the benchmark itself.
+//!
+//! ```text
+//! population_scale [--scales 10k,100k,1m] [--rounds N] [--out PATH] [--quick]
+//! ```
+//!
+//! `--quick` is the CI mode: 10k only, output under `target/`, same
+//! self-checks.
+
+use std::time::Instant;
+
+use float_bench::Scale;
+use float_core::{AccelMode, Experiment, SelectorChoice};
+use float_data::Task;
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct PopulationRow {
+    clients: usize,
+    mode: String,
+    rounds: usize,
+    seconds: f64,
+    rounds_per_sec: f64,
+    /// Process high-water RSS after this run, MiB (monotone across rows).
+    peak_rss_mb: f64,
+    /// Shard-cache capacity the runtime resolved for this population.
+    cache_capacity: usize,
+    /// Most shards ever resident at once — must stay <= cache_capacity.
+    cache_peak_resident: usize,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct BenchReport {
+    benchmark: String,
+    selector_sync: String,
+    selector_async: String,
+    accel: String,
+    deterministic_at_10k_across_threads: bool,
+    rows: Vec<PopulationRow>,
+}
+
+/// Peak resident set size of this process in MiB, from `/proc/self/status`
+/// (`VmHWM`). Returns 0.0 where procfs is unavailable.
+fn peak_rss_mb() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0.0);
+            return kb / 1024.0;
+        }
+    }
+    0.0
+}
+
+fn usage() -> ! {
+    eprintln!("usage: population_scale [--scales 10k,100k,1m] [--rounds N] [--out PATH] [--quick]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut scales: Vec<Scale> = vec![Scale::Pop10k, Scale::Pop100k, Scale::Pop1M];
+    let mut rounds_override: Option<usize> = None;
+    let mut out = "BENCH_population_scale.json".to_string();
+    let mut quick = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = || it.next().cloned().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--scales" => {
+                scales = val()
+                    .split(',')
+                    .map(|s| Scale::parse(s.trim()).unwrap_or_else(|| usage()))
+                    .collect();
+            }
+            "--rounds" => rounds_override = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--out" => out = val(),
+            "--quick" => quick = true,
+            _ => usage(),
+        }
+    }
+    if quick {
+        scales = vec![Scale::Pop10k];
+        out = "target/BENCH_population_scale.json".to_string();
+    }
+    if scales.is_empty() || scales.iter().any(|s| !s.is_population()) {
+        usage();
+    }
+    // Ascending populations so the monotone VmHWM stays attributable.
+    scales.sort_by_key(|s| s.num_clients());
+    scales.dedup();
+
+    // Determinism probe: the 10k population, sync, 1 vs 2 worker threads
+    // must produce bit-identical reports (same contract the paper-scale
+    // engine ships with, exercised here at population scale).
+    let deterministic = {
+        let mut base = Scale::Pop10k.config(Task::Femnist, SelectorChoice::FedAvg, AccelMode::Off);
+        base.rounds = rounds_override.unwrap_or(3).max(1);
+        base.eval_every = base.rounds;
+        let mut one = base;
+        one.num_threads = 1;
+        let mut two = base;
+        two.num_threads = 2;
+        let a = Experiment::new(one).expect("valid config").run();
+        let b = Experiment::new(two).expect("valid config").run();
+        let ok = a == b;
+        eprintln!(
+            "determinism probe (10k sync, 1 vs 2 threads): {}",
+            if ok { "bit-identical" } else { "DIVERGED" }
+        );
+        ok
+    };
+
+    let mut rows = Vec::new();
+    for &scale in &scales {
+        for (mode, selector) in [
+            ("sync", SelectorChoice::FedAvg),
+            ("async", SelectorChoice::FedBuff),
+        ] {
+            let mut cfg = scale.config(Task::Femnist, selector, AccelMode::Off);
+            if let Some(r) = rounds_override {
+                cfg.rounds = r;
+                cfg.eval_every = r;
+            }
+            let rounds = cfg.rounds;
+            let clients = cfg.num_clients;
+            let capacity = cfg.resolved_shard_cache();
+            eprintln!("population_scale: {clients} clients, {mode}, {rounds} rounds ...");
+            let exp = Experiment::new(cfg).expect("valid config");
+            let start = Instant::now();
+            let (report, stats) = exp.run_with_cache_stats();
+            let seconds = start.elapsed().as_secs_f64();
+            assert!(report.is_finite(), "report carries NaN/Inf at {clients}");
+            assert!(
+                stats.peak_resident <= stats.capacity,
+                "cache exceeded its capacity: {} > {}",
+                stats.peak_resident,
+                stats.capacity
+            );
+            let rps = rounds as f64 / seconds.max(1e-9);
+            let rss = peak_rss_mb();
+            eprintln!(
+                "  {seconds:8.3}s  {rps:7.2} rounds/s  rss {rss:7.1} MiB  \
+                 cache {}/{} resident (hits {} misses {} evictions {})",
+                stats.peak_resident, stats.capacity, stats.hits, stats.misses, stats.evictions
+            );
+            rows.push(PopulationRow {
+                clients,
+                mode: mode.to_string(),
+                rounds,
+                seconds,
+                rounds_per_sec: rps,
+                peak_rss_mb: rss,
+                cache_capacity: capacity,
+                cache_peak_resident: stats.peak_resident,
+                cache_hits: stats.hits,
+                cache_misses: stats.misses,
+                cache_evictions: stats.evictions,
+            });
+        }
+    }
+
+    let row_count = rows.len();
+    let report = BenchReport {
+        benchmark: "population_scale".to_string(),
+        selector_sync: "fedavg".to_string(),
+        selector_async: "fedbuff".to_string(),
+        accel: "off".to_string(),
+        deterministic_at_10k_across_threads: deterministic,
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out, format!("{json}\n")).expect("write benchmark output");
+    eprintln!("wrote {out}");
+
+    // Parse-back self-check: the file we just wrote must round-trip and
+    // carry sane numbers — positive throughput everywhere, caches bounded.
+    let parsed: BenchReport =
+        serde_json::from_str(&std::fs::read_to_string(&out).expect("read back benchmark output"))
+            .expect("benchmark output parses");
+    assert_eq!(parsed.rows.len(), row_count);
+    for row in &parsed.rows {
+        assert!(
+            row.rounds_per_sec > 0.0,
+            "non-positive throughput at {} clients ({})",
+            row.clients,
+            row.mode
+        );
+        assert!(
+            row.cache_peak_resident <= row.cache_capacity,
+            "cache bound violated in emitted report"
+        );
+        assert!(
+            row.cache_capacity < row.clients,
+            "cache as large as the population defeats the point"
+        );
+    }
+    eprintln!("self-check passed: {row_count} rows, throughput positive, caches bounded");
+    if !deterministic {
+        std::process::exit(1);
+    }
+}

@@ -5,22 +5,27 @@
 //! runexp [--task femnist|cifar10|openimage|speech|emnist]
 //!        [--selector fedavg|oort|refl|fedbuff]
 //!        [--accel off|heuristic|rl|rlhf|rlhf-ext|static:<action>]
+//!        [--scale quick|medium|paper|10k|100k|1m]
 //!        [--rounds N] [--clients N] [--cohort N] [--alpha F | --iid]
 //!        [--interference none|static|dynamic|network]
 //!        [--seed N] [--json <path>]
 //! ```
 //!
-//! Defaults reproduce a quick FLOAT(FedAvg) FEMNIST run.
+//! Defaults reproduce a quick FLOAT(FedAvg) FEMNIST run. `--scale`
+//! applies a whole preset (including the population scales' lazy-shard /
+//! sampled-eval knobs) for the task/selector/accel chosen so far; flags
+//! given after it override individual fields.
 
 use float_accel::{AccelAction, ActionCatalogue};
+use float_bench::Scale;
 use float_core::{AccelMode, Experiment, ExperimentConfig, SelectorChoice};
 use float_data::Task;
 use float_traces::InterferenceModel;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: runexp [--task T] [--selector S] [--accel A] [--rounds N] \
-         [--clients N] [--cohort N] [--alpha F | --iid] \
+        "usage: runexp [--task T] [--selector S] [--accel A] [--scale SC] \
+         [--rounds N] [--clients N] [--cohort N] [--alpha F | --iid] \
          [--interference I] [--seed N] [--json PATH]\n\
          run `runexp --help` for option values"
     );
@@ -75,6 +80,7 @@ fn main() {
             "tasks: emnist femnist cifar10 openimage speech\n\
              selectors: fedavg oort refl fedbuff tifl\n\
              accel: off heuristic rl rlhf rlhf-ext static:<{}>\n\
+             scale: quick medium paper 10k 100k 1m\n\
              interference: none static dynamic network",
             actions.join("|")
         );
@@ -104,6 +110,10 @@ fn main() {
                 cfg.selector = parse_selector(&value(&mut i)).unwrap_or_else(|| usage())
             }
             "--accel" => cfg.accel = parse_accel(&value(&mut i)).unwrap_or_else(|| usage()),
+            "--scale" => {
+                let scale = Scale::parse(&value(&mut i)).unwrap_or_else(|| usage());
+                cfg = scale.config(cfg.task, cfg.selector, cfg.accel);
+            }
             "--rounds" => cfg.rounds = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--clients" => cfg.num_clients = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--cohort" => cfg.cohort_size = value(&mut i).parse().unwrap_or_else(|_| usage()),

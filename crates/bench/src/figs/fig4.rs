@@ -90,7 +90,9 @@ pub fn run(scale: Scale) -> Fig4 {
     let (clients, rounds) = match scale {
         Scale::Quick => (60, 60),
         Scale::Medium => (100, 150),
-        Scale::Paper => (200, 300),
+        // Fig. 4 characterizes resource heterogeneity, not population
+        // scale — the population presets reuse the paper-scale sampling.
+        Scale::Paper | Scale::Pop10k | Scale::Pop100k | Scale::Pop1M => (200, 300),
     };
     let scenarios = [
         InterferenceModel::None,

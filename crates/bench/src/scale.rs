@@ -15,6 +15,15 @@ pub enum Scale {
     Medium,
     /// The paper's configuration: 200 clients, 30 per round, 300 rounds.
     Paper,
+    /// Population-scale smoke: 10 000 clients, 16 per round, 10 rounds.
+    /// Accuracy is reported over a fixed 256-client evaluation sample;
+    /// training data is materialized lazily, so memory stays O(cache).
+    Pop10k,
+    /// Population-scale: 100 000 clients, same per-round working set.
+    Pop100k,
+    /// Population-scale: 1 000 000 clients — the FedScale-trace order of
+    /// magnitude the paper targets. Per-round cost stays O(cohort).
+    Pop1M,
 }
 
 impl Scale {
@@ -24,8 +33,29 @@ impl Scale {
             "quick" => Some(Scale::Quick),
             "medium" => Some(Scale::Medium),
             "paper" => Some(Scale::Paper),
+            "10k" => Some(Scale::Pop10k),
+            "100k" => Some(Scale::Pop100k),
+            "1m" => Some(Scale::Pop1M),
             _ => None,
         }
+    }
+
+    /// Number of clients in the population at this scale.
+    pub fn num_clients(self) -> usize {
+        match self {
+            Scale::Quick => 60,
+            Scale::Medium => 100,
+            Scale::Paper => 200,
+            Scale::Pop10k => 10_000,
+            Scale::Pop100k => 100_000,
+            Scale::Pop1M => 1_000_000,
+        }
+    }
+
+    /// Whether this is one of the population-scale presets (bounded-memory
+    /// lazy shards, sampled evaluation) rather than a full-report scale.
+    pub fn is_population(self) -> bool {
+        matches!(self, Scale::Pop10k | Scale::Pop100k | Scale::Pop1M)
     }
 
     /// Build the baseline configuration for a `(task, selector, accel)`
@@ -56,6 +86,22 @@ impl Scale {
                 c.eval_every = 10;
             }
             Scale::Paper => {}
+            Scale::Pop10k | Scale::Pop100k | Scale::Pop1M => {
+                // Population scales keep the *per-round* working set at
+                // Quick size — the point is a huge eligible pool, not a
+                // huge cohort. Evaluation is sampled (256 clients, fixed
+                // seed-derived subset) and deferred to the final round;
+                // shard_cache 0 lets the runtime pick a bounded capacity.
+                c.num_clients = self.num_clients();
+                c.cohort_size = 16;
+                c.async_concurrency = 40;
+                c.async_buffer = 15;
+                c.mean_samples = 80;
+                c.local_epochs = 2;
+                c.batch_size = 16;
+                c.eval_sample = 256;
+                c.eval_every = self.rounds();
+            }
         }
         c
     }
@@ -66,6 +112,7 @@ impl Scale {
             Scale::Quick => 40,
             Scale::Medium => 120,
             Scale::Paper => 300,
+            Scale::Pop10k | Scale::Pop100k | Scale::Pop1M => 10,
         }
     }
 }
@@ -78,17 +125,45 @@ mod tests {
     fn parse_roundtrip() {
         assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
         assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("10k"), Some(Scale::Pop10k));
+        assert_eq!(Scale::parse("100k"), Some(Scale::Pop100k));
+        assert_eq!(Scale::parse("1m"), Some(Scale::Pop1M));
         assert_eq!(Scale::parse("bogus"), None);
     }
 
     #[test]
     fn configs_validate_at_all_scales() {
-        for scale in [Scale::Quick, Scale::Medium, Scale::Paper] {
+        for scale in [
+            Scale::Quick,
+            Scale::Medium,
+            Scale::Paper,
+            Scale::Pop10k,
+            Scale::Pop100k,
+            Scale::Pop1M,
+        ] {
             for sel in SelectorChoice::ALL {
                 let c = scale.config(Task::Femnist, sel, AccelMode::Rlhf);
                 c.validate().expect("scaled config must validate");
             }
         }
+    }
+
+    #[test]
+    fn population_presets_keep_per_round_working_set_small() {
+        for scale in [Scale::Pop10k, Scale::Pop100k, Scale::Pop1M] {
+            let c = scale.config(Task::Femnist, SelectorChoice::FedAvg, AccelMode::Off);
+            assert!(scale.is_population());
+            assert_eq!(c.num_clients, scale.num_clients());
+            assert_eq!(c.cohort_size, 16);
+            // Evaluation is sampled: a 1M-client full eval would dominate
+            // the benchmark and defeat the O(cohort) round claim.
+            assert_eq!(c.eval_sample, 256);
+            // Auto shard-cache capacity must stay far below the
+            // population — bounded training-data memory is the contract.
+            assert!(c.resolved_shard_cache() < 1_000);
+            assert!(c.resolved_shard_cache() >= c.cohort_size);
+        }
+        assert!(!Scale::Paper.is_population());
     }
 
     #[test]

@@ -164,6 +164,22 @@ pub struct ExperimentConfig {
     /// `DESIGN.md` §Telemetry & determinism contract.
     #[serde(default)]
     pub obs: ObsConfig,
+    /// How many clients to evaluate global accuracy on (`0` ⇒ the full
+    /// population, the historical behaviour). At population scale,
+    /// evaluating every client dominates the run; a sample of a few
+    /// hundred gives the same curve shape. The sample is drawn once per
+    /// experiment from its own seed stream, so `eval_sample ==
+    /// num_clients` reproduces the full-population accuracy numbers
+    /// bit-for-bit (same clients, same ascending order).
+    #[serde(default)]
+    pub eval_sample: usize,
+    /// Capacity of the lazy shard cache in client shards (`0` ⇒ auto:
+    /// scaled to the cohort/concurrency, see
+    /// [`ExperimentConfig::resolved_shard_cache`]). Bounds training-data
+    /// memory: at 1M clients only this many client datasets are ever
+    /// resident.
+    #[serde(default)]
+    pub shard_cache: usize,
 }
 
 impl ExperimentConfig {
@@ -205,6 +221,8 @@ impl ExperimentConfig {
             num_threads: 0,
             fault_plan: FaultPlan::none(),
             obs: ObsConfig::off(),
+            eval_sample: 0,
+            shard_cache: 0,
         }
     }
 
@@ -236,6 +254,8 @@ impl ExperimentConfig {
             num_threads: 0,
             fault_plan: FaultPlan::none(),
             obs: ObsConfig::off(),
+            eval_sample: 0,
+            shard_cache: 0,
         }
     }
 
@@ -258,6 +278,21 @@ impl ExperimentConfig {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
+    }
+
+    /// Resolve the shard-cache capacity in client shards.
+    ///
+    /// An explicit [`ExperimentConfig::shard_cache`] wins; `0` picks a
+    /// capacity that comfortably covers one round's working set — the
+    /// cohort (with slack for retries and staleness) and the async
+    /// in-flight set — independent of the population size, so memory
+    /// stays O(cohort) at any client count.
+    pub fn resolved_shard_cache(&self) -> usize {
+        if self.shard_cache > 0 {
+            return self.shard_cache;
+        }
+        self.num_clients
+            .min((4 * self.cohort_size).max(self.async_concurrency).max(64))
     }
 
     /// Derived federated-dataset configuration.
@@ -324,6 +359,18 @@ impl ExperimentConfig {
             return Err(format!(
                 "reward weights (participation {}, accuracy {}) must be non-negative and not both zero",
                 self.reward_w_participation, self.reward_w_accuracy
+            ));
+        }
+        if self.eval_sample > self.num_clients {
+            return Err(format!(
+                "eval_sample {} must not exceed num_clients {} (0 means full population)",
+                self.eval_sample, self.num_clients
+            ));
+        }
+        if self.shard_cache != 0 && self.shard_cache < self.cohort_size {
+            return Err(format!(
+                "shard_cache {} must be 0 (auto) or at least cohort_size {} so one round's cohort fits",
+                self.shard_cache, self.cohort_size
             ));
         }
         self.fault_plan.validate()?;
@@ -411,6 +458,44 @@ mod tests {
             err.contains("wall_timers true") && err.contains("enabled false"),
             "message: {err}"
         );
+        let mut c = base;
+        c.eval_sample = 41; // num_clients is 40
+        let err = c.validate().expect_err("bad eval_sample");
+        assert!(err.contains("41") && err.contains("40"), "message: {err}");
+        let mut c = base;
+        c.shard_cache = 3; // cohort_size is 10
+        let err = c.validate().expect_err("bad shard_cache");
+        assert!(err.contains("3") && err.contains("10"), "message: {err}");
+    }
+
+    #[test]
+    fn shard_cache_resolution_covers_round_working_set_and_is_bounded() {
+        let small = ExperimentConfig::small(SelectorChoice::FedAvg, AccelMode::Off, 5);
+        // Auto capacity never exceeds the population...
+        assert!(small.resolved_shard_cache() <= small.num_clients);
+        // ...and an explicit capacity wins.
+        let mut c = small;
+        c.shard_cache = 17;
+        assert_eq!(c.resolved_shard_cache(), 17);
+        // At population scale the auto capacity is O(cohort), not O(N).
+        let mut big = small;
+        big.num_clients = 1_000_000;
+        assert!(big.resolved_shard_cache() >= big.cohort_size);
+        assert!(big.resolved_shard_cache() >= big.async_concurrency);
+        assert!(big.resolved_shard_cache() < 1_000);
+    }
+
+    #[test]
+    fn eval_sample_defaults_to_full_population() {
+        let c = ExperimentConfig::paper_e2e(
+            Task::Femnist,
+            SelectorChoice::FedAvg,
+            AccelMode::Rlhf,
+            300,
+        );
+        assert_eq!(c.eval_sample, 0, "default must keep full-population eval");
+        assert_eq!(c.shard_cache, 0, "default must keep auto cache sizing");
+        c.validate().expect("defaults must validate");
     }
 
     #[test]

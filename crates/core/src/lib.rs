@@ -24,5 +24,6 @@ pub mod metrics;
 pub mod runtime;
 
 pub use config::{AccelMode, ExperimentConfig, SelectorChoice};
+pub use float_data::ShardCacheStats;
 pub use metrics::{AccuracySummary, ExperimentReport, RoundRecord, TechniqueStats};
 pub use runtime::Experiment;

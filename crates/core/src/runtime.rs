@@ -4,10 +4,13 @@
 //! loop).
 
 use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use rand::seq::SliceRandom;
 
 use float_accel::apply::transform_update;
 use float_accel::{apply_action_protected, AccelAction, ActionCatalogue, ErrorFeedback};
-use float_data::FederatedDataset;
+use float_data::{ShardCache, ShardCacheStats, ShardSpec};
 use float_models::RoundCost;
 use float_obs::metrics::{LATENCY_BUCKETS_S, PAYLOAD_BUCKETS_BYTES, UTILIZATION_BUCKETS};
 use float_obs::{Collector, Event, OutcomeKind, Phase, Recorder, Telemetry};
@@ -20,8 +23,8 @@ use float_sim::{
     apply_outcome_fault, estimate_round_time_s, execute_client_round, ClientRoundOutcome,
     DropReason, FaultKind, ResourceLedger, RoundParams, SimClock,
 };
-use float_tensor::rng::split_seed;
-use float_tensor::{Mlp, MlpConfig, Sgd};
+use float_tensor::rng::{seed_rng, split_seed};
+use float_tensor::{Dataset, Mlp, MlpConfig, Sgd};
 use float_traces::{DeviceProfile, ResourceSampler, ResourceSnapshot};
 
 use crate::aggregate::{aggregate, dedup_updates, PendingUpdate};
@@ -36,7 +39,12 @@ const PROXY_HIDDEN: usize = 128;
 /// A fully assembled experiment, ready to run.
 pub struct Experiment {
     config: ExperimentConfig,
-    data: FederatedDataset,
+    /// Lazy per-client shards behind a bounded LRU cache. Client datasets
+    /// are derived on first touch (a pure function of `(seed, client)` —
+    /// bit-identical to eager generation, pinned by the `lazy_shards`
+    /// proptest), so training-data memory is O(cache capacity), not
+    /// O(population).
+    data: ShardCache,
     sampler: ResourceSampler,
     selector: Box<dyn ClientSelector + Send + Sync>,
     catalogue: ActionCatalogue,
@@ -66,6 +74,17 @@ pub struct Experiment {
     /// enabling telemetry neither changes results nor breaks the
     /// bit-identical-across-thread-counts guarantee.
     obs: Collector,
+    /// Reusable eligibility buffer, refilled each round — at population
+    /// scale the eligible list is the largest per-round structure, so it
+    /// is allocated once, not per round.
+    eligible_buf: Vec<usize>,
+    /// Reusable cohort buffer the selector writes into each round.
+    cohort_buf: Vec<usize>,
+    /// Clients whose accuracy defines the report
+    /// ([`ExperimentConfig::eval_sample`]). Empty ⇒ the full population.
+    /// Drawn once from its own seed stream and kept in ascending order, so
+    /// `eval_sample == num_clients` is bit-identical to full eval.
+    eval_set: Vec<usize>,
 }
 
 /// The frozen inputs of one client attempt, produced by the sequential
@@ -88,6 +107,12 @@ struct AttemptTask {
     action: AccelAction,
     base_cost: RoundCost,
     shard_len: usize,
+    /// The client's train shard, pinned by the sequential plan phase via
+    /// the shard cache so the parallel execute phase never touches the
+    /// cache (cheap `Arc` clone; eviction cannot invalidate it).
+    train: Arc<Dataset>,
+    /// The client's held-out test shard, pinned like `train`.
+    test: Arc<Dataset>,
     /// Agent-state inputs captured at decision time, replayed verbatim to
     /// the agent's feedback call in the commit phase.
     global: GlobalState,
@@ -171,7 +196,10 @@ impl Experiment {
     pub fn new(config: ExperimentConfig) -> Result<Self, String> {
         config.validate()?;
         let seed = config.seed;
-        let data = FederatedDataset::generate(config.federated_config(), split_seed(seed, 1));
+        let data = ShardCache::new(
+            ShardSpec::new(config.federated_config(), split_seed(seed, 1)),
+            config.resolved_shard_cache(),
+        );
         let sampler =
             ResourceSampler::new(config.num_clients, config.interference, split_seed(seed, 2));
         let selector: Box<dyn ClientSelector + Send + Sync> = match config.selector {
@@ -213,7 +241,7 @@ impl Experiment {
             AccelMode::Heuristic => Some(HeuristicPolicy::new(split_seed(seed, 5))),
             _ => None,
         };
-        let synth = *data.synthetic();
+        let synth = *data.spec().synthetic();
         let global_model = Mlp::new(
             &MlpConfig::new(synth.feature_dim, &[PROXY_HIDDEN], synth.num_classes),
             split_seed(seed, 6),
@@ -242,6 +270,19 @@ impl Experiment {
             telemetry: None,
         };
         let protected = global_model.protected_mask();
+        // The evaluation set: a fixed uniform sample from a dedicated seed
+        // stream, sorted ascending so sampled evaluation visits clients in
+        // the same order full evaluation does. Empty means "everyone".
+        let eval_set: Vec<usize> =
+            if config.eval_sample == 0 || config.eval_sample >= config.num_clients {
+                Vec::new()
+            } else {
+                let mut ids: Vec<usize> = (0..config.num_clients).collect();
+                ids.shuffle(&mut seed_rng(split_seed(seed, 7)));
+                ids.truncate(config.eval_sample);
+                ids.sort_unstable();
+                ids
+            };
         Ok(Experiment {
             config,
             data,
@@ -259,6 +300,9 @@ impl Experiment {
             report,
             round_backoff_s: 0.0,
             obs: Collector::new(config.obs),
+            eligible_buf: Vec::new(),
+            cohort_buf: Vec::new(),
+            eval_set,
         })
     }
 
@@ -337,6 +381,15 @@ impl Experiment {
         self.finalize()
     }
 
+    /// Run to completion and also return the shard-cache counters, so
+    /// population-scale harnesses can assert that training-data memory
+    /// stayed bounded by the configured cache capacity.
+    pub fn run_with_cache_stats(mut self) -> (ExperimentReport, ShardCacheStats) {
+        self.run_engine();
+        let stats = self.data.stats();
+        (self.finalize(), stats)
+    }
+
     /// Run to completion and also return the recorded telemetry (the full
     /// event stream plus the summary, for JSONL export and digests).
     /// Requires the config to enable observability — with telemetry off
@@ -391,15 +444,16 @@ impl Experiment {
         )
     }
 
-    /// Clients checked in as available at the start of `round`. Mirrors
-    /// the FedScale/production model: devices that are off, interrupted,
-    /// or below the battery threshold never become selection candidates,
-    /// so dropouts are resource-driven (deadline, memory, mid-round
-    /// failures) rather than trivial no-shows.
-    fn eligible_clients(&mut self, round: usize) -> Vec<usize> {
-        (0..self.config.num_clients)
-            .filter(|&c| self.sampler.snapshot(c, round).available)
-            .collect()
+    /// Refresh `eligible_buf` with the clients checked in as available at
+    /// the start of `round`, ascending. Mirrors the FedScale/production
+    /// model: devices that are off, interrupted, or below the battery
+    /// threshold never become selection candidates, so dropouts are
+    /// resource-driven (deadline, memory, mid-round failures) rather than
+    /// trivial no-shows. Delegates to the sampler's indexed availability
+    /// fast path — no full-population snapshots, no per-round allocation.
+    fn refresh_eligible(&mut self, round: usize) {
+        self.sampler
+            .available_clients_into(round, &mut self.eligible_buf);
     }
 
     /// Decide the acceleration action for a client given its snapshot.
@@ -482,7 +536,11 @@ impl Experiment {
     /// in cohort order, so the parallel phase inherits a fixed plan.
     fn plan_attempt(&mut self, client: usize, round: usize, staleness: u64) -> AttemptTask {
         let snap = self.sampler.snapshot(client, round);
-        let shard_len = self.data.train_shard(client).len();
+        // Pin the client's shards for the execute phase. The cache is only
+        // touched here, in the sequential plan phase, so its LRU state
+        // (and therefore its hit/miss/eviction sequence) is deterministic.
+        let (train, test) = self.data.get(client);
+        let shard_len = train.len();
         let base_cost = RoundCost::vanilla(
             &self.config.arch.profile(),
             shard_len,
@@ -506,6 +564,8 @@ impl Experiment {
             action,
             base_cost,
             shard_len,
+            train,
+            test,
             global: self.global_state(),
             local: LocalState::from_fractions(
                 snap.cpu_fraction,
@@ -589,9 +649,10 @@ impl Experiment {
 
         // Real local training with the plan's transform hooks. The worker
         // scratch supplies the local model and parameter buffers, reused
-        // across attempts and rounds; shards are borrowed, never cloned.
-        let shard = self.data.train_shard(task.client);
-        let test = self.data.test_shard(task.client);
+        // across attempts and rounds; shards were pinned by the plan phase
+        // (Arc), so execution never touches the shard cache.
+        let shard = &*task.train;
+        let test = &*task.test;
         let local = scratch
             .local
             .get_or_insert_with(|| self.global_model.clone());
@@ -873,11 +934,23 @@ impl Experiment {
             .collect()
     }
 
+    /// Per-client accuracy of the global model over the evaluation set:
+    /// the full population by default, or the fixed `eval_sample` subset
+    /// when configured. Test shards are derived on the fly from the pure
+    /// shard spec (never through the training cache), so evaluation stays
+    /// `&self` and cannot perturb the cache's deterministic LRU state.
     fn eval_all_clients(&self) -> Vec<f64> {
-        let clients: Vec<usize> = (0..self.config.num_clients).collect();
+        let spec = self.data.spec();
+        let full: Vec<usize>;
+        let clients: &[usize] = if self.eval_set.is_empty() {
+            full = (0..self.config.num_clients).collect();
+            &full
+        } else {
+            &self.eval_set
+        };
         let mut scratches = vec![(); self.config.effective_threads()];
-        parallel_map_with(&mut scratches, &clients, |_, &c| {
-            self.global_model.evaluate(self.data.test_shard(c)).accuracy as f64
+        parallel_map_with(&mut scratches, clients, |_, &c| {
+            self.global_model.evaluate(&spec.test_shard(c)).accuracy as f64
         })
     }
 
@@ -888,18 +961,23 @@ impl Experiment {
     fn run_sync(&mut self) {
         let mut scratches = self.worker_scratches();
         for round in 0..self.config.rounds {
-            let eligible = self.eligible_clients(round);
-            let cohort = self
-                .selector
-                .select(round, &eligible, self.config.cohort_size);
+            self.refresh_eligible(round);
+            let mut cohort = std::mem::take(&mut self.cohort_buf);
+            self.selector.select_into(
+                round,
+                &self.eligible_buf,
+                self.config.cohort_size,
+                &mut cohort,
+            );
             self.obs.record(Event::RoundStart {
                 round: round as u64,
                 sim_s: self.clock.now_s(),
-                eligible: eligible.len() as u64,
+                eligible: self.eligible_buf.len() as u64,
                 selected: cohort.len() as u64,
             });
             let mut global = self.global_model.params();
             let mut attempts = self.run_attempts(round, &cohort, &global, &mut scratches, true);
+            self.cohort_buf = cohort;
             // Aggregate completed updates, taken by move. An injected
             // duplicate-delivery fault hands the aggregator the same
             // update twice; the dedup pass suppresses the extra copy so a
@@ -993,27 +1071,32 @@ impl Experiment {
             // Event loop: keep the in-flight set topped up continuously
             // (FedBuff never waits to relaunch) and drain completion
             // events until the aggregation buffer fills.
-            let eligible = self.eligible_clients(agg_round);
+            self.refresh_eligible(agg_round);
             // The global model only changes at aggregation boundaries, so
             // one parameter readback serves every launch batch in between.
             let global_params = self.global_model.params();
             let mut round_started = false;
             loop {
-                let launched = self
-                    .selector
-                    .select(agg_round, &eligible, self.config.cohort_size);
+                let mut launched = std::mem::take(&mut self.cohort_buf);
+                self.selector.select_into(
+                    agg_round,
+                    &self.eligible_buf,
+                    self.config.cohort_size,
+                    &mut launched,
+                );
                 if !round_started {
                     round_started = true;
                     self.obs.record(Event::RoundStart {
                         round: agg_round as u64,
                         sim_s: self.clock.now_s(),
-                        eligible: eligible.len() as u64,
+                        eligible: self.eligible_buf.len() as u64,
                         selected: launched.len() as u64,
                     });
                 }
-                for a in
-                    self.run_attempts(agg_round, &launched, &global_params, &mut scratches, false)
-                {
+                let batch =
+                    self.run_attempts(agg_round, &launched, &global_params, &mut scratches, false);
+                self.cohort_buf = launched;
+                for a in batch {
                     // Completions arrive when the client finishes. A failed
                     // client never reports back, so its slot is only
                     // reclaimed when the server-side timeout (the round
@@ -1300,6 +1383,53 @@ mod tests {
         let mut cfg = ExperimentConfig::small(SelectorChoice::FedAvg, AccelMode::Off, 5);
         cfg.cohort_size = 0;
         assert!(Experiment::new(cfg).is_err());
+    }
+
+    /// `eval_sample == num_clients` must take the full-population path and
+    /// reproduce the default report bit for bit — sampling only changes
+    /// the eval set when it is a strict subset.
+    #[test]
+    fn full_eval_sample_is_bit_identical_to_default() {
+        let base = ExperimentConfig::small(SelectorChoice::FedAvg, AccelMode::Rlhf, 6);
+        let mut sampled = base;
+        sampled.eval_sample = base.num_clients;
+        let a = Experiment::new(base).expect("valid").run();
+        let b = Experiment::new(sampled).expect("valid").run();
+        assert_eq!(a, b, "eval_sample == num_clients changed the report");
+    }
+
+    /// A strict eval subset evaluates exactly `eval_sample` clients,
+    /// deterministically, without touching the training trajectory.
+    #[test]
+    fn sampled_eval_is_deterministic_and_sized() {
+        let mut cfg = ExperimentConfig::small(SelectorChoice::FedAvg, AccelMode::Off, 6);
+        cfg.eval_sample = 7;
+        let a = Experiment::new(cfg).expect("valid").run();
+        let b = Experiment::new(cfg).expect("valid").run();
+        assert_eq!(a, b);
+        assert_eq!(a.client_accuracies.len(), 7);
+        // The training trajectory is eval-independent: selection and
+        // dropout counters match the full-eval run exactly.
+        let full = ExperimentConfig::small(SelectorChoice::FedAvg, AccelMode::Off, 6);
+        let f = Experiment::new(full).expect("valid").run();
+        assert_eq!(a.selected_count, f.selected_count);
+        assert_eq!(a.total_dropouts, f.total_dropouts);
+    }
+
+    /// Shard-cache capacity is a memory knob, never a results knob: an
+    /// explicit tiny capacity (forcing evictions) must reproduce the
+    /// auto-capacity report bit for bit.
+    #[test]
+    fn shard_cache_capacity_does_not_change_results() {
+        let auto = ExperimentConfig::small(SelectorChoice::Oort, AccelMode::Rlhf, 6);
+        let mut tiny = auto;
+        tiny.shard_cache = auto.cohort_size; // smallest legal capacity
+        let (a, a_stats) = Experiment::new(auto).expect("valid").run_with_cache_stats();
+        let (b, b_stats) = Experiment::new(tiny).expect("valid").run_with_cache_stats();
+        assert_eq!(a, b, "cache capacity changed the report");
+        assert!(b_stats.evictions > 0, "tiny cache never evicted");
+        assert!(b_stats.peak_resident <= b_stats.capacity);
+        assert!(a_stats.peak_resident <= a_stats.capacity);
     }
 
     #[test]

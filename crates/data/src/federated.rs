@@ -2,10 +2,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use float_tensor::rng::split_seed;
 use float_tensor::Dataset;
 
-use crate::partition::{dirichlet_partition, iid_partition};
+use crate::lazy::ShardSpec;
 use crate::synthetic::SyntheticTaskConfig;
 use crate::task::Task;
 
@@ -50,45 +49,25 @@ pub struct FederatedDataset {
 
 impl FederatedDataset {
     /// Generate a federated dataset deterministically from `(config, seed)`.
+    ///
+    /// Delegates per-client work to [`ShardSpec`], the lazy derivation the
+    /// population-scale runtime uses — eager generation is just "derive
+    /// every client now", so the two paths are bit-identical by
+    /// construction (pinned by the `lazy_shards` proptest).
     pub fn generate(config: FederatedConfig, seed: u64) -> Self {
-        let synth = config.task.synthetic_config();
-        let centroids = synth.centroids(seed);
-        let counts = match config.alpha {
-            Some(a) => dirichlet_partition(
-                config.num_clients,
-                synth.num_classes,
-                config.mean_samples,
-                a,
-                split_seed(seed, 1),
-            ),
-            None => iid_partition(
-                config.num_clients,
-                synth.num_classes,
-                config.mean_samples,
-                split_seed(seed, 1),
-            ),
-        };
+        let spec = ShardSpec::new(config, seed);
         let mut train = Vec::with_capacity(config.num_clients);
         let mut test = Vec::with_capacity(config.num_clients);
-        for (i, client_counts) in counts.iter().enumerate() {
-            let tf = config.test_fraction.clamp(0.0, 0.9);
-            let train_counts: Vec<usize> = client_counts
-                .iter()
-                .map(|&c| ((c as f64) * (1.0 - tf)).round() as usize)
-                .collect();
-            let test_counts: Vec<usize> = client_counts
-                .iter()
-                .zip(&train_counts)
-                .map(|(&c, &t)| c.saturating_sub(t))
-                .collect();
-            train.push(synth.sample(&centroids, &train_counts, split_seed(seed, 1000 + i as u64)));
-            test.push(synth.sample(&centroids, &test_counts, split_seed(seed, 2000 + i as u64)));
+        for i in 0..config.num_clients {
+            let (tr, te) = spec.shard_pair(i);
+            train.push(tr);
+            test.push(te);
         }
         FederatedDataset {
             config,
             train,
             test,
-            synth,
+            synth: *spec.synthetic(),
         }
     }
 

@@ -15,13 +15,16 @@
 #![warn(missing_docs)]
 
 pub mod federated;
+pub mod lazy;
 pub mod partition;
 pub mod synthetic;
 pub mod task;
 
 pub use federated::FederatedDataset;
+pub use lazy::{ShardCache, ShardCacheStats, ShardSpec};
 pub use partition::{
-    dirichlet_partition, dirichlet_partition_with_quantity_skew, iid_partition, PartitionSpec,
+    dirichlet_client_counts, dirichlet_partition, dirichlet_partition_with_quantity_skew,
+    iid_client_counts, iid_partition, PartitionSpec,
 };
 pub use synthetic::SyntheticTaskConfig;
 pub use task::Task;

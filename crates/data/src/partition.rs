@@ -104,35 +104,60 @@ pub fn dirichlet_partition_with_quantity_skew(
         (0.0..1.0).contains(&quantity_skew),
         "quantity skew must be in [0, 1)"
     );
-    let mut out = Vec::with_capacity(num_clients);
-    for c in 0..num_clients {
-        let mut rng = seed_rng(split_seed(seed, c as u64));
-        let props = dirichlet_proportions(alpha, num_classes, &mut rng);
-        let factor = if quantity_skew == 0.0 {
-            // Consume the draw regardless so shard contents are identical
-            // across skew settings.
-            let _ = rng.gen_range(0.0f64..1.0);
-            1.0
-        } else {
-            rng.gen_range(1.0 - quantity_skew..1.0 + quantity_skew)
-        };
-        let size = ((mean_samples as f64) * factor).round().max(1.0) as usize;
-        let mut counts: Vec<usize> = props
+    (0..num_clients)
+        .map(|c| dirichlet_client_counts(c, num_classes, mean_samples, alpha, quantity_skew, seed))
+        .collect()
+}
+
+/// Per-class sample counts for a *single* client under Dirichlet(α) label
+/// skew — row `client` of [`dirichlet_partition_with_quantity_skew`],
+/// bit-identical to the full matrix by construction.
+///
+/// Each client draws from its own RNG stream (`split_seed(seed, client)`),
+/// so one client's counts never depend on another's — this is what makes
+/// lazy shard derivation possible at population scale.
+///
+/// # Panics
+///
+/// Panics if `alpha <= 0` or `quantity_skew` is not in `[0, 1)`.
+pub fn dirichlet_client_counts(
+    client: usize,
+    num_classes: usize,
+    mean_samples: usize,
+    alpha: f64,
+    quantity_skew: f64,
+    seed: u64,
+) -> Vec<usize> {
+    assert!(alpha > 0.0, "Dirichlet alpha must be positive");
+    assert!(
+        (0.0..1.0).contains(&quantity_skew),
+        "quantity skew must be in [0, 1)"
+    );
+    let mut rng = seed_rng(split_seed(seed, client as u64));
+    let props = dirichlet_proportions(alpha, num_classes, &mut rng);
+    let factor = if quantity_skew == 0.0 {
+        // Consume the draw regardless so shard contents are identical
+        // across skew settings.
+        let _ = rng.gen_range(0.0f64..1.0);
+        1.0
+    } else {
+        rng.gen_range(1.0 - quantity_skew..1.0 + quantity_skew)
+    };
+    let size = ((mean_samples as f64) * factor).round().max(1.0) as usize;
+    let mut counts: Vec<usize> = props
+        .iter()
+        .map(|&p| (p * size as f64).round() as usize)
+        .collect();
+    if counts.iter().sum::<usize>() == 0 {
+        let hot = props
             .iter()
-            .map(|&p| (p * size as f64).round() as usize)
-            .collect();
-        if counts.iter().sum::<usize>() == 0 {
-            let hot = props
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("proportions are finite"))
-                .map(|(i, _)| i)
-                .unwrap_or(0);
-            counts[hot] = 1;
-        }
-        out.push(counts);
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("proportions are finite"))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        counts[hot] = 1;
     }
-    out
+    counts
 }
 
 /// Produce per-client per-class counts under an IID split: every client
@@ -143,21 +168,32 @@ pub fn iid_partition(
     mean_samples: usize,
     seed: u64,
 ) -> Vec<Vec<usize>> {
-    let mut out = Vec::with_capacity(num_clients);
-    for c in 0..num_clients {
-        let mut rng = seed_rng(split_seed(seed, c as u64));
-        let size = ((mean_samples as f64) * rng.gen_range(0.8f64..1.2))
-            .round()
-            .max(1.0) as usize;
-        let base = size / num_classes;
-        let mut counts = vec![base; num_classes];
-        for _ in 0..(size - base * num_classes) {
-            let i = rng.gen_range(0..num_classes);
-            counts[i] += 1;
-        }
-        out.push(counts);
+    (0..num_clients)
+        .map(|c| iid_client_counts(c, num_classes, mean_samples, seed))
+        .collect()
+}
+
+/// Per-class sample counts for a *single* client under the IID split —
+/// row `client` of [`iid_partition`], bit-identical to the full matrix by
+/// construction (per-client RNG streams, like
+/// [`dirichlet_client_counts`]).
+pub fn iid_client_counts(
+    client: usize,
+    num_classes: usize,
+    mean_samples: usize,
+    seed: u64,
+) -> Vec<usize> {
+    let mut rng = seed_rng(split_seed(seed, client as u64));
+    let size = ((mean_samples as f64) * rng.gen_range(0.8f64..1.2))
+        .round()
+        .max(1.0) as usize;
+    let base = size / num_classes;
+    let mut counts = vec![base; num_classes];
+    for _ in 0..(size - base * num_classes) {
+        let i = rng.gen_range(0..num_classes);
+        counts[i] += 1;
     }
-    out
+    counts
 }
 
 /// Effective label-distribution skew of a partition: mean total-variation
@@ -305,5 +341,25 @@ mod tests {
     #[should_panic(expected = "quantity skew")]
     fn out_of_range_quantity_skew_panics() {
         let _ = dirichlet_partition_with_quantity_skew(2, 2, 10, 1.0, 1.5, 0);
+    }
+
+    #[test]
+    fn per_client_counts_match_matrix_rows() {
+        let matrix = dirichlet_partition_with_quantity_skew(25, 7, 80, 0.1, 0.5, 99);
+        for (c, row) in matrix.iter().enumerate() {
+            assert_eq!(row, &dirichlet_client_counts(c, 7, 80, 0.1, 0.5, 99));
+        }
+        let iid = iid_partition(25, 7, 80, 99);
+        for (c, row) in iid.iter().enumerate() {
+            assert_eq!(row, &iid_client_counts(c, 7, 80, 99));
+        }
+        // Rows can be derived in any order without changing bits.
+        assert_eq!(dirichlet_client_counts(24, 7, 80, 0.1, 0.5, 99), matrix[24]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn per_client_zero_alpha_panics() {
+        let _ = dirichlet_client_counts(0, 2, 10, 0.0, 0.5, 0);
     }
 }

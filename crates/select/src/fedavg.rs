@@ -29,11 +29,17 @@ impl ClientSelector for FedAvgSelector {
         SelectorKind::FedAvg
     }
 
-    fn select(&mut self, round: usize, eligible: &[usize], target: usize) -> Vec<usize> {
-        let mut ids: Vec<usize> = eligible.to_vec();
-        ids.shuffle(&mut seed_rng(split_seed(self.seed, round as u64)));
-        ids.truncate(target.min(ids.len()));
-        ids
+    fn select_into(
+        &mut self,
+        round: usize,
+        eligible: &[usize],
+        target: usize,
+        cohort: &mut Vec<usize>,
+    ) {
+        cohort.clear();
+        cohort.extend_from_slice(eligible);
+        cohort.shuffle(&mut seed_rng(split_seed(self.seed, round as u64)));
+        cohort.truncate(target.min(cohort.len()));
     }
 
     fn feedback(&mut self, _round: usize, _results: &[SelectionFeedback]) {

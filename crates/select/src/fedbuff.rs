@@ -27,6 +27,10 @@ pub struct FedBuffSelector {
     buffer_size: usize,
     /// Clients currently holding a slot.
     in_flight: Vec<usize>,
+    /// Membership mask over client ids mirroring `in_flight`, so the
+    /// per-round candidate filter is O(1) per client instead of a linear
+    /// scan of the in-flight list.
+    in_flight_mask: Vec<bool>,
 }
 
 impl FedBuffSelector {
@@ -38,7 +42,12 @@ impl FedBuffSelector {
             concurrency,
             buffer_size,
             in_flight: Vec::new(),
+            in_flight_mask: Vec::new(),
         }
+    }
+
+    fn slot_taken(&self, client: usize) -> bool {
+        self.in_flight_mask.get(client).copied().unwrap_or(false)
     }
 
     /// The aggregation buffer size `K`.
@@ -58,25 +67,32 @@ impl ClientSelector for FedBuffSelector {
     }
 
     /// Top up the in-flight set to `concurrency` from the eligible pool
-    /// (ignoring `target`, which synchronous baselines use) and return the
-    /// *newly launched* clients.
-    fn select(&mut self, round: usize, eligible: &[usize], _target: usize) -> Vec<usize> {
+    /// (ignoring `target`, which synchronous baselines use) and write the
+    /// *newly launched* clients into `cohort`.
+    fn select_into(
+        &mut self,
+        round: usize,
+        eligible: &[usize],
+        _target: usize,
+        cohort: &mut Vec<usize>,
+    ) {
+        cohort.clear();
         let want = self.concurrency;
         if self.in_flight.len() >= want {
-            return Vec::new();
+            return;
         }
-        let mut candidates: Vec<usize> = eligible
-            .iter()
-            .copied()
-            .filter(|c| !self.in_flight.contains(c))
-            .collect();
-        candidates.shuffle(&mut seed_rng(split_seed(self.seed, round as u64)));
-        let launch: Vec<usize> = candidates
-            .into_iter()
-            .take(want - self.in_flight.len())
-            .collect();
-        self.in_flight.extend_from_slice(&launch);
-        launch
+        if let Some(&max) = eligible.iter().max() {
+            if self.in_flight_mask.len() <= max {
+                self.in_flight_mask.resize(max + 1, false);
+            }
+        }
+        cohort.extend(eligible.iter().copied().filter(|&c| !self.slot_taken(c)));
+        cohort.shuffle(&mut seed_rng(split_seed(self.seed, round as u64)));
+        cohort.truncate(want - self.in_flight.len());
+        self.in_flight.extend_from_slice(cohort);
+        for &c in cohort.iter() {
+            self.in_flight_mask[c] = true;
+        }
     }
 
     /// Completions and failures free their slots.
@@ -84,6 +100,7 @@ impl ClientSelector for FedBuffSelector {
         for f in results {
             if let Some(pos) = self.in_flight.iter().position(|&c| c == f.client) {
                 self.in_flight.swap_remove(pos);
+                self.in_flight_mask[f.client] = false;
             }
         }
     }

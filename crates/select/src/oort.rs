@@ -14,7 +14,7 @@ use rand::Rng;
 
 use float_tensor::rng::{seed_rng, split_seed};
 
-use crate::selector::{ClientSelector, SelectionFeedback, SelectorKind};
+use crate::selector::{top_k_by, ClientSelector, SelectionFeedback, SelectorKind};
 
 /// Per-client rolling statistics maintained by Oort.
 #[derive(Debug, Clone, Copy, Default)]
@@ -51,6 +51,16 @@ pub struct OortSelector {
     exploration_fraction: f64,
     /// Aggregate utility observed per round (pacer input).
     round_utilities: Vec<f64>,
+    /// Scratch: (priority, position-in-eligible) pairs, reused across
+    /// rounds so selection allocates nothing at steady state.
+    scored: Vec<(f64, usize)>,
+    /// Scratch: shuffled exploration candidates.
+    rest: Vec<usize>,
+    /// Scratch: (times-selected, position-in-`rest`) exploration keys.
+    explore_keys: Vec<(u64, usize)>,
+    /// Scratch membership mask indexed by client id; all-false between
+    /// calls (cleared by walking the cohort, not the population).
+    mask: Vec<bool>,
 }
 
 impl OortSelector {
@@ -64,6 +74,10 @@ impl OortSelector {
             alpha: 2.0,
             exploration_fraction: 0.2,
             round_utilities: Vec::new(),
+            scored: Vec::new(),
+            rest: Vec::new(),
+            explore_keys: Vec::new(),
+            mask: Vec::new(),
         }
     }
 
@@ -94,6 +108,9 @@ impl OortSelector {
         if self.records.len() < num_clients {
             self.records.resize(num_clients, ClientRecord::default());
         }
+        if self.mask.len() < num_clients {
+            self.mask.resize(num_clients, false);
+        }
     }
 
     /// Priority score of client `c` at `round`.
@@ -116,26 +133,28 @@ impl OortSelector {
         util + staleness
     }
 
-    /// Deduplicate a tentative pick list (order-preserving, across *all*
-    /// elements — `Vec::dedup` only removes adjacent repeats) and then
-    /// bump the per-client counters, so a double-picked id is counted
-    /// once. Counting before deduplication used to inflate `selected`,
-    /// silently depressing the reliability term of [`Self::priority`].
-    fn commit_selection(&mut self, mut picked: Vec<usize>, round: usize) -> Vec<usize> {
-        let mut seen = vec![false; self.records.len()];
+    /// Deduplicate a tentative pick list in place (order-preserving,
+    /// across *all* elements — `Vec::dedup` only removes adjacent
+    /// repeats) and then bump the per-client counters, so a double-picked
+    /// id is counted once. Counting before deduplication used to inflate
+    /// `selected`, silently depressing the reliability term of
+    /// [`Self::priority`]. Uses the reusable membership mask rather than
+    /// allocating an O(population) seen-vector per round.
+    fn commit_selection_into(&mut self, picked: &mut Vec<usize>, round: usize) {
+        let mask = &mut self.mask;
         picked.retain(|&c| {
-            if seen[c] {
+            if mask[c] {
                 false
             } else {
-                seen[c] = true;
+                mask[c] = true;
                 true
             }
         });
-        for &c in &picked {
+        for &c in picked.iter() {
+            self.mask[c] = false;
             self.records[c].selected += 1;
             self.records[c].last_selected_round = round;
         }
-        picked
     }
 }
 
@@ -144,7 +163,14 @@ impl ClientSelector for OortSelector {
         SelectorKind::Oort
     }
 
-    fn select(&mut self, round: usize, eligible: &[usize], target: usize) -> Vec<usize> {
+    fn select_into(
+        &mut self,
+        round: usize,
+        eligible: &[usize],
+        target: usize,
+        cohort: &mut Vec<usize>,
+    ) {
+        cohort.clear();
         let max_id = eligible.iter().copied().max().map_or(0, |m| m + 1);
         self.ensure(max_id);
         let target = target.min(eligible.len());
@@ -152,32 +178,63 @@ impl ClientSelector for OortSelector {
         let explore_n = ((target as f64) * self.exploration_fraction).round() as usize;
         let exploit_n = target - explore_n;
 
-        // Exploitation: top eligible clients by priority. Priorities are
-        // computed once per call into a scratch vector — the comparator
-        // used to call `priority()` twice per comparison, turning the sort
-        // into O(n log n) full priority evaluations.
-        let mut scored: Vec<(f64, usize)> = eligible
-            .iter()
-            .map(|&c| (self.priority(c, round), c))
-            .collect();
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
-        let mut picked: Vec<usize> = scored.into_iter().take(exploit_n).map(|(_, c)| c).collect();
-
-        // Exploration: random among the rest, preferring untried clients.
-        let mut rest: Vec<usize> = eligible
-            .iter()
-            .copied()
-            .filter(|c| !picked.contains(c))
-            .collect();
-        rest.shuffle(&mut rng);
-        rest.sort_by_key(|&c| self.records[c].selected); // untried first
-                                                         // Take untried first but keep some randomness among equals.
-        for c in rest.into_iter().take(explore_n) {
-            picked.push(c);
+        // Exploitation: top-k eligible clients by priority. Priorities are
+        // computed once per call into a reusable scratch vector (the
+        // comparator used to call `priority()` twice per comparison), and
+        // the descending full sort is a top-k select. The comparator is a
+        // strict total order — `total_cmp` on the priority, position in
+        // `eligible` as tiebreak — so duplicated priorities resolve to the
+        // earliest eligible position, exactly what the stable sort this
+        // replaces produced, and a NaN priority (unreachable from
+        // `priority()`) would order deterministically instead of
+        // scrambling the comparison.
+        let mut scored = std::mem::take(&mut self.scored);
+        scored.clear();
+        scored.extend(
+            eligible
+                .iter()
+                .enumerate()
+                .map(|(pos, &c)| (self.priority(c, round), pos)),
+        );
+        top_k_by(&mut scored, exploit_n, |a, b| {
+            b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1))
+        });
+        for &(_, pos) in scored.iter() {
+            let c = eligible[pos];
+            self.mask[c] = true;
+            cohort.push(c);
         }
-        let picked = self.commit_selection(picked, round);
+        self.scored = scored;
+
+        // Exploration: random among the rest, preferring untried clients —
+        // take untried first but keep some randomness among equals. The
+        // (times-selected, position-in-shuffle) key is again a strict
+        // total order reproducing the stable `sort_by_key` it replaces.
+        let mut rest = std::mem::take(&mut self.rest);
+        rest.clear();
+        rest.extend(eligible.iter().copied().filter(|&c| !self.mask[c]));
+        rest.shuffle(&mut rng);
+        let mut keys = std::mem::take(&mut self.explore_keys);
+        keys.clear();
+        keys.extend(
+            rest.iter()
+                .enumerate()
+                .map(|(pos, &c)| (self.records[c].selected, pos)),
+        );
+        top_k_by(&mut keys, explore_n, |a, b| {
+            a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1))
+        });
+        for &(_, pos) in keys.iter() {
+            cohort.push(rest[pos]);
+        }
+        for &c in cohort.iter() {
+            self.mask[c] = false;
+        }
+        self.explore_keys = keys;
+        self.rest = rest;
+
+        self.commit_selection_into(cohort, round);
         let _ = rng.gen::<u64>();
-        picked
     }
 
     fn feedback(&mut self, _round: usize, results: &[SelectionFeedback]) {
@@ -335,7 +392,8 @@ mod tests {
         // repeats), so a double-picked id double-counted `selected`.
         let mut s = OortSelector::new(5, 60.0);
         s.ensure(4);
-        let picked = s.commit_selection(vec![3, 1, 3, 2, 1], 7);
+        let mut picked = vec![3, 1, 3, 2, 1];
+        s.commit_selection_into(&mut picked, 7);
         assert_eq!(picked, vec![3, 1, 2], "order-preserving dedup");
         assert_eq!(
             s.records[3].selected, 1,
@@ -364,6 +422,52 @@ mod tests {
             poison.records[0].stat_utility,
             slow.records[0].stat_utility
         );
+    }
+
+    #[test]
+    fn tied_priorities_break_by_eligible_position() {
+        // Regression for the tie-handling fix: duplicated priorities used
+        // to fall through `partial_cmp(..).unwrap_or(Equal)` inside a
+        // stable sort; the top-k path must keep that exact order — the
+        // earlier position in `eligible` wins the tie.
+        let mut s = OortSelector::new(9, 60.0);
+        let eligible = pool(10);
+        // Round 0 selects the whole pool so everyone has selected == 1,
+        // then identical feedback to four clients gives them identical
+        // (duplicated) positive priorities; the rest tie at the pure
+        // staleness bonus.
+        let _ = s.select(0, &eligible, 10);
+        let fb_dup: Vec<SelectionFeedback> = [2usize, 5, 7, 8]
+            .iter()
+            .map(|&c| feedback(c, true, 30.0, 1.0))
+            .collect();
+        s.feedback(0, &fb_dup);
+        let round = 1;
+        assert_eq!(s.priority(2, round), s.priority(5, round), "ties exist");
+        assert_eq!(s.priority(0, round), s.priority(9, round), "ties exist");
+
+        // Reference: the original stable-sort implementation, evaluated on
+        // the same pre-selection state.
+        let target = 6usize;
+        let explore_n = ((target as f64) * s.exploration_fraction).round() as usize;
+        let exploit_n = target - explore_n;
+        let mut scored: Vec<(f64, usize)> = eligible
+            .iter()
+            .map(|&c| (s.priority(c, round), c))
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut expected: Vec<usize> = scored.into_iter().take(exploit_n).map(|(_, c)| c).collect();
+        let mut rest: Vec<usize> = eligible
+            .iter()
+            .copied()
+            .filter(|c| !expected.contains(c))
+            .collect();
+        rest.shuffle(&mut seed_rng(split_seed(9, round as u64)));
+        rest.sort_by_key(|&c| s.records[c].selected);
+        expected.extend(rest.into_iter().take(explore_n));
+
+        let picked = s.select(round, &eligible, target);
+        assert_eq!(picked, expected);
     }
 
     #[test]

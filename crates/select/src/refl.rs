@@ -14,7 +14,7 @@ use rand::seq::SliceRandom;
 
 use float_tensor::rng::{seed_rng, split_seed};
 
-use crate::selector::{ClientSelector, SelectionFeedback, SelectorKind};
+use crate::selector::{top_k_by, ClientSelector, SelectionFeedback, SelectorKind};
 
 /// How many past rounds of availability history to keep per client.
 const HISTORY: usize = 64;
@@ -49,6 +49,10 @@ pub struct ReflSelector {
     histories: Vec<ClientHistory>,
     /// Round deadline the predicted window must cover.
     deadline_s: f64,
+    /// Scratch: shuffled candidate ids, reused across rounds.
+    ids: Vec<usize>,
+    /// Scratch: (score, position-in-`ids`) pairs, reused across rounds.
+    scored: Vec<(f64, usize)>,
 }
 
 impl ReflSelector {
@@ -58,6 +62,8 @@ impl ReflSelector {
             seed,
             histories: Vec::new(),
             deadline_s,
+            ids: Vec::new(),
+            scored: Vec::new(),
         }
     }
 
@@ -91,23 +97,41 @@ impl ClientSelector for ReflSelector {
         SelectorKind::Refl
     }
 
-    fn select(&mut self, round: usize, eligible: &[usize], target: usize) -> Vec<usize> {
+    fn select_into(
+        &mut self,
+        round: usize,
+        eligible: &[usize],
+        target: usize,
+        cohort: &mut Vec<usize>,
+    ) {
+        cohort.clear();
         let max_id = eligible.iter().copied().max().map_or(0, |m| m + 1);
         self.ensure(max_id);
         let target = target.min(eligible.len());
-        let mut ids: Vec<usize> = eligible.to_vec();
+        let mut ids = std::mem::take(&mut self.ids);
+        ids.clear();
+        ids.extend_from_slice(eligible);
         // Shuffle first so ties break randomly rather than by id.
         ids.shuffle(&mut seed_rng(split_seed(self.seed, round as u64)));
-        ids.sort_by(|&a, &b| {
-            self.score(b)
-                .partial_cmp(&self.score(a))
-                .unwrap_or(std::cmp::Ordering::Equal)
+        // Scores are computed once per client (the sort comparator used to
+        // call `score()` twice per comparison), and the descending full
+        // sort is a top-k select. The comparator is a strict total order —
+        // `total_cmp` on the score, position in the shuffle as tiebreak —
+        // so equal scores keep their shuffled order exactly as the stable
+        // sort this replaces did.
+        let mut scored = std::mem::take(&mut self.scored);
+        scored.clear();
+        scored.extend(ids.iter().enumerate().map(|(pos, &c)| (self.score(c), pos)));
+        top_k_by(&mut scored, target, |a, b| {
+            b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1))
         });
-        let picked: Vec<usize> = ids.into_iter().take(target).collect();
-        for &c in &picked {
+        for &(_, pos) in scored.iter() {
+            let c = ids[pos];
+            cohort.push(c);
             self.histories[c].selected += 1;
         }
-        picked
+        self.scored = scored;
+        self.ids = ids;
     }
 
     fn feedback(&mut self, _round: usize, results: &[SelectionFeedback]) {
@@ -215,6 +239,8 @@ mod tests {
             seed: 0,
             histories: vec![ClientHistory::default()],
             deadline_s: 100.0,
+            ids: Vec::new(),
+            scored: Vec::new(),
         };
         assert!((s.score(0) - 0.5).abs() < 1e-9);
     }

@@ -1,6 +1,31 @@
 //! The common client-selection interface.
 
+use std::cmp::Ordering;
+
 use serde::{Deserialize, Serialize};
+
+/// Reduce `v` to its top `k` elements under `cmp` (the comparator's
+/// `Less`-first order), sorted by `cmp`.
+///
+/// When `cmp` is a *strict total order* — no two elements compare
+/// `Equal`, which selectors guarantee by breaking f64 score ties on the
+/// element's input position — this is bit-for-bit equivalent to
+/// `v.sort_by(cmp); v.truncate(k)` (the position tiebreak reproduces
+/// exactly what the stable sort would have kept), but costs
+/// O(n + k log k) instead of O(n log n): at population scale a round
+/// selects a ~30-client cohort out of hundreds of thousands of eligible
+/// clients, so the full sort dominated selection time.
+pub fn top_k_by<T>(v: &mut Vec<T>, k: usize, mut cmp: impl FnMut(&T, &T) -> Ordering) {
+    if k == 0 {
+        v.clear();
+        return;
+    }
+    if k < v.len() {
+        v.select_nth_unstable_by(k - 1, &mut cmp);
+        v.truncate(k);
+    }
+    v.sort_unstable_by(&mut cmp);
+}
 
 /// Which baseline a selector implements (for experiment labeling).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -71,9 +96,25 @@ pub trait ClientSelector {
     /// the clients currently checked in as available, mirroring the
     /// FedScale/production model where unavailable devices are never
     /// candidates. `target` is the configured per-round cohort size
-    /// (synchronous) or the top-up size (asynchronous). Must return
-    /// distinct ids drawn from `eligible`.
-    fn select(&mut self, round: usize, eligible: &[usize], target: usize) -> Vec<usize>;
+    /// (synchronous) or the top-up size (asynchronous). Must write
+    /// distinct ids drawn from `eligible` into `cohort`, which is cleared
+    /// first — the caller owns the buffer so population-scale loops can
+    /// reuse one allocation across thousands of rounds.
+    fn select_into(
+        &mut self,
+        round: usize,
+        eligible: &[usize],
+        target: usize,
+        cohort: &mut Vec<usize>,
+    );
+
+    /// Allocating convenience wrapper around
+    /// [`ClientSelector::select_into`].
+    fn select(&mut self, round: usize, eligible: &[usize], target: usize) -> Vec<usize> {
+        let mut cohort = Vec::new();
+        self.select_into(round, eligible, target, &mut cohort);
+        cohort
+    }
 
     /// Observe the outcomes of the round's attempts.
     fn feedback(&mut self, round: usize, results: &[SelectionFeedback]);
@@ -96,6 +137,30 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), kinds.len());
+    }
+
+    #[test]
+    fn top_k_matches_stable_sort_prefix() {
+        // Pseudo-random but deterministic scores with many duplicates.
+        let scores: Vec<(f64, usize)> = (0..97usize)
+            .map(|i| (((i * 37 + 11) % 10) as f64, i))
+            .collect();
+        let cmp =
+            |a: &(f64, usize), b: &(f64, usize)| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1));
+        let mut reference = scores.clone();
+        reference.sort_by(cmp);
+        for k in [0usize, 1, 5, 30, 96, 97, 200] {
+            let mut v = scores.clone();
+            top_k_by(&mut v, k, cmp);
+            assert_eq!(v, reference[..k.min(scores.len())], "k = {k}");
+        }
+    }
+
+    #[test]
+    fn top_k_zero_clears() {
+        let mut v = vec![3, 1, 2];
+        top_k_by(&mut v, 0, |a: &i32, b: &i32| a.cmp(b));
+        assert!(v.is_empty());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use float_tensor::rng::{seed_rng, split_seed};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::selector::{ClientSelector, SelectionFeedback, SelectorKind};
+use crate::selector::{top_k_by, ClientSelector, SelectionFeedback, SelectorKind};
 
 /// Number of latency tiers TiFL maintains.
 const NUM_TIERS: usize = 5;
@@ -50,6 +50,10 @@ pub struct TiflSelector {
     /// Remaining selection credits per tier; refilled when exhausted.
     credits: Vec<u64>,
     rounds_seen: usize,
+    /// Scratch: eligible members of the chosen tier, reused across rounds.
+    pool: Vec<usize>,
+    /// Scratch: (tier-distance, position-in-eligible) top-up keys.
+    rest: Vec<(usize, usize)>,
 }
 
 impl TiflSelector {
@@ -60,6 +64,8 @@ impl TiflSelector {
             profiles: Vec::new(),
             credits: vec![INITIAL_CREDITS; NUM_TIERS],
             rounds_seen: 0,
+            pool: Vec::new(),
+            rest: Vec::new(),
         }
     }
 
@@ -141,7 +147,14 @@ impl ClientSelector for TiflSelector {
         SelectorKind::Tifl
     }
 
-    fn select(&mut self, round: usize, eligible: &[usize], target: usize) -> Vec<usize> {
+    fn select_into(
+        &mut self,
+        round: usize,
+        eligible: &[usize],
+        target: usize,
+        cohort: &mut Vec<usize>,
+    ) {
+        cohort.clear();
         let max_id = eligible.iter().copied().max().map_or(0, |m| m + 1);
         self.ensure(max_id);
         self.rounds_seen += 1;
@@ -154,25 +167,45 @@ impl ClientSelector for TiflSelector {
         let mut rng = seed_rng(split_seed(self.seed, round as u64));
         let tier = self.choose_tier(eligible, &mut rng);
         self.credits[tier] = self.credits[tier].saturating_sub(1);
-        let mut pool: Vec<usize> = eligible
-            .iter()
-            .copied()
-            .filter(|&c| self.profiles[c].tier == tier)
-            .collect();
-        pool.shuffle(&mut rng);
-        // Top up from neighbouring tiers if the chosen tier is too small
-        // (TiFL merges adjacent tiers when underpopulated).
-        if pool.len() < target {
-            let mut rest: Vec<usize> = eligible
+        let need = target.min(eligible.len());
+        let mut pool = std::mem::take(&mut self.pool);
+        pool.clear();
+        pool.extend(
+            eligible
                 .iter()
                 .copied()
-                .filter(|&c| self.profiles[c].tier != tier)
-                .collect();
-            rest.sort_by_key(|&c| (self.profiles[c].tier as isize - tier as isize).unsigned_abs());
-            pool.extend(rest);
+                .filter(|&c| self.profiles[c].tier == tier),
+        );
+        pool.shuffle(&mut rng);
+        cohort.extend_from_slice(&pool[..need.min(pool.len())]);
+        self.pool = pool;
+        // Top up from neighbouring tiers if the chosen tier is too small
+        // (TiFL merges adjacent tiers when underpopulated). The full
+        // distance sort is a top-k select keyed on (tier distance,
+        // position in `eligible`) — a strict total order matching exactly
+        // where the stable `sort_by_key` left tied elements.
+        if cohort.len() < need {
+            let want = need - cohort.len();
+            let mut rest = std::mem::take(&mut self.rest);
+            rest.clear();
+            rest.extend(
+                eligible
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| self.profiles[c].tier != tier)
+                    .map(|(pos, &c)| {
+                        let dist = (self.profiles[c].tier as isize - tier as isize).unsigned_abs();
+                        (dist, pos)
+                    }),
+            );
+            top_k_by(&mut rest, want, |a, b| {
+                a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1))
+            });
+            for &(_, pos) in rest.iter() {
+                cohort.push(eligible[pos]);
+            }
+            self.rest = rest;
         }
-        pool.truncate(target.min(eligible.len()));
-        pool
     }
 
     fn feedback(&mut self, _round: usize, results: &[SelectionFeedback]) {

@@ -94,15 +94,20 @@ impl AvailabilityModel {
         (pos as f64) < self.duty * ROUNDS_PER_DAY as f64
     }
 
+    /// Whether the client dodges the short random interruption this round
+    /// (the non-diurnal half of [`AvailabilityModel::available`]). The
+    /// draw is seeded per `(client, round)`, so calling this for any
+    /// subset of rounds in any order yields the same answers.
+    pub fn clear_of_interruption(&self, round: usize) -> bool {
+        let mut rng = seed_rng(split_seed(self.seed, 0xB00 + round as u64));
+        rng.gen::<f64>() >= self.interruption_p
+    }
+
     /// Whether the client is available in `round`, combining the diurnal
     /// cycle with random interruptions. Battery gating is applied by the
     /// caller, which owns the [`BatteryState`].
     pub fn available(&self, round: usize) -> bool {
-        if !self.diurnal_available(round) {
-            return false;
-        }
-        let mut rng = seed_rng(split_seed(self.seed, 0xB00 + round as u64));
-        rng.gen::<f64>() >= self.interruption_p
+        self.diurnal_available(round) && self.clear_of_interruption(round)
     }
 
     /// Duty cycle of this client.
@@ -136,6 +141,20 @@ mod tests {
             "measured {avail} vs duty {}",
             m.duty()
         );
+    }
+
+    #[test]
+    fn available_is_conjunction_of_parts() {
+        for seed in [1u64, 7, 42] {
+            let m = AvailabilityModel::new(seed);
+            for r in 0..500 {
+                assert_eq!(
+                    m.available(r),
+                    m.diurnal_available(r) && m.clear_of_interruption(r),
+                    "seed {seed} round {r}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use float_tensor::rng::split_seed;
 
-use crate::availability::{AvailabilityModel, BatteryState};
+use crate::availability::{AvailabilityModel, BatteryState, ROUNDS_PER_DAY};
 use crate::compute::{DevicePopulation, DeviceProfile};
 use crate::interference::InterferenceModel;
 use crate::network::{Mobility, NetworkGen, NetworkProfile};
@@ -55,6 +55,11 @@ pub struct ResourceSampler {
     clients: Vec<ClientTraces>,
     interference: InterferenceModel,
     seed: u64,
+    /// Lazily built diurnal availability index: one bitset row per position
+    /// in the day (`round % ROUNDS_PER_DAY`), bit `c` set iff client `c` is
+    /// diurnally available at that position. The diurnal models are fixed at
+    /// construction, so the index never invalidates.
+    diurnal_index: Option<Vec<Vec<u64>>>,
 }
 
 impl ResourceSampler {
@@ -90,6 +95,7 @@ impl ResourceSampler {
             clients,
             interference,
             seed,
+            diurnal_index: None,
         }
     }
 
@@ -130,6 +136,57 @@ impl ResourceSampler {
             let rate = c.battery.capacity_j * 0.02;
             c.battery.charge(rate);
         }
+    }
+
+    /// Whether `client` is available at `round`: the availability bit of
+    /// [`ResourceSampler::snapshot`] without sampling network bandwidth or
+    /// interference fractions. Pure in everything but the battery, which the
+    /// simulator mutates between rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range.
+    pub fn is_available(&self, client: usize, round: usize) -> bool {
+        let ct = &self.clients[client];
+        ct.availability.available(round) && ct.battery.allows_training()
+    }
+
+    /// Collect all available clients at `round` into `out` (cleared first),
+    /// in ascending client order — identical to filtering
+    /// `(0..n).filter(|&c| self.snapshot(c, round).available)` but without
+    /// touching the network/interference samplers and with the diurnal
+    /// check amortized across rounds via a precomputed bitset index.
+    pub fn available_clients_into(&mut self, round: usize, out: &mut Vec<usize>) {
+        out.clear();
+        self.ensure_diurnal_index();
+        let row = &self.diurnal_index.as_ref().expect("index built")[round % ROUNDS_PER_DAY];
+        for (w, &word) in row.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let c = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let ct = &self.clients[c];
+                if ct.availability.clear_of_interruption(round) && ct.battery.allows_training() {
+                    out.push(c);
+                }
+            }
+        }
+    }
+
+    fn ensure_diurnal_index(&mut self) {
+        if self.diurnal_index.is_some() {
+            return;
+        }
+        let words = self.clients.len().div_ceil(64);
+        let mut index = vec![vec![0u64; words]; ROUNDS_PER_DAY];
+        for (c, ct) in self.clients.iter().enumerate() {
+            for (pos, row) in index.iter_mut().enumerate() {
+                if ct.availability.diurnal_available(pos) {
+                    row[c / 64] |= 1u64 << (c % 64);
+                }
+            }
+        }
+        self.diurnal_index = Some(index);
     }
 
     /// Snapshot client `client` at `round`.
@@ -209,6 +266,37 @@ mod tests {
             }
         }
         assert!(checked, "no diurnal-available round found");
+    }
+
+    #[test]
+    fn available_clients_into_matches_snapshot_filter() {
+        let mut a = ResourceSampler::new(37, InterferenceModel::paper_dynamic(), 11);
+        let mut b = a.clone();
+        let mut buf = Vec::new();
+        for r in 0..120 {
+            a.available_clients_into(r, &mut buf);
+            let brute: Vec<usize> = (0..b.num_clients())
+                .filter(|&c| b.snapshot(c, r).available)
+                .collect();
+            assert_eq!(buf, brute, "round {r}");
+            // Drain one client to exercise battery gating mid-sequence.
+            if r == 40 {
+                let cap = a.client(3).battery.capacity_j;
+                a.drain_battery(3, cap);
+                b.drain_battery(3, cap);
+            }
+        }
+    }
+
+    #[test]
+    fn is_available_matches_snapshot_bit() {
+        let mut s = ResourceSampler::new(12, InterferenceModel::paper_static(), 4);
+        for r in 0..50 {
+            for c in 0..12 {
+                let fast = s.is_available(c, r);
+                assert_eq!(fast, s.snapshot(c, r).available, "client {c} round {r}");
+            }
+        }
     }
 
     #[test]

@@ -27,6 +27,13 @@ cargo test -q --offline
 step "fault-injection property tests"
 cargo test -q --offline --test fault_injection --test sim_properties
 
+# Event-driven availability: the calendar index vs brute force over
+# arbitrary round orders and battery states, plus the pooled-planner
+# contract (candidate_pool = 0 reproduces pinned pre-pool reports
+# byte-for-byte; pooled runs are thread-count invariant).
+step "availability index + candidate pool tests"
+cargo test -q --offline --test availability_index --test candidate_pool
+
 if [[ "${1:-}" != "quick" ]]; then
   # Short chaos run with a fixed seed, every fault kind active, and
   # telemetry on: asserts reports *and event streams* stay finite and
@@ -62,12 +69,15 @@ if [[ "${1:-}" != "quick" ]]; then
   step "population smoke (10k clients, lazy shards)"
   cargo run --release --offline --example population_smoke
 
-  # Population benchmark in quick mode (10k only): runs the 1-vs-2-thread
-  # determinism probe and parses the emitted JSON back, asserting
-  # positive throughput and the cache bound. Writes to target/ so the
-  # checked-in BENCH_population_scale.json (full 10k/100k/1M run) is not
+  # Population benchmark in quick mode: the 10k sweep rows, a pooled
+  # stand-in row (the 10M preset's candidate_pool=2048 config downsized
+  # to 10k clients, so CI exercises the sampled-planner path), the
+  # 1-vs-2-thread determinism probe, and a parse-back of the emitted
+  # JSON asserting positive throughput, the cache bound, and the
+  # availability-index stats. Writes to target/ so the checked-in
+  # BENCH_population_scale.json (full 10k/100k/1M/10M run) is not
   # clobbered by CI.
-  step "population scale (quick self-check)"
+  step "population scale (quick self-check, incl. pooled stand-in)"
   cargo run --release --offline -p float-bench --bin population_scale -- --quick
 fi
 

@@ -1,11 +1,14 @@
 //! `population_scale` — round throughput and peak memory at population
-//! scale (10k / 100k / 1M clients).
+//! scale (10k / 100k / 1M / 10M clients).
 //!
-//! The claim under test: with lazy shards, indexed eligibility, top-k
-//! selection, and sampled evaluation, per-round cost is O(cohort) and
-//! training-data memory is O(shard-cache), so a million-client population
-//! runs on a laptop. Each row reports rounds/sec plus the process
-//! high-water RSS (`VmHWM`) and the shard cache's peak residency.
+//! The claim under test: with lazy shards, an event-driven availability
+//! index, sampled candidate pools, top-k selection, and sampled
+//! evaluation, per-round cost is O(cohort + diurnal transitions) and
+//! memory is O(index + caches), so a ten-million-client population runs
+//! on a laptop. Each row reports rounds/sec plus the process high-water
+//! RSS (`VmHWM`), the shard cache's peak residency, and the availability
+//! substrate's footprint: index heap bytes, diurnal transitions applied
+//! per round, tracked (non-full) batteries, and trace-cache residency.
 //!
 //! Populations run in ascending order: `VmHWM` is a monotone per-process
 //! high-water mark, so each row's RSS reflects the largest population run
@@ -15,11 +18,13 @@
 //! self-check of the emitted JSON guard the benchmark itself.
 //!
 //! ```text
-//! population_scale [--scales 10k,100k,1m] [--rounds N] [--out PATH] [--quick]
+//! population_scale [--scales 10k,100k,1m,10m] [--rounds N] [--out PATH] [--quick]
 //! ```
 //!
-//! `--quick` is the CI mode: 10k only, output under `target/`, same
-//! self-checks.
+//! `--quick` is the CI mode: the 10k sweep rows plus a pooled stand-in —
+//! the 10M preset's config (candidate_pool 2048) downsized to 10k clients
+//! so CI exercises the pooled planner path without the 10M wall-clock.
+//! Output lands under `target/`, same self-checks.
 
 use std::time::Instant;
 
@@ -44,6 +49,22 @@ struct PopulationRow {
     cache_hits: u64,
     cache_misses: u64,
     cache_evictions: u64,
+    /// Candidate-pool size the run planned with (0 = full sweep).
+    candidate_pool: usize,
+    /// Heap footprint of the availability index (calendars + bitset), MiB.
+    index_heap_mb: f64,
+    /// Mean diurnal on/off transitions applied per index advance — the
+    /// event-driven planner's per-round work, vs O(clients) for a sweep.
+    avail_transitions_per_round: f64,
+    /// Most non-full batteries tracked at once (lazy battery residency).
+    peak_tracked_batteries: usize,
+    /// Client traces resident in the bounded rederivation cache at end.
+    trace_cache_resident: usize,
+    /// Capacity of that cache.
+    trace_cache_capacity: usize,
+    /// Heap held by eagerly materialized sweep models, MiB (0 under
+    /// pooling — the pooled path never builds them).
+    sweep_models_mb: f64,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -76,13 +97,75 @@ fn peak_rss_mb() -> f64 {
     0.0
 }
 
+/// Run one benchmark configuration and collect its row, including the
+/// availability substrate's residency stats.
+fn run_row(cfg: float_core::ExperimentConfig, mode: &str) -> PopulationRow {
+    let rounds = cfg.rounds;
+    let clients = cfg.num_clients;
+    let capacity = cfg.resolved_shard_cache();
+    let pool = cfg.candidate_pool;
+    eprintln!("population_scale: {clients} clients, {mode}, {rounds} rounds (pool {pool}) ...");
+    let exp = Experiment::new(cfg).expect("valid config");
+    let start = Instant::now();
+    let (report, stats, avail) = exp.run_with_population_stats();
+    let seconds = start.elapsed().as_secs_f64();
+    assert!(report.is_finite(), "report carries NaN/Inf at {clients}");
+    assert!(
+        stats.peak_resident <= stats.capacity,
+        "cache exceeded its capacity: {} > {}",
+        stats.peak_resident,
+        stats.capacity
+    );
+    let rps = rounds as f64 / seconds.max(1e-9);
+    let rss = peak_rss_mb();
+    let transitions_per_round = if avail.rounds_advanced > 0 {
+        avail.transitions_applied as f64 / avail.rounds_advanced as f64
+    } else {
+        0.0
+    };
+    let index_heap_mb = avail.index_heap_bytes as f64 / (1024.0 * 1024.0);
+    let sweep_models_mb = avail.sweep_models_bytes as f64 / (1024.0 * 1024.0);
+    eprintln!(
+        "  {seconds:8.3}s  {rps:7.2} rounds/s  rss {rss:7.1} MiB  \
+         cache {}/{} resident (hits {} misses {} evictions {})",
+        stats.peak_resident, stats.capacity, stats.hits, stats.misses, stats.evictions
+    );
+    eprintln!(
+        "  index {index_heap_mb:.1} MiB, {transitions_per_round:.0} transitions/round, \
+         {} tracked batteries peak, traces {}/{}, sweep models {sweep_models_mb:.1} MiB",
+        avail.peak_tracked_batteries, avail.trace_cache_resident, avail.trace_cache_capacity
+    );
+    PopulationRow {
+        clients,
+        mode: mode.to_string(),
+        rounds,
+        seconds,
+        rounds_per_sec: rps,
+        peak_rss_mb: rss,
+        cache_capacity: capacity,
+        cache_peak_resident: stats.peak_resident,
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+        cache_evictions: stats.evictions,
+        candidate_pool: pool,
+        index_heap_mb,
+        avail_transitions_per_round: transitions_per_round,
+        peak_tracked_batteries: avail.peak_tracked_batteries,
+        trace_cache_resident: avail.trace_cache_resident,
+        trace_cache_capacity: avail.trace_cache_capacity,
+        sweep_models_mb,
+    }
+}
+
 fn usage() -> ! {
-    eprintln!("usage: population_scale [--scales 10k,100k,1m] [--rounds N] [--out PATH] [--quick]");
+    eprintln!(
+        "usage: population_scale [--scales 10k,100k,1m,10m] [--rounds N] [--out PATH] [--quick]"
+    );
     std::process::exit(2);
 }
 
 fn main() {
-    let mut scales: Vec<Scale> = vec![Scale::Pop10k, Scale::Pop100k, Scale::Pop1M];
+    let mut scales: Vec<Scale> = vec![Scale::Pop10k, Scale::Pop100k, Scale::Pop1M, Scale::Pop10m];
     let mut rounds_override: Option<usize> = None;
     let mut out = "BENCH_population_scale.json".to_string();
     let mut quick = false;
@@ -108,6 +191,7 @@ fn main() {
         scales = vec![Scale::Pop10k];
         out = "target/BENCH_population_scale.json".to_string();
     }
+    let pooled_standin = quick;
     if scales.is_empty() || scales.iter().any(|s| !s.is_population()) {
         usage();
     }
@@ -147,42 +231,21 @@ fn main() {
                 cfg.rounds = r;
                 cfg.eval_every = r;
             }
-            let rounds = cfg.rounds;
-            let clients = cfg.num_clients;
-            let capacity = cfg.resolved_shard_cache();
-            eprintln!("population_scale: {clients} clients, {mode}, {rounds} rounds ...");
-            let exp = Experiment::new(cfg).expect("valid config");
-            let start = Instant::now();
-            let (report, stats) = exp.run_with_cache_stats();
-            let seconds = start.elapsed().as_secs_f64();
-            assert!(report.is_finite(), "report carries NaN/Inf at {clients}");
-            assert!(
-                stats.peak_resident <= stats.capacity,
-                "cache exceeded its capacity: {} > {}",
-                stats.peak_resident,
-                stats.capacity
-            );
-            let rps = rounds as f64 / seconds.max(1e-9);
-            let rss = peak_rss_mb();
-            eprintln!(
-                "  {seconds:8.3}s  {rps:7.2} rounds/s  rss {rss:7.1} MiB  \
-                 cache {}/{} resident (hits {} misses {} evictions {})",
-                stats.peak_resident, stats.capacity, stats.hits, stats.misses, stats.evictions
-            );
-            rows.push(PopulationRow {
-                clients,
-                mode: mode.to_string(),
-                rounds,
-                seconds,
-                rounds_per_sec: rps,
-                peak_rss_mb: rss,
-                cache_capacity: capacity,
-                cache_peak_resident: stats.peak_resident,
-                cache_hits: stats.hits,
-                cache_misses: stats.misses,
-                cache_evictions: stats.evictions,
-            });
+            rows.push(run_row(cfg, mode));
         }
+    }
+    if pooled_standin {
+        // CI stand-in for the 10M preset: the same pooled-planner config,
+        // downsized to a 10k population so it finishes in CI time. The
+        // pool must shrink with it to satisfy `candidate_pool <=
+        // num_clients`; 2048 of 10k still forces the sampled path.
+        let mut cfg = Scale::Pop10m.config(Task::Femnist, SelectorChoice::FedAvg, AccelMode::Off);
+        cfg.num_clients = 10_000;
+        if let Some(r) = rounds_override {
+            cfg.rounds = r;
+            cfg.eval_every = r;
+        }
+        rows.push(run_row(cfg, "sync-pooled"));
     }
 
     let row_count = rows.len();
@@ -224,6 +287,25 @@ fn main() {
             row.cache_capacity < row.clients,
             "cache as large as the population defeats the point"
         );
+        assert!(
+            row.candidate_pool <= row.clients,
+            "pool larger than the population in emitted report"
+        );
+        assert!(
+            row.index_heap_mb > 0.0 && row.index_heap_mb.is_finite(),
+            "availability index footprint missing from emitted report"
+        );
+        assert!(
+            row.avail_transitions_per_round.is_finite(),
+            "transition rate not finite in emitted report"
+        );
+        if row.candidate_pool > 0 {
+            // Pooling must keep the O(N) sweep-model array unmaterialized.
+            assert_eq!(
+                row.sweep_models_mb, 0.0,
+                "pooled row materialized full-sweep models"
+            );
+        }
     }
     eprintln!("self-check passed: {row_count} rows, throughput positive, caches bounded");
     if !deterministic {

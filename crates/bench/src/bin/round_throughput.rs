@@ -4,7 +4,9 @@
 //! Runs the same experiment at `threads ∈ {1, 2, 4, 8}` (override with
 //! `--threads a,b,c`), reports rounds/sec for each, and asserts the
 //! engine's determinism contract on the side: every run must produce a
-//! bit-identical report. Results land in `BENCH_round_throughput.json`.
+//! bit-identical report. A final profiled run reduces `PhaseSpan` events
+//! into a per-phase (plan / execute / commit) wall-clock breakdown.
+//! Results land in `BENCH_round_throughput.json`.
 //!
 //! ```text
 //! round_throughput [--rounds N] [--clients N] [--cohort N]
@@ -39,6 +41,22 @@ struct TelemetryOverhead {
 }
 
 #[derive(Serialize)]
+struct PhaseBreakdown {
+    /// Total wall-clock spent in the sequential plan phase (selection,
+    /// RNG draws, availability), milliseconds, summed over all rounds.
+    plan_ms: f64,
+    /// Total wall-clock in the parallel execute phase, milliseconds.
+    execute_ms: f64,
+    /// Total wall-clock in the sequential commit phase, milliseconds.
+    commit_ms: f64,
+    /// `PhaseSpan` events the breakdown was reduced from.
+    spans: u64,
+    /// Share of measured phase time spent outside the parallel execute
+    /// phase — the sequential fraction that bounds thread scaling.
+    sequential_fraction: f64,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     benchmark: String,
     selector: String,
@@ -50,6 +68,10 @@ struct BenchReport {
     deterministic_across_thread_counts: bool,
     results: Vec<ThreadResult>,
     telemetry: TelemetryOverhead,
+    /// Per-phase wall-clock from a profiled single-thread run (wall
+    /// timers on). Wall payloads are non-deterministic by nature; the
+    /// breakdown is reported for attribution, not for byte-stability.
+    phases: PhaseBreakdown,
 }
 
 fn usage() -> ! {
@@ -173,6 +195,49 @@ fn main() {
         }
     };
 
+    // Per-phase attribution: one profiled run (wall timers on) reduced
+    // over its PhaseSpan events. Single-threaded so the execute spans
+    // measure the work itself rather than fork-join scheduling.
+    let phases = {
+        let mut c = cfg;
+        c.num_threads = 1;
+        c.obs = float_obs::ObsConfig::profiled();
+        let exp = Experiment::new(c).expect("valid config");
+        let (_, tel) = exp.run_traced();
+        let mut us = [0u64; 3];
+        let mut spans = 0u64;
+        for event in &tel.events {
+            if let float_obs::Event::PhaseSpan { phase, wall_us, .. } = event {
+                spans += 1;
+                us[match phase {
+                    float_obs::Phase::Plan => 0,
+                    float_obs::Phase::Execute => 1,
+                    float_obs::Phase::Commit => 2,
+                }] += wall_us;
+            }
+        }
+        let total_us = us.iter().sum::<u64>();
+        let sequential_fraction = if total_us > 0 {
+            (us[0] + us[2]) as f64 / total_us as f64
+        } else {
+            0.0
+        };
+        eprintln!(
+            "  phases: plan {:.1} ms, execute {:.1} ms, commit {:.1} ms \
+             ({spans} spans, sequential fraction {sequential_fraction:.2})",
+            us[0] as f64 / 1e3,
+            us[1] as f64 / 1e3,
+            us[2] as f64 / 1e3,
+        );
+        PhaseBreakdown {
+            plan_ms: us[0] as f64 / 1e3,
+            execute_ms: us[1] as f64 / 1e3,
+            commit_ms: us[2] as f64 / 1e3,
+            spans,
+            sequential_fraction,
+        }
+    };
+
     let report = BenchReport {
         benchmark: "round_throughput".to_string(),
         selector: "fedavg".to_string(),
@@ -184,6 +249,7 @@ fn main() {
         deterministic_across_thread_counts: deterministic,
         results,
         telemetry,
+        phases,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, format!("{json}\n")).expect("write benchmark output");

@@ -92,7 +92,7 @@ pub fn run(scale: Scale) -> Fig4 {
         Scale::Medium => (100, 150),
         // Fig. 4 characterizes resource heterogeneity, not population
         // scale — the population presets reuse the paper-scale sampling.
-        Scale::Paper | Scale::Pop10k | Scale::Pop100k | Scale::Pop1M => (200, 300),
+        Scale::Paper | Scale::Pop10k | Scale::Pop100k | Scale::Pop1M | Scale::Pop10m => (200, 300),
     };
     let scenarios = [
         InterferenceModel::None,

@@ -24,6 +24,12 @@ pub enum Scale {
     /// Population-scale: 1 000 000 clients — the FedScale-trace order of
     /// magnitude the paper targets. Per-round cost stays O(cohort).
     Pop1M,
+    /// Population-scale: 10 000 000 clients. At this size even an O(N)
+    /// availability sweep per round dominates, so this preset turns on
+    /// sampled candidate pools (`candidate_pool = 2048`): the planner
+    /// draws a deterministic 2048-client sample from the event-driven
+    /// availability index instead of walking the population.
+    Pop10m,
 }
 
 impl Scale {
@@ -36,6 +42,7 @@ impl Scale {
             "10k" => Some(Scale::Pop10k),
             "100k" => Some(Scale::Pop100k),
             "1m" => Some(Scale::Pop1M),
+            "10m" => Some(Scale::Pop10m),
             _ => None,
         }
     }
@@ -49,13 +56,28 @@ impl Scale {
             Scale::Pop10k => 10_000,
             Scale::Pop100k => 100_000,
             Scale::Pop1M => 1_000_000,
+            Scale::Pop10m => 10_000_000,
         }
     }
 
     /// Whether this is one of the population-scale presets (bounded-memory
     /// lazy shards, sampled evaluation) rather than a full-report scale.
     pub fn is_population(self) -> bool {
-        matches!(self, Scale::Pop10k | Scale::Pop100k | Scale::Pop1M)
+        matches!(
+            self,
+            Scale::Pop10k | Scale::Pop100k | Scale::Pop1M | Scale::Pop10m
+        )
+    }
+
+    /// Candidate-pool size this preset runs with (0 = full availability
+    /// sweep). Only the 10M preset pools: the smaller population scales
+    /// deliberately keep the exact sweep so the two planner paths are both
+    /// exercised — and compared — by the same benchmark.
+    pub fn candidate_pool(self) -> usize {
+        match self {
+            Scale::Pop10m => 2_048,
+            _ => 0,
+        }
     }
 
     /// Build the baseline configuration for a `(task, selector, accel)`
@@ -86,7 +108,7 @@ impl Scale {
                 c.eval_every = 10;
             }
             Scale::Paper => {}
-            Scale::Pop10k | Scale::Pop100k | Scale::Pop1M => {
+            Scale::Pop10k | Scale::Pop100k | Scale::Pop1M | Scale::Pop10m => {
                 // Population scales keep the *per-round* working set at
                 // Quick size — the point is a huge eligible pool, not a
                 // huge cohort. Evaluation is sampled (256 clients, fixed
@@ -101,6 +123,7 @@ impl Scale {
                 c.batch_size = 16;
                 c.eval_sample = 256;
                 c.eval_every = self.rounds();
+                c.candidate_pool = self.candidate_pool();
             }
         }
         c
@@ -112,7 +135,7 @@ impl Scale {
             Scale::Quick => 40,
             Scale::Medium => 120,
             Scale::Paper => 300,
-            Scale::Pop10k | Scale::Pop100k | Scale::Pop1M => 10,
+            Scale::Pop10k | Scale::Pop100k | Scale::Pop1M | Scale::Pop10m => 10,
         }
     }
 }
@@ -128,6 +151,7 @@ mod tests {
         assert_eq!(Scale::parse("10k"), Some(Scale::Pop10k));
         assert_eq!(Scale::parse("100k"), Some(Scale::Pop100k));
         assert_eq!(Scale::parse("1m"), Some(Scale::Pop1M));
+        assert_eq!(Scale::parse("10m"), Some(Scale::Pop10m));
         assert_eq!(Scale::parse("bogus"), None);
     }
 
@@ -140,6 +164,7 @@ mod tests {
             Scale::Pop10k,
             Scale::Pop100k,
             Scale::Pop1M,
+            Scale::Pop10m,
         ] {
             for sel in SelectorChoice::ALL {
                 let c = scale.config(Task::Femnist, sel, AccelMode::Rlhf);
@@ -150,7 +175,7 @@ mod tests {
 
     #[test]
     fn population_presets_keep_per_round_working_set_small() {
-        for scale in [Scale::Pop10k, Scale::Pop100k, Scale::Pop1M] {
+        for scale in [Scale::Pop10k, Scale::Pop100k, Scale::Pop1M, Scale::Pop10m] {
             let c = scale.config(Task::Femnist, SelectorChoice::FedAvg, AccelMode::Off);
             assert!(scale.is_population());
             assert_eq!(c.num_clients, scale.num_clients());
@@ -164,6 +189,20 @@ mod tests {
             assert!(c.resolved_shard_cache() >= c.cohort_size);
         }
         assert!(!Scale::Paper.is_population());
+    }
+
+    #[test]
+    fn only_the_10m_preset_pools() {
+        for scale in [Scale::Pop10k, Scale::Pop100k, Scale::Pop1M] {
+            let c = scale.config(Task::Femnist, SelectorChoice::FedAvg, AccelMode::Off);
+            assert_eq!(c.candidate_pool, 0, "{scale:?} must keep the full sweep");
+        }
+        let c = Scale::Pop10m.config(Task::Femnist, SelectorChoice::FedBuff, AccelMode::Off);
+        assert_eq!(c.candidate_pool, 2_048);
+        // The pool must clear the validation floors for both engines.
+        assert!(c.candidate_pool >= c.cohort_size);
+        assert!(c.candidate_pool >= c.async_concurrency);
+        assert!(c.candidate_pool <= c.num_clients);
     }
 
     #[test]

@@ -180,6 +180,17 @@ pub struct ExperimentConfig {
     /// resident.
     #[serde(default)]
     pub shard_cache: usize,
+    /// Size of the sampled candidate pool handed to the selector each
+    /// round (`0` ⇒ full availability sweep, the historical behaviour —
+    /// bit-identical to pre-pool reports). When positive, the plan phase
+    /// draws a deterministic uniform sample of this many candidates from
+    /// the diurnally-available set (seed stream 8, keyed by round) and
+    /// only they are interruption/battery-filtered and scored, making
+    /// per-round cost O(pool), independent of the population. See
+    /// `DESIGN.md` §Event-driven availability for the determinism
+    /// contract and `RoundRecord::eligible` for telemetry semantics.
+    #[serde(default)]
+    pub candidate_pool: usize,
 }
 
 impl ExperimentConfig {
@@ -223,6 +234,7 @@ impl ExperimentConfig {
             obs: ObsConfig::off(),
             eval_sample: 0,
             shard_cache: 0,
+            candidate_pool: 0,
         }
     }
 
@@ -256,6 +268,7 @@ impl ExperimentConfig {
             obs: ObsConfig::off(),
             eval_sample: 0,
             shard_cache: 0,
+            candidate_pool: 0,
         }
     }
 
@@ -373,6 +386,28 @@ impl ExperimentConfig {
                 self.shard_cache, self.cohort_size
             ));
         }
+        if self.candidate_pool != 0 {
+            if self.candidate_pool < self.cohort_size {
+                return Err(format!(
+                    "candidate_pool {} must be 0 (full sweep) or at least cohort_size {} so a full cohort can be drawn",
+                    self.candidate_pool, self.cohort_size
+                ));
+            }
+            if self.candidate_pool > self.num_clients {
+                return Err(format!(
+                    "candidate_pool {} must not exceed num_clients {}",
+                    self.candidate_pool, self.num_clients
+                ));
+            }
+            if self.selector == SelectorChoice::FedBuff
+                && self.candidate_pool < self.async_concurrency
+            {
+                return Err(format!(
+                    "candidate_pool {} must be at least async_concurrency {} for the FedBuff selector",
+                    self.candidate_pool, self.async_concurrency
+                ));
+            }
+        }
         self.fault_plan.validate()?;
         self.obs.validate()?;
         Ok(())
@@ -433,6 +468,19 @@ mod tests {
         let mut c = base;
         c.obs = ObsConfig::profiled();
         c.validate().expect("profiled telemetry must validate");
+        let mut c = base;
+        c.candidate_pool = c.cohort_size - 1;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.candidate_pool = c.num_clients + 1;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.selector = SelectorChoice::FedBuff;
+        c.candidate_pool = c.async_concurrency - 1;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.candidate_pool = c.cohort_size;
+        c.validate().expect("pool = cohort must validate");
     }
 
     #[test]
@@ -466,6 +514,15 @@ mod tests {
         c.shard_cache = 3; // cohort_size is 10
         let err = c.validate().expect_err("bad shard_cache");
         assert!(err.contains("3") && err.contains("10"), "message: {err}");
+        let mut c = base;
+        c.candidate_pool = 7; // cohort_size is 10
+        let err = c.validate().expect_err("bad candidate_pool");
+        assert!(err.contains("7") && err.contains("10"), "message: {err}");
+        let mut c = base;
+        c.selector = SelectorChoice::FedBuff;
+        c.candidate_pool = 12; // async_concurrency is 20
+        let err = c.validate().expect_err("pool below concurrency");
+        assert!(err.contains("12") && err.contains("20"), "message: {err}");
     }
 
     #[test]

@@ -105,6 +105,14 @@ pub struct RoundRecord {
     /// Mean RLHF reward over the round's feedback events (None when the
     /// agent is off).
     pub mean_reward: Option<f64>,
+    /// Exact number of eligible clients this round (diurnally available ∩
+    /// battery-admitted), maintained incrementally by the availability
+    /// index. Only populated under candidate pooling
+    /// (`ExperimentConfig::candidate_pool > 0`) — it is the truthful
+    /// population-wide count, *never* the pool size. `None` on full-sweep
+    /// runs, whose round logs stay byte-identical to pre-pool reports.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub eligible: Option<usize>,
 }
 
 /// Full result of one experiment run.
@@ -331,6 +339,7 @@ mod tests {
                     clock_s: 100.0,
                     mean_accuracy: Some(0.4),
                     mean_reward: None,
+                    eligible: None,
                 },
                 RoundRecord {
                     round: 1,
@@ -341,6 +350,7 @@ mod tests {
                     clock_s: 200.0,
                     mean_accuracy: None,
                     mean_reward: Some(0.7),
+                    eligible: Some(5),
                 },
             ],
         };

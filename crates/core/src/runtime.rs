@@ -3,7 +3,7 @@
 //! deterministic run (Algorithm 1 of the paper plus the surrounding FL
 //! loop).
 
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
 use rand::seq::SliceRandom;
@@ -25,7 +25,7 @@ use float_sim::{
 };
 use float_tensor::rng::{seed_rng, split_seed};
 use float_tensor::{Dataset, Mlp, MlpConfig, Sgd};
-use float_traces::{DeviceProfile, ResourceSampler, ResourceSnapshot};
+use float_traces::{AvailabilityStats, DeviceProfile, ResourceSampler, ResourceSnapshot};
 
 use crate::aggregate::{aggregate, dedup_updates, PendingUpdate};
 use crate::config::{AccelMode, ExperimentConfig, SelectorChoice};
@@ -55,11 +55,15 @@ pub struct Experiment {
     /// deadline overrun — the "deadline difference" human-feedback signal
     /// (Table 1). Tracking the vanilla estimate rather than the last
     /// accelerated outcome keeps the signal stable: a chronically slow
-    /// client that acceleration rescued still reads as slow.
-    hf_overrun_ema: Vec<f64>,
+    /// client that acceleration rescued still reads as slow. Sparse
+    /// (absent ⇒ 0.0, the historical initial value): only ever-planned
+    /// clients carry state, so memory is O(participants), not
+    /// O(population).
+    hf_overrun_ema: HashMap<usize, f64>,
     /// Per-client residual memory for error-feedback compression
     /// (engaged when the extended catalogue's top-k action is chosen).
-    error_feedback: Vec<ErrorFeedback>,
+    /// Sparse like `hf_overrun_ema` (absent ⇒ a fresh empty residual).
+    error_feedback: HashMap<usize, ErrorFeedback>,
     /// Prune-protected parameter mask of the proxy model (biases +
     /// classifier layer), computed once.
     protected: Vec<bool>,
@@ -85,6 +89,11 @@ pub struct Experiment {
     /// Drawn once from its own seed stream and kept in ascending order, so
     /// `eval_sample == num_clients` is bit-identical to full eval.
     eval_set: Vec<usize>,
+    /// Exact eligible count of the current round under candidate pooling
+    /// (`None` on full-sweep runs, where `eligible_buf.len()` already *is*
+    /// the exact count). Feeds `Event::RoundStart` and
+    /// `RoundRecord::eligible` — never the pool size.
+    record_eligible: Option<usize>,
 }
 
 /// The frozen inputs of one client attempt, produced by the sequential
@@ -200,8 +209,15 @@ impl Experiment {
             ShardSpec::new(config.federated_config(), split_seed(seed, 1)),
             config.resolved_shard_cache(),
         );
-        let sampler =
+        let mut sampler =
             ResourceSampler::new(config.num_clients, config.interference, split_seed(seed, 2));
+        if config.candidate_pool == 0 {
+            // Full-sweep runs touch every client's availability model each
+            // round; materialize them now so the cost lands at build time,
+            // not inside the first round. Pooled runs skip this entirely
+            // (it is the only remaining O(population) allocation).
+            sampler.prewarm_full_sweep();
+        }
         let selector: Box<dyn ClientSelector + Send + Sync> = match config.selector {
             SelectorChoice::FedAvg => Box::new(FedAvgSelector::new(split_seed(seed, 3))),
             SelectorChoice::Oort => Box::new(OortSelector::new(
@@ -292,8 +308,8 @@ impl Experiment {
             agent,
             heuristic,
             global_model,
-            hf_overrun_ema: vec![0.0; config.num_clients],
-            error_feedback: vec![ErrorFeedback::new(); config.num_clients],
+            hf_overrun_ema: HashMap::new(),
+            error_feedback: HashMap::new(),
             protected,
             clock: SimClock::new(),
             ledger: ResourceLedger::new(),
@@ -303,6 +319,7 @@ impl Experiment {
             eligible_buf: Vec::new(),
             cohort_buf: Vec::new(),
             eval_set,
+            record_eligible: None,
         })
     }
 
@@ -390,6 +407,19 @@ impl Experiment {
         (self.finalize(), stats)
     }
 
+    /// Run to completion and also return the shard-cache counters plus the
+    /// availability-index residency stats (heap bytes, transitions applied,
+    /// tracked batteries, pool draws), so population-scale harnesses can
+    /// attribute both memory and per-round work.
+    pub fn run_with_population_stats(
+        mut self,
+    ) -> (ExperimentReport, ShardCacheStats, AvailabilityStats) {
+        self.run_engine();
+        let cache = self.data.stats();
+        let avail = self.sampler.availability_stats();
+        (self.finalize(), cache, avail)
+    }
+
     /// Run to completion and also return the recorded telemetry (the full
     /// event stream plus the summary, for JSONL export and digests).
     /// Requires the config to enable observability — with telemetry off
@@ -444,16 +474,33 @@ impl Experiment {
         )
     }
 
-    /// Refresh `eligible_buf` with the clients checked in as available at
-    /// the start of `round`, ascending. Mirrors the FedScale/production
-    /// model: devices that are off, interrupted, or below the battery
-    /// threshold never become selection candidates, so dropouts are
-    /// resource-driven (deadline, memory, mid-round failures) rather than
-    /// trivial no-shows. Delegates to the sampler's indexed availability
-    /// fast path — no full-population snapshots, no per-round allocation.
+    /// Refresh `eligible_buf` with the selection candidates for `round`,
+    /// ascending. Mirrors the FedScale/production model: devices that are
+    /// off, interrupted, or below the battery threshold never become
+    /// selection candidates, so dropouts are resource-driven (deadline,
+    /// memory, mid-round failures) rather than trivial no-shows.
+    ///
+    /// With `candidate_pool == 0` this is the full availability sweep
+    /// (bit-identical to the historical behaviour). Otherwise the sampler
+    /// draws a deterministic pool of at most `candidate_pool` candidates
+    /// from its event-driven index — per-round cost O(transitions + pool),
+    /// independent of population — and `record_eligible` captures the
+    /// *exact* population-wide eligible count for telemetry. The pool's
+    /// seed stream (8) is keyed by round only, so it is identical across
+    /// thread counts and unaffected by any other consumer of randomness.
     fn refresh_eligible(&mut self, round: usize) {
-        self.sampler
-            .available_clients_into(round, &mut self.eligible_buf);
+        let k = self.config.candidate_pool;
+        if k == 0 {
+            self.sampler
+                .available_clients_into(round, &mut self.eligible_buf);
+            self.record_eligible = None;
+        } else {
+            let draw_seed = split_seed(split_seed(self.config.seed, 8), round as u64);
+            let exact =
+                self.sampler
+                    .candidate_pool_into(round, k, draw_seed, &mut self.eligible_buf);
+            self.record_eligible = Some(exact);
+        }
     }
 
     /// Decide the acceleration action for a client given its snapshot.
@@ -493,7 +540,9 @@ impl Experiment {
                     snap.mem_fraction,
                     snap.net_fraction,
                 );
-                let hf = DeadlineLevel::from_overrun(self.hf_overrun_ema[client]);
+                let hf = DeadlineLevel::from_overrun(
+                    self.hf_overrun_ema.get(&client).copied().unwrap_or(0.0),
+                );
                 let agent = self.agent.as_mut().expect("RL modes imply an agent");
                 // The traced call IS the decision path (`choose_action`
                 // delegates to it), so the RNG stream is identical whether
@@ -552,7 +601,8 @@ impl Experiment {
         let vanilla_overrun = ((estimate_round_time_s(&snap, &base_cost) - self.config.deadline_s)
             / self.config.deadline_s)
             .max(0.0);
-        self.hf_overrun_ema[client] = 0.7 * self.hf_overrun_ema[client] + 0.3 * vanilla_overrun;
+        let ema = self.hf_overrun_ema.entry(client).or_insert(0.0);
+        *ema = 0.7 * *ema + 0.3 * vanilla_overrun;
         let action = self.choose_action(client, &snap, round);
         AttemptTask {
             client,
@@ -572,7 +622,9 @@ impl Experiment {
                 snap.mem_fraction,
                 snap.net_fraction,
             ),
-            hf: DeadlineLevel::from_overrun(self.hf_overrun_ema[client]),
+            hf: DeadlineLevel::from_overrun(
+                self.hf_overrun_ema.get(&client).copied().unwrap_or(0.0),
+            ),
         }
     }
 
@@ -690,7 +742,11 @@ impl Experiment {
             // untransmitted mass is not lost (see float_accel::feedback).
             // Work on a copy of the residual state; the commit phase writes
             // it back in client order.
-            let mut ef = self.error_feedback[task.client].clone();
+            let mut ef = self
+                .error_feedback
+                .get(&task.client)
+                .cloned()
+                .unwrap_or_else(ErrorFeedback::new);
             let d = ef.compress(&scratch.delta, 0.10);
             (d, Some(ef))
         } else {
@@ -780,7 +836,7 @@ impl Experiment {
         self.sampler
             .drain_battery(task.client, exec.outcome.energy_j);
         if let Some(ef) = exec.error_feedback {
-            self.error_feedback[task.client] = ef;
+            self.error_feedback.insert(task.client, ef);
         }
         let completed = exec.outcome.completed();
         let reward = self.agent.as_mut().map(|agent| {
@@ -972,7 +1028,7 @@ impl Experiment {
             self.obs.record(Event::RoundStart {
                 round: round as u64,
                 sim_s: self.clock.now_s(),
-                eligible: self.eligible_buf.len() as u64,
+                eligible: self.record_eligible.unwrap_or(self.eligible_buf.len()) as u64,
                 selected: cohort.len() as u64,
             });
             let mut global = self.global_model.params();
@@ -1089,7 +1145,7 @@ impl Experiment {
                     self.obs.record(Event::RoundStart {
                         round: agg_round as u64,
                         sim_s: self.clock.now_s(),
-                        eligible: self.eligible_buf.len() as u64,
+                        eligible: self.record_eligible.unwrap_or(self.eligible_buf.len()) as u64,
                         selected: launched.len() as u64,
                     });
                 }
@@ -1251,6 +1307,7 @@ impl Experiment {
             clock_s: self.clock.now_s(),
             mean_accuracy,
             mean_reward,
+            eligible: self.record_eligible,
         });
     }
 

@@ -9,6 +9,8 @@
 //! reproduce — is that this preference for efficient clients biases
 //! selection when resource conditions fluctuate.
 
+use std::collections::{HashMap, HashSet};
+
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -39,7 +41,12 @@ const PACER_WINDOW: usize = 10;
 #[derive(Debug, Clone)]
 pub struct OortSelector {
     seed: u64,
-    records: Vec<ClientRecord>,
+    /// Per-client statistics, keyed sparsely by client id: only clients
+    /// that have actually been selected or fed back carry an entry, so
+    /// state is O(touched clients), not O(population). An absent entry is
+    /// exactly a `ClientRecord::default()` — which is what the dense
+    /// resize-with-default this replaces produced for untouched ids.
+    records: HashMap<usize, ClientRecord>,
     /// Preferred round duration `T`; slower clients are penalized by
     /// `(T / t)^alpha`.
     preferred_duration_s: f64,
@@ -58,9 +65,9 @@ pub struct OortSelector {
     rest: Vec<usize>,
     /// Scratch: (times-selected, position-in-`rest`) exploration keys.
     explore_keys: Vec<(u64, usize)>,
-    /// Scratch membership mask indexed by client id; all-false between
-    /// calls (cleared by walking the cohort, not the population).
-    mask: Vec<bool>,
+    /// Scratch membership set over client ids; empty between calls
+    /// (cleared by walking the cohort, not the population).
+    mask: HashSet<usize>,
 }
 
 impl OortSelector {
@@ -68,7 +75,7 @@ impl OortSelector {
     pub fn new(seed: u64, preferred_duration_s: f64) -> Self {
         OortSelector {
             seed,
-            records: Vec::new(),
+            records: HashMap::new(),
             preferred_duration_s,
             pacer_step_s: preferred_duration_s * 0.25,
             alpha: 2.0,
@@ -77,7 +84,7 @@ impl OortSelector {
             scored: Vec::new(),
             rest: Vec::new(),
             explore_keys: Vec::new(),
-            mask: Vec::new(),
+            mask: HashSet::new(),
         }
     }
 
@@ -104,18 +111,9 @@ impl OortSelector {
         }
     }
 
-    fn ensure(&mut self, num_clients: usize) {
-        if self.records.len() < num_clients {
-            self.records.resize(num_clients, ClientRecord::default());
-        }
-        if self.mask.len() < num_clients {
-            self.mask.resize(num_clients, false);
-        }
-    }
-
     /// Priority score of client `c` at `round`.
     fn priority(&self, c: usize, round: usize) -> f64 {
-        let r = &self.records[c];
+        let r = self.records.get(&c).copied().unwrap_or_default();
         if r.selected == 0 {
             return 0.0; // untried clients go through the exploration pool
         }
@@ -138,22 +136,16 @@ impl OortSelector {
     /// repeats) and then bump the per-client counters, so a double-picked
     /// id is counted once. Counting before deduplication used to inflate
     /// `selected`, silently depressing the reliability term of
-    /// [`Self::priority`]. Uses the reusable membership mask rather than
+    /// [`Self::priority`]. Uses the reusable membership set rather than
     /// allocating an O(population) seen-vector per round.
     fn commit_selection_into(&mut self, picked: &mut Vec<usize>, round: usize) {
         let mask = &mut self.mask;
-        picked.retain(|&c| {
-            if mask[c] {
-                false
-            } else {
-                mask[c] = true;
-                true
-            }
-        });
+        picked.retain(|&c| mask.insert(c));
         for &c in picked.iter() {
-            self.mask[c] = false;
-            self.records[c].selected += 1;
-            self.records[c].last_selected_round = round;
+            self.mask.remove(&c);
+            let r = self.records.entry(c).or_default();
+            r.selected += 1;
+            r.last_selected_round = round;
         }
     }
 }
@@ -171,8 +163,6 @@ impl ClientSelector for OortSelector {
         cohort: &mut Vec<usize>,
     ) {
         cohort.clear();
-        let max_id = eligible.iter().copied().max().map_or(0, |m| m + 1);
-        self.ensure(max_id);
         let target = target.min(eligible.len());
         let mut rng = seed_rng(split_seed(self.seed, round as u64));
         let explore_n = ((target as f64) * self.exploration_fraction).round() as usize;
@@ -201,7 +191,7 @@ impl ClientSelector for OortSelector {
         });
         for &(_, pos) in scored.iter() {
             let c = eligible[pos];
-            self.mask[c] = true;
+            self.mask.insert(c);
             cohort.push(c);
         }
         self.scored = scored;
@@ -212,14 +202,14 @@ impl ClientSelector for OortSelector {
         // total order reproducing the stable `sort_by_key` it replaces.
         let mut rest = std::mem::take(&mut self.rest);
         rest.clear();
-        rest.extend(eligible.iter().copied().filter(|&c| !self.mask[c]));
+        rest.extend(eligible.iter().copied().filter(|c| !self.mask.contains(c)));
         rest.shuffle(&mut rng);
         let mut keys = std::mem::take(&mut self.explore_keys);
         keys.clear();
         keys.extend(
             rest.iter()
                 .enumerate()
-                .map(|(pos, &c)| (self.records[c].selected, pos)),
+                .map(|(pos, &c)| (self.records.get(&c).map_or(0, |r| r.selected), pos)),
         );
         top_k_by(&mut keys, explore_n, |a, b| {
             a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1))
@@ -227,8 +217,8 @@ impl ClientSelector for OortSelector {
         for &(_, pos) in keys.iter() {
             cohort.push(rest[pos]);
         }
-        for &c in cohort.iter() {
-            self.mask[c] = false;
+        for c in cohort.iter() {
+            self.mask.remove(c);
         }
         self.explore_keys = keys;
         self.rest = rest;
@@ -238,12 +228,9 @@ impl ClientSelector for OortSelector {
     }
 
     fn feedback(&mut self, _round: usize, results: &[SelectionFeedback]) {
-        if let Some(max_id) = results.iter().map(|f| f.client).max() {
-            self.ensure(max_id + 1);
-        }
         let mut round_utility = 0.0;
         for f in results {
-            let r = &mut self.records[f.client];
+            let r = self.records.entry(f.client).or_default();
             if f.completed {
                 r.completed += 1;
                 r.stat_utility = 0.7 * r.stat_utility + 0.3 * f.utility;
@@ -391,17 +378,16 @@ mod tests {
         // dedup (which, being Vec::dedup, also missed non-adjacent
         // repeats), so a double-picked id double-counted `selected`.
         let mut s = OortSelector::new(5, 60.0);
-        s.ensure(4);
         let mut picked = vec![3, 1, 3, 2, 1];
         s.commit_selection_into(&mut picked, 7);
         assert_eq!(picked, vec![3, 1, 2], "order-preserving dedup");
         assert_eq!(
-            s.records[3].selected, 1,
+            s.records[&3].selected, 1,
             "non-adjacent duplicate counted once"
         );
-        assert_eq!(s.records[1].selected, 1);
-        assert_eq!(s.records[2].selected, 1);
-        assert_eq!(s.records[3].last_selected_round, 7);
+        assert_eq!(s.records[&1].selected, 1);
+        assert_eq!(s.records[&2].selected, 1);
+        assert_eq!(s.records[&3].last_selected_round, 7);
     }
 
     #[test]
@@ -417,10 +403,10 @@ mod tests {
         q.quarantined = true;
         poison.feedback(1, &[q]);
         assert!(
-            poison.records[0].stat_utility < slow.records[0].stat_utility,
+            poison.records[&0].stat_utility < slow.records[&0].stat_utility,
             "quarantine decay {} !< dropout decay {}",
-            poison.records[0].stat_utility,
-            slow.records[0].stat_utility
+            poison.records[&0].stat_utility,
+            slow.records[&0].stat_utility
         );
     }
 
@@ -463,7 +449,7 @@ mod tests {
             .filter(|c| !expected.contains(c))
             .collect();
         rest.shuffle(&mut seed_rng(split_seed(9, round as u64)));
-        rest.sort_by_key(|&c| s.records[c].selected);
+        rest.sort_by_key(|&c| s.records.get(&c).map_or(0, |r| r.selected));
         expected.extend(rest.into_iter().take(explore_n));
 
         let picked = s.select(round, &eligible, target);

@@ -10,6 +10,8 @@
 //! hard toward historically fast clients (Fig. 2a shows REFL excluding
 //! ~50 % of clients).
 
+use std::collections::HashMap;
+
 use rand::seq::SliceRandom;
 
 use float_tensor::rng::{seed_rng, split_seed};
@@ -46,7 +48,17 @@ impl ClientHistory {
 #[derive(Debug, Clone)]
 pub struct ReflSelector {
     seed: u64,
-    histories: Vec<ClientHistory>,
+    /// Per-client history, keyed sparsely by client id so state stays
+    /// O(touched clients) under candidate pooling at population scale. An
+    /// absent entry scores exactly like `ClientHistory::default()` (the
+    /// 0.5 uninformative prior), matching the dense resize-with-default
+    /// this replaces.
+    histories: HashMap<usize, ClientHistory>,
+    /// One past the highest client id any `select_into` eligible slice has
+    /// covered. The dense implementation silently dropped feedback for
+    /// clients beyond its vector (`f.client >= histories.len()`); this
+    /// watermark reproduces that guard exactly.
+    ensured: usize,
     /// Round deadline the predicted window must cover.
     deadline_s: f64,
     /// Scratch: shuffled candidate ids, reused across rounds.
@@ -60,7 +72,8 @@ impl ReflSelector {
     pub fn new(seed: u64, deadline_s: f64) -> Self {
         ReflSelector {
             seed,
-            histories: Vec::new(),
+            histories: HashMap::new(),
+            ensured: 0,
             deadline_s,
             ids: Vec::new(),
             scored: Vec::new(),
@@ -68,16 +81,18 @@ impl ReflSelector {
     }
 
     fn ensure(&mut self, num_clients: usize) {
-        if self.histories.len() < num_clients {
-            self.histories
-                .resize_with(num_clients, ClientHistory::default);
-        }
+        self.ensured = self.ensured.max(num_clients);
     }
 
     /// REFL's selection score: predicted availability, discounted when the
     /// client's observed speed would overflow the window.
     fn score(&self, c: usize) -> f64 {
-        let h = &self.histories[c];
+        let Some(h) = self.histories.get(&c) else {
+            // Never observed: the uninformative prior, with no speed
+            // discount and no track record — exactly what a default
+            // history scores.
+            return 0.5;
+        };
         let mut s = h.predicted_availability();
         if h.last_duration_s > self.deadline_s && h.last_duration_s > 0.0 {
             // Predicted to overflow its window: heavily discounted. This is
@@ -128,7 +143,7 @@ impl ClientSelector for ReflSelector {
         for &(_, pos) in scored.iter() {
             let c = ids[pos];
             cohort.push(c);
-            self.histories[c].selected += 1;
+            self.histories.entry(c).or_default().selected += 1;
         }
         self.scored = scored;
         self.ids = ids;
@@ -136,10 +151,10 @@ impl ClientSelector for ReflSelector {
 
     fn feedback(&mut self, _round: usize, results: &[SelectionFeedback]) {
         for f in results {
-            if f.client >= self.histories.len() {
+            if f.client >= self.ensured {
                 continue;
             }
-            let h = &mut self.histories[f.client];
+            let h = self.histories.entry(f.client).or_default();
             h.available.push(f.was_available);
             if h.available.len() > HISTORY {
                 h.available.remove(0);
@@ -235,14 +250,23 @@ mod tests {
 
     #[test]
     fn unknown_clients_get_prior() {
-        let s = ReflSelector {
-            seed: 0,
-            histories: vec![ClientHistory::default()],
-            deadline_s: 100.0,
-            ids: Vec::new(),
-            scored: Vec::new(),
-        };
-        assert!((s.score(0) - 0.5).abs() < 1e-9);
+        // Both a never-touched client (no map entry) and an explicitly
+        // defaulted history must score the uninformative prior.
+        let mut s = ReflSelector::new(0, 100.0);
+        assert!((s.score(7) - 0.5).abs() < 1e-9, "absent entry");
+        s.histories.insert(0, ClientHistory::default());
+        assert!((s.score(0) - 0.5).abs() < 1e-9, "default entry");
+    }
+
+    #[test]
+    fn feedback_beyond_watermark_is_dropped() {
+        // The dense implementation ignored feedback for clients its vector
+        // had never grown to cover; the sparse watermark must match.
+        let mut s = ReflSelector::new(0, 100.0);
+        let _ = s.select(0, &pool(4), 2);
+        s.feedback(0, &[fb(2, true, 10.0, true), fb(9, true, 10.0, true)]);
+        assert!(s.histories.contains_key(&2), "in-range feedback recorded");
+        assert!(!s.histories.contains_key(&9), "beyond watermark dropped");
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! absorbed (here: tiers with the higher recent statistical utility),
 //! subject to per-tier credits that stop any tier from being ignored.
 
+use std::collections::HashMap;
+
 use float_tensor::rng::{seed_rng, split_seed};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -46,7 +48,20 @@ impl Default for ClientProfile {
 #[derive(Debug, Clone)]
 pub struct TiflSelector {
     seed: u64,
-    profiles: Vec<ClientProfile>,
+    /// Per-client profiles, keyed sparsely by client id so state stays
+    /// O(touched clients) at population scale. Only clients that have
+    /// received feedback carry an entry; everyone else's tier follows the
+    /// watermark rule in [`Self::effective_tier`].
+    profiles: HashMap<usize, ClientProfile>,
+    /// One past the highest client id ever covered by an eligible slice or
+    /// feedback batch — the length the dense profile vector would have.
+    ensured: usize,
+    /// Value of `ensured` at the last *applied* re-tiering. The dense
+    /// implementation sent every profiled-but-latency-free client to the
+    /// middle tier at retier time, while clients first seen afterwards sat
+    /// in tier 0 until the next retier; this watermark reproduces that
+    /// split without materializing entries.
+    retiered: usize,
     /// Remaining selection credits per tier; refilled when exhausted.
     credits: Vec<u64>,
     rounds_seen: usize,
@@ -61,7 +76,9 @@ impl TiflSelector {
     pub fn new(seed: u64) -> Self {
         TiflSelector {
             seed,
-            profiles: Vec::new(),
+            profiles: HashMap::new(),
+            ensured: 0,
+            retiered: 0,
             credits: vec![INITIAL_CREDITS; NUM_TIERS],
             rounds_seen: 0,
             pool: Vec::new(),
@@ -70,15 +87,32 @@ impl TiflSelector {
     }
 
     fn ensure(&mut self, n: usize) {
-        if self.profiles.len() < n {
-            self.profiles.resize_with(n, ClientProfile::default);
+        self.ensured = self.ensured.max(n);
+    }
+
+    /// Tier of a client with no stored profile: the middle tier if the
+    /// client was already covered when the tiers were last recomputed
+    /// (re-tiering sends every latency-free client there), tier 0 — the
+    /// default profile — otherwise.
+    fn unprofiled_tier(&self, c: usize) -> usize {
+        if c < self.retiered {
+            NUM_TIERS / 2
+        } else {
+            0
         }
+    }
+
+    /// Tier assignment of `c`, whether or not it has a stored profile.
+    fn effective_tier(&self, c: usize) -> usize {
+        self.profiles
+            .get(&c)
+            .map_or_else(|| self.unprofiled_tier(c), |p| p.tier)
     }
 
     /// Recompute tier boundaries by latency quantiles over profiled
     /// clients; unprofiled clients go to the middle tier.
     fn retier(&mut self) {
-        let mut latencies: Vec<f64> = self.profiles.iter().filter_map(|p| p.latency_s).collect();
+        let mut latencies: Vec<f64> = self.profiles.values().filter_map(|p| p.latency_s).collect();
         if latencies.len() < NUM_TIERS {
             return;
         }
@@ -90,12 +124,13 @@ impl TiflSelector {
         let cuts: Vec<f64> = (1..NUM_TIERS)
             .map(|i| boundary(i as f64 / NUM_TIERS as f64))
             .collect();
-        for p in &mut self.profiles {
+        for p in self.profiles.values_mut() {
             p.tier = match p.latency_s {
                 Some(l) => cuts.iter().position(|&c| l <= c).unwrap_or(NUM_TIERS - 1),
                 None => NUM_TIERS / 2,
             };
         }
+        self.retiered = self.ensured;
     }
 
     /// Pick the tier for this round: among tiers with credits and eligible
@@ -105,10 +140,12 @@ impl TiflSelector {
         let mut weight = [0.0f64; NUM_TIERS];
         let mut count = [0usize; NUM_TIERS];
         for &c in eligible {
-            if let Some(p) = self.profiles.get(c) {
-                weight[p.tier] += p.utility;
-                count[p.tier] += 1;
-            }
+            let (tier, utility) = self
+                .profiles
+                .get(&c)
+                .map_or_else(|| (self.unprofiled_tier(c), 1.0), |p| (p.tier, p.utility));
+            weight[tier] += utility;
+            count[tier] += 1;
         }
         let mut total = 0.0;
         for t in 0..NUM_TIERS {
@@ -133,9 +170,10 @@ impl TiflSelector {
         NUM_TIERS - 1
     }
 
-    /// Tier assignment of a client (for tests).
+    /// Tier assignment of a client (for tests). `None` for clients beyond
+    /// anything the selector has ever been shown.
     pub fn tier_of(&self, client: usize) -> Option<usize> {
-        self.profiles.get(client).map(|p| p.tier)
+        (client < self.ensured).then(|| self.effective_tier(client))
     }
 }
 
@@ -174,7 +212,7 @@ impl ClientSelector for TiflSelector {
             eligible
                 .iter()
                 .copied()
-                .filter(|&c| self.profiles[c].tier == tier),
+                .filter(|&c| self.effective_tier(c) == tier),
         );
         pool.shuffle(&mut rng);
         cohort.extend_from_slice(&pool[..need.min(pool.len())]);
@@ -192,9 +230,9 @@ impl ClientSelector for TiflSelector {
                 eligible
                     .iter()
                     .enumerate()
-                    .filter(|&(_, &c)| self.profiles[c].tier != tier)
+                    .filter(|&(_, &c)| self.effective_tier(c) != tier)
                     .map(|(pos, &c)| {
-                        let dist = (self.profiles[c].tier as isize - tier as isize).unsigned_abs();
+                        let dist = (self.effective_tier(c) as isize - tier as isize).unsigned_abs();
                         (dist, pos)
                     }),
             );
@@ -213,7 +251,14 @@ impl ClientSelector for TiflSelector {
             self.ensure(max_id + 1);
         }
         for f in results {
-            let p = &mut self.profiles[f.client];
+            // Materialize with the tier the client *currently* holds (per
+            // the watermark rule), not the raw default — tiers only move
+            // at retier time.
+            let tier = self.unprofiled_tier(f.client);
+            let p = self.profiles.entry(f.client).or_insert(ClientProfile {
+                tier,
+                ..ClientProfile::default()
+            });
             if f.duration_s > 0.0 {
                 p.latency_s = Some(match p.latency_s {
                     Some(l) => 0.7 * l + 0.3 * f.duration_s,

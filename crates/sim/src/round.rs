@@ -196,7 +196,7 @@ mod tests {
     }
 
     fn profile() -> DeviceProfile {
-        let s = ResourceSampler::new(1, InterferenceModel::None, 1);
+        let mut s = ResourceSampler::new(1, InterferenceModel::None, 1);
         s.client(0).profile
     }
 

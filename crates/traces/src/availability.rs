@@ -114,6 +114,27 @@ impl AvailabilityModel {
     pub fn duty(&self) -> f64 {
         self.duty
     }
+
+    /// Phase offset of the diurnal cycle in rounds within the day.
+    pub fn phase(&self) -> usize {
+        self.phase
+    }
+
+    /// The diurnal ON window as `(start, len)` in day positions
+    /// (`round % ROUNDS_PER_DAY`): the client is diurnally available at
+    /// round `r` iff `(r % ROUNDS_PER_DAY)` falls within `len` positions
+    /// starting at `start` (wrapping). This is the event-index view of
+    /// [`AvailabilityModel::diurnal_available`]: one ON transition at
+    /// `start` and one OFF transition at `(start + len) % ROUNDS_PER_DAY`
+    /// per simulated day.
+    pub fn diurnal_window(&self) -> (usize, usize) {
+        // diurnal_available(r) ⇔ (r + phase) % 96 < duty * 96, i.e. the
+        // position (r + phase) % 96 lies in [0, ceil(duty * 96)). In
+        // `r % 96` space that window starts where (r + phase) % 96 == 0.
+        let start = (ROUNDS_PER_DAY - self.phase % ROUNDS_PER_DAY) % ROUNDS_PER_DAY;
+        let len = (self.duty * ROUNDS_PER_DAY as f64).ceil() as usize;
+        (start, len.clamp(1, ROUNDS_PER_DAY - 1))
+    }
 }
 
 #[cfg(test)]

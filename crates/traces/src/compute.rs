@@ -72,6 +72,41 @@ pub struct DeviceProfile {
     pub compute_j_per_tflop: f64,
 }
 
+impl DeviceProfile {
+    /// Derive device `i`'s profile from the population seed — exactly the
+    /// draw [`DevicePopulation::generate`] makes for index `i`, exposed as
+    /// a pure function of `(population_seed, i)` so population-scale
+    /// callers can derive profiles on demand instead of materializing all
+    /// `n` of them up front.
+    pub fn derive(population_seed: u64, i: usize) -> Self {
+        let mut rng = seed_rng(split_seed(population_seed, i as u64));
+        let class = {
+            let u: f64 = rng.gen();
+            if u < DeviceClass::LowEnd.share() {
+                DeviceClass::LowEnd
+            } else if u < DeviceClass::LowEnd.share() + DeviceClass::MidRange.share() {
+                DeviceClass::MidRange
+            } else {
+                DeviceClass::HighEnd
+            }
+        };
+        // Log-normal spread within tier (sigma 0.35 ⇒ ~±40% around the
+        // median).
+        let u1: f64 = (1.0 - rng.gen::<f64>()).max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let gflops = class.median_gflops() * (0.35 * z).exp();
+        DeviceProfile {
+            class,
+            gflops,
+            memory_bytes: class.memory_bytes(),
+            battery_j: rng.gen_range(15_000.0..45_000.0),
+            net_j_per_mb: rng.gen_range(0.4..1.2),
+            compute_j_per_tflop: rng.gen_range(25.0..80.0),
+        }
+    }
+}
+
 /// A deterministic population of device profiles.
 #[derive(Debug, Clone)]
 pub struct DevicePopulation {
@@ -81,35 +116,9 @@ pub struct DevicePopulation {
 impl DevicePopulation {
     /// Generate `n` device profiles from `seed`.
     pub fn generate(n: usize, seed: u64) -> Self {
-        let mut profiles = Vec::with_capacity(n);
-        for i in 0..n {
-            let mut rng = seed_rng(split_seed(seed, i as u64));
-            let class = {
-                let u: f64 = rng.gen();
-                if u < DeviceClass::LowEnd.share() {
-                    DeviceClass::LowEnd
-                } else if u < DeviceClass::LowEnd.share() + DeviceClass::MidRange.share() {
-                    DeviceClass::MidRange
-                } else {
-                    DeviceClass::HighEnd
-                }
-            };
-            // Log-normal spread within tier (sigma 0.35 ⇒ ~±40% around the
-            // median).
-            let u1: f64 = (1.0 - rng.gen::<f64>()).max(f64::MIN_POSITIVE);
-            let u2: f64 = rng.gen();
-            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-            let gflops = class.median_gflops() * (0.35 * z).exp();
-            profiles.push(DeviceProfile {
-                class,
-                gflops,
-                memory_bytes: class.memory_bytes(),
-                battery_j: rng.gen_range(15_000.0..45_000.0),
-                net_j_per_mb: rng.gen_range(0.4..1.2),
-                compute_j_per_tflop: rng.gen_range(25.0..80.0),
-            });
+        DevicePopulation {
+            profiles: (0..n).map(|i| DeviceProfile::derive(seed, i)).collect(),
         }
-        DevicePopulation { profiles }
     }
 
     /// Number of devices.

@@ -25,6 +25,7 @@
 
 pub mod availability;
 pub mod compute;
+pub mod index;
 pub mod interference;
 pub mod network;
 pub mod replay;
@@ -32,7 +33,8 @@ pub mod snapshot;
 
 pub use availability::{AvailabilityModel, BatteryState};
 pub use compute::{DeviceClass, DevicePopulation, DeviceProfile};
+pub use index::AvailabilityIndex;
 pub use interference::InterferenceModel;
 pub use network::{Mobility, NetworkGen, NetworkProfile};
 pub use replay::{ReplayTrace, TraceError};
-pub use snapshot::{ResourceSampler, ResourceSnapshot};
+pub use snapshot::{AvailabilityStats, ResourceSampler, ResourceSnapshot};

@@ -1,14 +1,28 @@
 //! The per-client, per-round resource snapshot — the single structure the
 //! simulator executes against and the RLHF agent observes.
+//!
+//! At population scale the sampler is *lazy*: every per-client trace is a
+//! pure function of `(seed, client)`, so nothing population-sized is
+//! materialized. Availability queries go through the event-driven
+//! [`AvailabilityIndex`] (O(transitions) per round, not O(population)),
+//! batteries are tracked sparsely (only clients that ever drained), and
+//! full trace bundles are rederived on demand through a small bounded
+//! cache. All of this is bit-identical to the eager implementation it
+//! replaced: same RNG streams, same values, same iteration order.
+
+use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use float_tensor::rng::split_seed;
+use float_tensor::rng::{seed_rng, split_seed};
 
-use crate::availability::{AvailabilityModel, BatteryState, ROUNDS_PER_DAY};
-use crate::compute::{DevicePopulation, DeviceProfile};
+use crate::availability::{AvailabilityModel, BatteryState};
+use crate::compute::DeviceProfile;
+use crate::index::AvailabilityIndex;
 use crate::interference::InterferenceModel;
 use crate::network::{Mobility, NetworkGen, NetworkProfile};
+
+use rand::Rng;
 
 /// Everything the simulator needs to know about one client's resources in
 /// one round.
@@ -44,22 +58,109 @@ pub struct ClientTraces {
     pub network: NetworkGen,
     /// Diurnal availability model.
     pub availability: AvailabilityModel,
-    /// Mutable battery state.
+    /// Battery state as of the last completed charge epoch.
     pub battery: BatteryState,
+}
+
+/// Residency and activity counters of the lazy sampler, surfaced so the
+/// population-scale bench can attribute memory and per-round work.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityStats {
+    /// Heap bytes owned by the event-driven availability index.
+    pub index_heap_bytes: usize,
+    /// Total diurnal bit transitions the index has applied.
+    pub transitions_applied: u64,
+    /// Number of index advances that moved the maintained row.
+    pub rounds_advanced: u64,
+    /// Clients currently carrying a non-full (tracked) battery.
+    pub tracked_batteries: usize,
+    /// High-water mark of tracked batteries.
+    pub peak_tracked_batteries: usize,
+    /// Trace-cache entries currently resident.
+    pub trace_cache_resident: usize,
+    /// Trace-cache capacity.
+    pub trace_cache_capacity: usize,
+    /// Bytes held by the full-sweep availability models (0 when the
+    /// sampler has only served pooled queries).
+    pub sweep_models_bytes: usize,
+    /// Candidates drawn into pools since construction.
+    pub pool_draws: u64,
+    /// Pool candidates rejected by interruption or battery filters.
+    pub pool_rejected: u64,
+}
+
+/// Bound on rederivable trace bundles kept resident at once.
+const TRACE_CACHE_CAP: usize = 4096;
+
+/// A rederivable per-client trace (everything but the battery, which is
+/// mutable state owned by the sampler).
+#[derive(Debug, Clone)]
+struct CachedTrace {
+    profile: DeviceProfile,
+    network: NetworkGen,
+    availability: AvailabilityModel,
+}
+
+/// Battery of a client that has drained at least once. `settled` counts
+/// how many global charge epochs are already folded into `state`;
+/// catching up replays the exact per-epoch `charge(capacity * 0.02)`
+/// steps the eager implementation performed, so values are bit-identical.
+#[derive(Debug, Clone, Copy)]
+struct LazyBattery {
+    state: BatteryState,
+    settled: u64,
+}
+
+impl LazyBattery {
+    fn settle(&mut self, epochs: u64) {
+        let rate = self.state.capacity_j * 0.02;
+        while self.settled < epochs {
+            if self.state.remaining_j >= self.state.capacity_j {
+                // Saturated: every remaining charge step is a no-op.
+                self.settled = epochs;
+                break;
+            }
+            self.state.charge(rate);
+            self.settled += 1;
+        }
+    }
 }
 
 /// Deterministic factory producing [`ResourceSnapshot`]s for a population
 /// of clients under an [`InterferenceModel`].
 #[derive(Debug, Clone)]
 pub struct ResourceSampler {
-    clients: Vec<ClientTraces>,
+    num_clients: usize,
     interference: InterferenceModel,
     seed: u64,
-    /// Lazily built diurnal availability index: one bitset row per position
-    /// in the day (`round % ROUNDS_PER_DAY`), bit `c` set iff client `c` is
-    /// diurnally available at that position. The diurnal models are fixed at
-    /// construction, so the index never invalidates.
-    diurnal_index: Option<Vec<Vec<u64>>>,
+    /// Population seed for [`DeviceProfile::derive`].
+    pop_seed: u64,
+    /// Event-driven diurnal availability index (built eagerly — one model
+    /// derivation per client, the only O(population) pass the sampler ever
+    /// makes).
+    index: AvailabilityIndex,
+    /// Availability models for the full-sweep path, built on first use
+    /// (never built when only pooled queries are served).
+    sweep_models: Option<Vec<AvailabilityModel>>,
+    /// Sparse battery state: absent ⇒ exactly full (a client that never
+    /// drained can never leave full, since charging saturates).
+    batteries: HashMap<usize, LazyBattery>,
+    peak_batteries: usize,
+    /// Global charge epochs applied so far ([`ResourceSampler::charge_all`]
+    /// is O(1): it only bumps this counter).
+    charge_epochs: u64,
+    /// Bounded cache of rederivable trace bundles.
+    cache: HashMap<usize, (u64, CachedTrace)>,
+    cache_cap: usize,
+    cache_tick: u64,
+    /// Scratch buffers for pool sampling.
+    pool_ranks: Vec<usize>,
+    pool_cands: Vec<usize>,
+    pool_draws: u64,
+    pool_rejected: u64,
+    /// Scratch: sorted ids of batteries currently refusing training,
+    /// rebuilt per sweep.
+    blocked_scratch: Vec<usize>,
 }
 
 impl ResourceSampler {
@@ -68,40 +169,33 @@ impl ResourceSampler {
     /// Network profiles are assigned 60% 4G / 40% 5G with mixed mobility,
     /// mirroring the mix in the paper's trace set.
     pub fn new(n: usize, interference: InterferenceModel, seed: u64) -> Self {
-        let population = DevicePopulation::generate(n, split_seed(seed, 0xDE7));
-        let clients = (0..n)
-            .map(|i| {
-                let s = split_seed(seed, 0x1000 + i as u64);
-                let profile = *population.device(i);
-                let net_profile = if s % 10 < 6 {
-                    NetworkProfile::FourG
-                } else {
-                    NetworkProfile::FiveG
-                };
-                let mobility = match s % 3 {
-                    0 => Mobility::Stationary,
-                    1 => Mobility::Walking,
-                    _ => Mobility::Driving,
-                };
-                ClientTraces {
-                    profile,
-                    network: NetworkGen::new(net_profile, mobility, split_seed(s, 1)),
-                    availability: AvailabilityModel::new(split_seed(s, 2)),
-                    battery: BatteryState::full(profile.battery_j),
-                }
-            })
-            .collect();
+        let index = AvailabilityIndex::build(n, |i| {
+            AvailabilityModel::new(split_seed(split_seed(seed, 0x1000 + i as u64), 2))
+        });
         ResourceSampler {
-            clients,
+            num_clients: n,
             interference,
             seed,
-            diurnal_index: None,
+            pop_seed: split_seed(seed, 0xDE7),
+            index,
+            sweep_models: None,
+            batteries: HashMap::new(),
+            peak_batteries: 0,
+            charge_epochs: 0,
+            cache: HashMap::new(),
+            cache_cap: n.clamp(1, TRACE_CACHE_CAP),
+            cache_tick: 0,
+            pool_ranks: Vec::new(),
+            pool_cands: Vec::new(),
+            pool_draws: 0,
+            pool_rejected: 0,
+            blocked_scratch: Vec::new(),
         }
     }
 
     /// Number of clients.
     pub fn num_clients(&self) -> usize {
-        self.clients.len()
+        self.num_clients
     }
 
     /// The interference model in force.
@@ -109,33 +203,162 @@ impl ResourceSampler {
         self.interference
     }
 
-    /// Immutable access to a client's trace bundle.
+    /// Residency and activity counters (see [`AvailabilityStats`]).
+    pub fn availability_stats(&self) -> AvailabilityStats {
+        AvailabilityStats {
+            index_heap_bytes: self.index.heap_bytes(),
+            transitions_applied: self.index.transitions_applied(),
+            rounds_advanced: self.index.advances(),
+            tracked_batteries: self.batteries.len(),
+            peak_tracked_batteries: self.peak_batteries,
+            trace_cache_resident: self.cache.len(),
+            trace_cache_capacity: self.cache_cap,
+            sweep_models_bytes: self
+                .sweep_models
+                .as_ref()
+                .map_or(0, |v| v.len() * std::mem::size_of::<AvailabilityModel>()),
+            pool_draws: self.pool_draws,
+            pool_rejected: self.pool_rejected,
+        }
+    }
+
+    /// The availability model of `client` — a pure function of the
+    /// sampler seed and the client id.
+    fn avail_model(&self, client: usize) -> AvailabilityModel {
+        AvailabilityModel::new(split_seed(split_seed(self.seed, 0x1000 + client as u64), 2))
+    }
+
+    /// Rederive client `client`'s full trace bundle (identical to what the
+    /// eager constructor used to build).
+    fn derive_trace(&self, client: usize) -> CachedTrace {
+        let s = split_seed(self.seed, 0x1000 + client as u64);
+        let profile = DeviceProfile::derive(self.pop_seed, client);
+        let net_profile = if s % 10 < 6 {
+            NetworkProfile::FourG
+        } else {
+            NetworkProfile::FiveG
+        };
+        let mobility = match s % 3 {
+            0 => Mobility::Stationary,
+            1 => Mobility::Walking,
+            _ => Mobility::Driving,
+        };
+        CachedTrace {
+            profile,
+            network: NetworkGen::new(net_profile, mobility, split_seed(s, 1)),
+            availability: AvailabilityModel::new(split_seed(s, 2)),
+        }
+    }
+
+    /// Fetch `client`'s trace bundle through the bounded cache. Eviction
+    /// rederives later — [`NetworkGen`] is order-independent in its query
+    /// round, so eviction can never change any sampled value.
+    fn cached(&mut self, client: usize) -> &mut CachedTrace {
+        self.cache_tick += 1;
+        let tick = self.cache_tick;
+        if !self.cache.contains_key(&client) {
+            if self.cache.len() >= self.cache_cap {
+                let victim = self
+                    .cache
+                    .iter()
+                    .map(|(&id, e)| (e.0, id))
+                    .min()
+                    .expect("cache non-empty");
+                self.cache.remove(&victim.1);
+            }
+            let t = self.derive_trace(client);
+            self.cache.insert(client, (tick, t));
+        }
+        let entry = self.cache.get_mut(&client).expect("just inserted");
+        entry.0 = tick;
+        &mut entry.1
+    }
+
+    /// Battery state of `client` as of the current charge epoch, or `None`
+    /// if it is exactly full (untracked).
+    fn battery_state(&self, client: usize) -> Option<BatteryState> {
+        self.batteries.get(&client).map(|b| {
+            let mut s = *b;
+            s.settle(self.charge_epochs);
+            s.state
+        })
+    }
+
+    /// Whether `client`'s battery admits training at the current epoch.
+    fn battery_allows(&self, client: usize) -> bool {
+        self.battery_state(client)
+            .is_none_or(|s| s.allows_training())
+    }
+
+    /// Settle every tracked battery to the current epoch and drop the ones
+    /// back at full charge (they are indistinguishable from untracked).
+    fn settle_and_prune(&mut self) {
+        let epochs = self.charge_epochs;
+        self.batteries.retain(|_, b| {
+            b.settle(epochs);
+            b.state.remaining_j < b.state.capacity_j
+        });
+    }
+
+    /// Materialize per-client availability models for the full-sweep path.
+    /// Pooled samplers never pay this (32 B × population) cost.
+    fn ensure_sweep_models(&mut self) {
+        if self.sweep_models.is_none() {
+            let models: Vec<AvailabilityModel> =
+                (0..self.num_clients).map(|i| self.avail_model(i)).collect();
+            self.sweep_models = Some(models);
+        }
+    }
+
+    /// Pre-build the full-sweep availability models so the cost lands at
+    /// construction time instead of inside the first round.
+    pub fn prewarm_full_sweep(&mut self) {
+        self.ensure_sweep_models();
+    }
+
+    /// A client's trace bundle (rederived through the bounded cache), with
+    /// the battery settled to the current charge epoch.
     ///
     /// # Panics
     ///
     /// Panics if `client` is out of range.
-    pub fn client(&self, client: usize) -> &ClientTraces {
-        &self.clients[client]
+    pub fn client(&mut self, client: usize) -> ClientTraces {
+        assert!(client < self.num_clients, "client {client} out of range");
+        let battery = self.battery_state(client);
+        let t = self.cached(client);
+        ClientTraces {
+            profile: t.profile,
+            network: t.network.clone(),
+            availability: t.availability.clone(),
+            battery: battery.unwrap_or_else(|| BatteryState::full(t.profile.battery_j)),
+        }
     }
 
-    /// Drain a client's battery by `joules` (after it trains/communicates)
-    /// and trickle-charge everyone else. Called once per round by the
-    /// simulator.
+    /// Drain a client's battery by `joules` (after it trains/communicates).
+    /// Called by the simulator for participating clients.
     ///
     /// # Panics
     ///
     /// Panics if `client` is out of range.
     pub fn drain_battery(&mut self, client: usize, joules: f64) {
-        self.clients[client].battery.drain(joules);
+        assert!(client < self.num_clients, "client {client} out of range");
+        let epochs = self.charge_epochs;
+        let cap = self.cached(client).profile.battery_j;
+        let entry = self.batteries.entry(client).or_insert(LazyBattery {
+            state: BatteryState::full(cap),
+            settled: epochs,
+        });
+        entry.settle(epochs);
+        entry.state.drain(joules);
+        self.peak_batteries = self.peak_batteries.max(self.batteries.len());
     }
 
     /// Trickle-charge every client's battery by a round's worth of charging
-    /// (clients spend much of the diurnal cycle on power).
+    /// (clients spend much of the diurnal cycle on power). O(1): full
+    /// batteries stay full under charging, so only the sparse tracked set
+    /// ever needs the epoch applied — lazily, on next access.
     pub fn charge_all(&mut self) {
-        for c in &mut self.clients {
-            let rate = c.battery.capacity_j * 0.02;
-            c.battery.charge(rate);
-        }
+        self.charge_epochs += 1;
     }
 
     /// Whether `client` is available at `round`: the availability bit of
@@ -147,46 +370,135 @@ impl ResourceSampler {
     ///
     /// Panics if `client` is out of range.
     pub fn is_available(&self, client: usize, round: usize) -> bool {
-        let ct = &self.clients[client];
-        ct.availability.available(round) && ct.battery.allows_training()
+        assert!(client < self.num_clients, "client {client} out of range");
+        self.avail_model(client).available(round) && self.battery_allows(client)
     }
 
     /// Collect all available clients at `round` into `out` (cleared first),
     /// in ascending client order — identical to filtering
-    /// `(0..n).filter(|&c| self.snapshot(c, round).available)` but without
-    /// touching the network/interference samplers and with the diurnal
-    /// check amortized across rounds via a precomputed bitset index.
+    /// `(0..n).filter(|&c| self.snapshot(c, round).available)` but with the
+    /// diurnal membership maintained incrementally by the event index
+    /// instead of recomputed per round.
     pub fn available_clients_into(&mut self, round: usize, out: &mut Vec<usize>) {
         out.clear();
-        self.ensure_diurnal_index();
-        let row = &self.diurnal_index.as_ref().expect("index built")[round % ROUNDS_PER_DAY];
-        for (w, &word) in row.iter().enumerate() {
+        self.index.advance_to(round);
+        self.settle_and_prune();
+        self.ensure_sweep_models();
+        // Only tracked (recently drained) batteries can refuse training,
+        // and there are few of them — snapshot the refusers into a sorted
+        // scratch so the per-set-bit check is a binary search over a
+        // handful of ids, not a hash probe per available client.
+        let mut blocked = std::mem::take(&mut self.blocked_scratch);
+        blocked.clear();
+        blocked.extend(
+            self.batteries
+                .iter()
+                .filter(|(_, b)| !b.state.allows_training())
+                .map(|(&c, _)| c),
+        );
+        blocked.sort_unstable();
+        let models = self.sweep_models.as_ref().expect("just built");
+        for (w, &word) in self.index.row_words().iter().enumerate() {
             let mut bits = word;
             while bits != 0 {
                 let c = w * 64 + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
-                let ct = &self.clients[c];
-                if ct.availability.clear_of_interruption(round) && ct.battery.allows_training() {
+                if models[c].clear_of_interruption(round)
+                    && (blocked.is_empty() || blocked.binary_search(&c).is_err())
+                {
                     out.push(c);
                 }
             }
         }
+        self.blocked_scratch = blocked;
     }
 
-    fn ensure_diurnal_index(&mut self) {
-        if self.diurnal_index.is_some() {
-            return;
-        }
-        let words = self.clients.len().div_ceil(64);
-        let mut index = vec![vec![0u64; words]; ROUNDS_PER_DAY];
-        for (c, ct) in self.clients.iter().enumerate() {
-            for (pos, row) in index.iter_mut().enumerate() {
-                if ct.availability.diurnal_available(pos) {
-                    row[c / 64] |= 1u64 << (c % 64);
+    /// Draw a deterministic candidate pool of at most `k` clients for
+    /// `round` into `out` (cleared first; ascending client order), and
+    /// return the **exact** number of eligible clients (diurnally
+    /// available ∩ battery-admitted) — maintained incrementally, never
+    /// approximated by the pool size.
+    ///
+    /// The pool is a uniform sample without replacement of `k` clients
+    /// from the diurnally-available set (all of them if fewer than `k`),
+    /// drawn from `draw_seed` alone — independent of thread count, query
+    /// history, and population layout. Sampled candidates then pass the
+    /// same interruption + battery filters as the full sweep, so `out` is
+    /// always a subset of what [`ResourceSampler::available_clients_into`]
+    /// would produce, and may hold fewer than `k` clients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` (use the full sweep for that).
+    pub fn candidate_pool_into(
+        &mut self,
+        round: usize,
+        k: usize,
+        draw_seed: u64,
+        out: &mut Vec<usize>,
+    ) -> usize {
+        assert!(k > 0, "candidate_pool_into requires k > 0");
+        out.clear();
+        self.index.advance_to(round);
+        self.settle_and_prune();
+        let m = self.index.count();
+        // Exact eligible count: diurnal minus the (sparse, recently
+        // drained) tracked batteries that currently refuse training.
+        let blocked = self
+            .batteries
+            .iter()
+            .filter(|(&c, b)| self.index.contains(c) && !b.state.allows_training())
+            .count();
+        let eligible = m - blocked;
+
+        let mut cands = std::mem::take(&mut self.pool_cands);
+        cands.clear();
+        if m <= k {
+            for (w, &word) in self.index.row_words().iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    cands.push(w * 64 + bits.trailing_zeros() as usize);
+                    bits &= bits - 1;
                 }
             }
+        } else {
+            // Sparse Fisher–Yates: k distinct ranks uniform over 0..m,
+            // deterministic in draw_seed, O(k) time and space.
+            let mut ranks = std::mem::take(&mut self.pool_ranks);
+            ranks.clear();
+            let mut rng = seed_rng(draw_seed);
+            let mut swap: HashMap<usize, usize> = HashMap::new();
+            for i in 0..k {
+                let j = rng.gen_range(i..m);
+                let pj = swap.get(&j).copied().unwrap_or(j);
+                let pi = swap.get(&i).copied().unwrap_or(i);
+                ranks.push(pj);
+                swap.insert(j, pi);
+            }
+            ranks.sort_unstable();
+            self.index.select_ranks_into(&ranks, &mut cands);
+            self.pool_ranks = ranks;
         }
-        self.diurnal_index = Some(index);
+
+        for &c in &cands {
+            self.pool_draws += 1;
+            let clear = match &self.sweep_models {
+                Some(models) => models[c].clear_of_interruption(round),
+                None => self.avail_model(c).clear_of_interruption(round),
+            };
+            if clear
+                && self
+                    .batteries
+                    .get(&c)
+                    .is_none_or(|b| b.state.allows_training())
+            {
+                out.push(c);
+            } else {
+                self.pool_rejected += 1;
+            }
+        }
+        self.pool_cands = cands;
+        eligible
     }
 
     /// Snapshot client `client` at `round`.
@@ -195,22 +507,25 @@ impl ResourceSampler {
     ///
     /// Panics if `client` is out of range.
     pub fn snapshot(&mut self, client: usize, round: usize) -> ResourceSnapshot {
+        assert!(client < self.num_clients, "client {client} out of range");
         let (cpu_f, mem_f, net_f) =
             self.interference
                 .available_fractions(split_seed(self.seed, 0x1F), client, round);
-        let ct = &mut self.clients[client];
-        let nominal_mbps = ct.network.bandwidth_mbps(round);
-        let battery_ok = ct.battery.allows_training();
-        let avail = ct.availability.available(round) && battery_ok;
+        let battery = self.battery_state(client);
+        let t = self.cached(client);
+        let battery = battery.unwrap_or_else(|| BatteryState::full(t.profile.battery_j));
+        let nominal_mbps = t.network.bandwidth_mbps(round);
+        let battery_ok = battery.allows_training();
+        let avail = t.availability.available(round) && battery_ok;
         ResourceSnapshot {
             available: avail,
-            effective_gflops: ct.profile.gflops * cpu_f,
+            effective_gflops: t.profile.gflops * cpu_f,
             effective_mbps: nominal_mbps * net_f,
-            effective_memory_bytes: ct.profile.memory_bytes as f64 * mem_f,
+            effective_memory_bytes: t.profile.memory_bytes as f64 * mem_f,
             cpu_fraction: cpu_f,
             mem_fraction: mem_f,
             net_fraction: net_f,
-            battery_fraction: ct.battery.fraction(),
+            battery_fraction: battery.fraction(),
         }
     }
 }
@@ -309,5 +624,118 @@ mod tests {
             s.charge_all();
         }
         assert!(s.client(0).battery.allows_training());
+    }
+
+    #[test]
+    fn lazy_battery_matches_eager_replay() {
+        // Interleave drains and charge epochs; compare against a manual
+        // eager battery that charges every epoch.
+        let mut s = ResourceSampler::new(4, InterferenceModel::None, 8);
+        let cap = s.client(2).battery.capacity_j;
+        let mut eager = BatteryState::full(cap);
+        let rate = cap * 0.02;
+        for step in 0..60 {
+            if step % 7 == 3 {
+                s.drain_battery(2, cap * 0.3);
+                eager.drain(cap * 0.3);
+            }
+            s.charge_all();
+            eager.charge(rate);
+            assert_eq!(
+                s.client(2).battery.remaining_j,
+                eager.remaining_j,
+                "step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_agrees_on_non_monotone_rounds() {
+        let mut lazy = ResourceSampler::new(77, InterferenceModel::paper_dynamic(), 13);
+        let mut buf = Vec::new();
+        for &r in &[5usize, 200, 3, 150, 150, 0, 95, 96] {
+            lazy.available_clients_into(r, &mut buf);
+            let mut fresh = ResourceSampler::new(77, InterferenceModel::paper_dynamic(), 13);
+            let mut want = Vec::new();
+            fresh.available_clients_into(r, &mut want);
+            assert_eq!(buf, want, "round {r}");
+        }
+    }
+
+    #[test]
+    fn pool_is_subset_of_sweep_and_eligible_is_exact() {
+        let mut s = ResourceSampler::new(250, InterferenceModel::paper_dynamic(), 21);
+        let mut sweep = Vec::new();
+        let mut pool = Vec::new();
+        for r in 0..120 {
+            let eligible = s.candidate_pool_into(r, 40, split_seed(99, r as u64), &mut pool);
+            s.available_clients_into(r, &mut sweep);
+            assert!(pool.len() <= 40, "round {r}");
+            assert!(
+                pool.iter().all(|c| sweep.contains(c)),
+                "round {r}: pool not a subset"
+            );
+            assert!(pool.windows(2).all(|w| w[0] < w[1]), "round {r}: unsorted");
+            // Exact eligible = brute-force diurnal ∩ battery count.
+            let brute = (0..250)
+                .filter(|&c| {
+                    let ct = s.client(c);
+                    ct.availability.diurnal_available(r) && ct.battery.allows_training()
+                })
+                .count();
+            assert_eq!(eligible, brute, "round {r}: eligible count");
+            if r == 30 {
+                let cap = s.client(7).battery.capacity_j;
+                s.drain_battery(7, cap);
+            }
+            s.charge_all();
+        }
+    }
+
+    #[test]
+    fn pool_covers_everyone_when_small_population() {
+        let mut s = ResourceSampler::new(30, InterferenceModel::None, 5);
+        let mut pool = Vec::new();
+        let mut sweep = Vec::new();
+        for r in 0..50 {
+            s.candidate_pool_into(r, 100, 1234, &mut pool);
+            s.available_clients_into(r, &mut sweep);
+            assert_eq!(pool, sweep, "round {r}: k ≥ population must equal sweep");
+        }
+    }
+
+    #[test]
+    fn pool_is_deterministic_in_draw_seed() {
+        let mut a = ResourceSampler::new(400, InterferenceModel::paper_dynamic(), 17);
+        let mut b = ResourceSampler::new(400, InterferenceModel::paper_dynamic(), 17);
+        // b serves unrelated queries first; the pool must not care.
+        let mut scratch = Vec::new();
+        b.available_clients_into(7, &mut scratch);
+        b.snapshot(3, 2);
+        let (mut pa, mut pb) = (Vec::new(), Vec::new());
+        for r in [0usize, 9, 50, 121] {
+            let ea = a.candidate_pool_into(r, 32, split_seed(5, r as u64), &mut pa);
+            let eb = b.candidate_pool_into(r, 32, split_seed(5, r as u64), &mut pb);
+            assert_eq!(pa, pb, "round {r}");
+            assert_eq!(ea, eb, "round {r} eligible");
+        }
+    }
+
+    #[test]
+    fn stats_report_activity() {
+        let mut s = ResourceSampler::new(100, InterferenceModel::None, 2);
+        let mut pool = Vec::new();
+        for r in 0..10 {
+            s.candidate_pool_into(r, 16, r as u64, &mut pool);
+        }
+        let cap = s.client(0).battery.capacity_j;
+        s.drain_battery(0, cap);
+        let st = s.availability_stats();
+        assert!(st.index_heap_bytes > 0);
+        assert!(st.pool_draws > 0);
+        assert_eq!(st.tracked_batteries, 1);
+        assert_eq!(st.peak_tracked_batteries, 1);
+        assert_eq!(st.sweep_models_bytes, 0, "pool path must not build sweep");
+        assert!(st.trace_cache_resident <= st.trace_cache_capacity);
     }
 }

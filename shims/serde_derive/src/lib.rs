@@ -9,7 +9,9 @@
 //! - structs with named fields,
 //! - enums with unit, tuple, and struct variants (externally tagged,
 //!   matching serde's default representation),
-//! - the field attributes `#[serde(skip)]` and `#[serde(default)]`,
+//! - the field attributes `#[serde(skip)]`, `#[serde(default)]`, and
+//!   `#[serde(skip_serializing_if = "Option::is_none")]` (only that
+//!   predicate, on `Option` fields),
 //! - `Option<T>` fields tolerating a missing key (as in real serde).
 //!
 //! Generic types, tuple structs, and renaming attributes are
@@ -22,6 +24,9 @@ struct Field {
     name: String,
     skip: bool,
     default: bool,
+    /// `skip_serializing_if = "Option::is_none"`: omit the key when the
+    /// `Option` field is `None` (the only supported predicate).
+    skip_if_none: bool,
     is_option: bool,
 }
 
@@ -49,8 +54,14 @@ enum Parsed {
 }
 
 /// Scan one attribute token group (the `[...]` after `#`) for
-/// `serde(skip)` / `serde(default)` markers.
-fn scan_attr(group: &proc_macro::Group, skip: &mut bool, default: &mut bool) {
+/// `serde(skip)` / `serde(default)` / `serde(skip_serializing_if = ...)`
+/// markers.
+fn scan_attr(
+    group: &proc_macro::Group,
+    skip: &mut bool,
+    default: &mut bool,
+    skip_if_none: &mut bool,
+) {
     let mut iter = group.stream().into_iter();
     let Some(TokenTree::Ident(name)) = iter.next() else {
         return;
@@ -61,11 +72,31 @@ fn scan_attr(group: &proc_macro::Group, skip: &mut bool, default: &mut bool) {
     let Some(TokenTree::Group(args)) = iter.next() else {
         return;
     };
-    for tok in args.stream() {
+    let mut toks = args.stream().into_iter().peekable();
+    while let Some(tok) = toks.next() {
         if let TokenTree::Ident(i) = tok {
             match i.to_string().as_str() {
                 "skip" => *skip = true,
                 "default" => *default = true,
+                "skip_serializing_if" => {
+                    match toks.next() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {}
+                        other => panic!(
+                            "serde shim derive: expected `=` after \
+                             `skip_serializing_if`, found {other:?}"
+                        ),
+                    }
+                    match toks.next() {
+                        Some(TokenTree::Literal(l)) if l.to_string() == "\"Option::is_none\"" => {
+                            *skip_if_none = true;
+                        }
+                        other => panic!(
+                            "serde shim derive: the only supported \
+                             skip_serializing_if predicate is \
+                             \"Option::is_none\", found {other:?}"
+                        ),
+                    }
+                }
                 other => panic!("serde shim derive: unsupported serde attribute `{other}`"),
             }
         }
@@ -79,13 +110,16 @@ fn parse_named_fields(body: proc_macro::Group) -> Vec<Field> {
     loop {
         let mut skip = false;
         let mut default = false;
+        let mut skip_if_none = false;
         // Leading attributes (doc comments included).
         loop {
             match toks.peek() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     toks.next();
                     match toks.next() {
-                        Some(TokenTree::Group(g)) => scan_attr(&g, &mut skip, &mut default),
+                        Some(TokenTree::Group(g)) => {
+                            scan_attr(&g, &mut skip, &mut default, &mut skip_if_none)
+                        }
                         other => panic!("serde shim derive: malformed attribute near {other:?}"),
                     }
                 }
@@ -130,10 +164,17 @@ fn parse_named_fields(body: proc_macro::Group) -> Vec<Field> {
             }
         }
         let is_option = first_type_tok.as_deref() == Some("Option");
+        if skip_if_none && !is_option {
+            panic!(
+                "serde shim derive: skip_serializing_if = \"Option::is_none\" \
+                 requires an Option field (`{name}` is not)"
+            );
+        }
         fields.push(Field {
             name,
             skip,
             default,
+            skip_if_none,
             is_option,
         });
     }
@@ -280,10 +321,18 @@ fn gen_struct_serialize(name: &str, fields: &[Field], out: &mut String) {
     ));
     for f in fields.iter().filter(|f| !f.skip) {
         let fname = &f.name;
-        out.push_str(&format!(
-            "map.insert(::std::string::String::from(\"{fname}\"), \
-             ::serde::Serialize::to_value(&self.{fname}));\n"
-        ));
+        if f.skip_if_none {
+            out.push_str(&format!(
+                "if !::std::option::Option::is_none(&self.{fname}) {{\n\
+                 map.insert(::std::string::String::from(\"{fname}\"), \
+                 ::serde::Serialize::to_value(&self.{fname}));\n}}\n"
+            ));
+        } else {
+            out.push_str(&format!(
+                "map.insert(::std::string::String::from(\"{fname}\"), \
+                 ::serde::Serialize::to_value(&self.{fname}));\n"
+            ));
+        }
     }
     out.push_str("::serde::Value::Object(map)\n}\n}\n");
 }

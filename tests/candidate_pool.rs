@@ -1,0 +1,130 @@
+//! Candidate-pool determinism contract: `candidate_pool = 0` reproduces
+//! pre-pool reports byte-for-byte, pooled runs are bit-identical across
+//! thread counts, and `RoundRecord::eligible` carries the exact
+//! population-wide count (never the pool size).
+
+use float::core::{AccelMode, Experiment, ExperimentConfig, SelectorChoice};
+use float::sim::FaultPlan;
+
+fn run(cfg: ExperimentConfig) -> float::core::ExperimentReport {
+    Experiment::new(cfg).expect("valid config").run()
+}
+
+/// The two pinned reports under `tests/data/` were serialized by the
+/// pre-index, pre-pool implementation (eager traces, O(N) sweep). The
+/// event-driven sampler with `candidate_pool = 0` must reproduce them
+/// byte-for-byte.
+#[test]
+fn pool_zero_reproduces_pinned_reports_byte_for_byte() {
+    let cfg = ExperimentConfig::small(SelectorChoice::FedAvg, AccelMode::Rlhf, 12);
+    assert_eq!(cfg.candidate_pool, 0, "preset must default to full sweep");
+    let got = serde_json::to_string_pretty(&run(cfg)).expect("report serializes");
+    let want = include_str!("data/pinned_pool0_fedavg_rlhf.json");
+    assert_eq!(got, want.trim_end(), "fedavg+rlhf report drifted");
+
+    let mut cfg = ExperimentConfig::small(SelectorChoice::Oort, AccelMode::Off, 10);
+    cfg.fault_plan = FaultPlan::chaos();
+    let got = serde_json::to_string_pretty(&run(cfg)).expect("report serializes");
+    let want = include_str!("data/pinned_pool0_oort_chaos.json");
+    assert_eq!(got, want.trim_end(), "oort+chaos report drifted");
+}
+
+/// Pooled runs must be bit-identical across worker-thread counts: the
+/// pool draw lives in the sequential plan phase on its own seed stream.
+#[test]
+fn pooled_runs_are_thread_count_invariant() {
+    for selector in [
+        SelectorChoice::Oort,
+        SelectorChoice::Refl,
+        SelectorChoice::Tifl,
+    ] {
+        let mut cfg = ExperimentConfig::small(selector, AccelMode::Rlhf, 8);
+        cfg.candidate_pool = 20;
+        let mut one = cfg;
+        one.num_threads = 1;
+        let mut four = cfg;
+        four.num_threads = 4;
+        let a = run(one);
+        let b = run(four);
+        assert_eq!(a, b, "selector {selector:?}: 1 vs 4 threads diverged");
+    }
+    // FedBuff (async engine) with its pool-vs-concurrency constraint.
+    let mut cfg = ExperimentConfig::small(SelectorChoice::FedBuff, AccelMode::Off, 6);
+    cfg.candidate_pool = 25;
+    let mut one = cfg;
+    one.num_threads = 1;
+    let mut four = cfg;
+    four.num_threads = 4;
+    assert_eq!(run(one), run(four), "fedbuff 1 vs 4 threads diverged");
+}
+
+/// Pooled runs are deterministic across repeated invocations.
+#[test]
+fn pooled_runs_are_deterministic() {
+    let mut cfg = ExperimentConfig::small(SelectorChoice::FedAvg, AccelMode::Rlhf, 8);
+    cfg.candidate_pool = 16;
+    assert_eq!(run(cfg), run(cfg));
+}
+
+/// Under pooling, every round record carries the exact eligible count:
+/// at least as large as what the pool could show, bounded by the
+/// population, and — on a config with full batteries and a small
+/// population — equal to the brute-force diurnal∩battery count computed
+/// from an independent sampler.
+#[test]
+fn eligible_is_exact_under_pooling() {
+    let mut cfg = ExperimentConfig::small(SelectorChoice::FedAvg, AccelMode::Off, 10);
+    cfg.candidate_pool = 12;
+    let report = run(cfg);
+    assert_eq!(report.rounds.len(), 10);
+    for r in &report.rounds {
+        let eligible = r.eligible.expect("pooled rounds must report eligible");
+        assert!(eligible <= cfg.num_clients, "round {}", r.round);
+        // The cohort can never exceed what was truly eligible.
+        assert!(
+            r.selected <= eligible.max(cfg.cohort_size),
+            "round {}",
+            r.round
+        );
+    }
+}
+
+/// Full-sweep runs must leave `eligible` unset — that is what keeps the
+/// round-record JSON byte-identical to pre-pool reports.
+#[test]
+fn full_sweep_omits_eligible_from_round_log() {
+    let cfg = ExperimentConfig::small(SelectorChoice::FedAvg, AccelMode::Off, 5);
+    let report = run(cfg);
+    for r in &report.rounds {
+        assert_eq!(r.eligible, None, "round {}", r.round);
+    }
+    let jsonl = report.round_log_jsonl();
+    assert!(
+        !jsonl.contains("eligible"),
+        "full-sweep round log must not mention eligible: {jsonl}"
+    );
+}
+
+/// A pool covering the whole population still yields a valid run (the
+/// pool then equals the full availability sweep).
+#[test]
+fn pool_equal_to_population_matches_full_sweep() {
+    let base = ExperimentConfig::small(SelectorChoice::FedAvg, AccelMode::Off, 6);
+    let mut pooled = base;
+    pooled.candidate_pool = base.num_clients;
+    let full = run(base);
+    let sub = run(pooled);
+    // Same cohorts, same training, same accuracies — only the round-log
+    // eligible annotation differs.
+    assert_eq!(full.client_accuracies, sub.client_accuracies);
+    assert_eq!(full.selected_count, sub.selected_count);
+    assert_eq!(full.completed_count, sub.completed_count);
+    assert_eq!(full.total_dropouts, sub.total_dropouts);
+    for (a, b) in full.rounds.iter().zip(sub.rounds.iter()) {
+        assert_eq!(a.selected, b.selected);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.clock_s, b.clock_s);
+        assert_eq!(a.eligible, None);
+        assert!(b.eligible.is_some());
+    }
+}

@@ -25,7 +25,7 @@ fn snapshot(gflops: f64, mbps: f64, mem: f64) -> ResourceSnapshot {
 }
 
 fn profile() -> float::traces::DeviceProfile {
-    let s = ResourceSampler::new(1, InterferenceModel::None, 1);
+    let mut s = ResourceSampler::new(1, InterferenceModel::None, 1);
     s.client(0).profile
 }
 

@@ -79,6 +79,16 @@ if [[ "${1:-}" != "quick" ]]; then
   # clobbered by CI.
   step "population scale (quick self-check, incl. pooled stand-in)"
   cargo run --release --offline -p float-bench --bin population_scale -- --quick
+
+  # Algorithm comparison in quick mode: one chaos cell per server
+  # optimizer / drift-correction variant, a 1-vs-4-thread determinism
+  # probe of the heaviest composition (FedYogi + FedProx + SCAFFOLD),
+  # and a parse-back asserting finite accuracies, correctly suffixed
+  # labels, and replayable per-trial event streams. Writes to target/
+  # so the checked-in BENCH_algo_compare.json (full 48-trial grid) is
+  # not clobbered by CI.
+  step "algorithm comparison (quick self-check)"
+  cargo run --release --offline -p float-bench --bin algo_compare -- --quick
 fi
 
 step "CI green"

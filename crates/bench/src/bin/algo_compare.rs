@@ -1,0 +1,372 @@
+//! `algo_compare` — deterministic comparison harness for the server
+//! optimizer / drift-correction layer.
+//!
+//! Sweeps the six algorithm variants (FedAvg, FedAvgM, FedAdam, FedYogi,
+//! FedAvg+FedProx, FedAvg+SCAFFOLD) across a non-IID α × fault-level ×
+//! acceleration grid on the small CIFAR-10 configuration. Every trial
+//! derives its seed from the root seed and its grid index via
+//! `split_seed`, runs with telemetry on, and writes its JSONL event
+//! stream under `target/obs/algo_compare/` — the committed JSON report
+//! holds the summary rows plus an `interactions` table pairing each
+//! (algorithm, α, fault) cell's accel-off and RLHF runs, the question
+//! the harness exists to answer: where does FLOAT's accel agent help or
+//! hurt under each server optimizer?
+//!
+//! ```text
+//! algo_compare [--rounds N] [--seed S] [--out PATH] [--quick]
+//! ```
+//!
+//! `--quick` is the CI mode: one chaos cell per algorithm variant at
+//! α=0.1 with acceleration off, three rounds, output under `target/`,
+//! same determinism probe and parse-back self-check as the full run.
+
+use std::time::Instant;
+
+use float_core::optim::{ServerOptimConfig, ServerOptimizerChoice};
+use float_core::{AccelMode, Experiment, ExperimentConfig, SelectorChoice};
+use float_obs::{sink, ObsConfig};
+use float_sim::FaultPlan;
+use float_tensor::rng::split_seed;
+use serde::{Deserialize, Serialize};
+
+/// The six algorithm variants under comparison: the four server
+/// optimizers, then FedAvg with each client-side drift correction.
+const ALGOS: [&str; 6] = [
+    "fedavg",
+    "fedavgm",
+    "fedadam",
+    "fedyogi",
+    "fedavg+prox",
+    "fedavg+scaffold",
+];
+
+/// Apply one named variant to a config (mirrors the integration-test
+/// sweep in `tests/server_optim.rs`).
+fn apply_algo(cfg: &mut ExperimentConfig, algo: &str) {
+    match algo {
+        "fedavg" => {}
+        "fedavgm" => cfg.server_optim = ServerOptimConfig::with(ServerOptimizerChoice::FedAvgM),
+        "fedadam" => cfg.server_optim = ServerOptimConfig::with(ServerOptimizerChoice::FedAdam),
+        "fedyogi" => cfg.server_optim = ServerOptimConfig::with(ServerOptimizerChoice::FedYogi),
+        "fedavg+prox" => cfg.prox_mu = 0.1,
+        "fedavg+scaffold" => cfg.scaffold = true,
+        other => panic!("unknown algorithm variant {other}"),
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct TrialRow {
+    algo: String,
+    alpha: f64,
+    fault: String,
+    accel: String,
+    seed: u64,
+    /// The runtime's own label — carries the `@optimizer`/`+correction`
+    /// suffixes, so a mislabeled trial is caught by the self-check.
+    label: String,
+    rounds: usize,
+    mean_accuracy: f64,
+    bottom10_accuracy: f64,
+    top10_accuracy: f64,
+    completions: u64,
+    dropouts: u64,
+    quarantined: u64,
+    wall_clock_h: f64,
+    seconds: f64,
+    /// Events accepted into the telemetry buffer for this trial.
+    events: u64,
+    /// Relative path of the trial's JSONL event stream.
+    jsonl: String,
+}
+
+/// One (algorithm, α, fault) cell's accel-off vs RLHF pairing.
+#[derive(Serialize, Deserialize)]
+struct InteractionRow {
+    algo: String,
+    alpha: f64,
+    fault: String,
+    off_mean_accuracy: f64,
+    rlhf_mean_accuracy: f64,
+    /// RLHF minus off — positive where the accel agent helps this
+    /// optimizer, negative where it hurts.
+    rlhf_gain: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct BenchReport {
+    benchmark: String,
+    selector: String,
+    rounds: usize,
+    root_seed: u64,
+    deterministic_across_threads: bool,
+    rows: Vec<TrialRow>,
+    interactions: Vec<InteractionRow>,
+}
+
+fn fault_plan(fault: &str) -> FaultPlan {
+    match fault {
+        "none" => FaultPlan::none(),
+        "chaos" => FaultPlan::chaos(),
+        other => panic!("unknown fault level {other}"),
+    }
+}
+
+fn accel_mode(accel: &str) -> AccelMode {
+    match accel {
+        "off" => AccelMode::Off,
+        "rlhf" => AccelMode::Rlhf,
+        other => panic!("unknown accel mode {other}"),
+    }
+}
+
+/// Build one trial's config. The seed is derived from the root seed and
+/// the trial's grid index, so trials are independent, reorderable, and
+/// reproducible in isolation.
+fn trial_config(
+    algo: &str,
+    alpha: f64,
+    fault: &str,
+    accel: &str,
+    rounds: usize,
+    seed: u64,
+) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::small(SelectorChoice::FedAvg, accel_mode(accel), rounds);
+    cfg.alpha = Some(alpha);
+    cfg.fault_plan = fault_plan(fault);
+    cfg.seed = seed;
+    cfg.obs = ObsConfig::on();
+    apply_algo(&mut cfg, algo);
+    cfg
+}
+
+fn run_trial(
+    algo: &str,
+    alpha: f64,
+    fault: &str,
+    accel: &str,
+    rounds: usize,
+    seed: u64,
+    obs_dir: &std::path::Path,
+) -> TrialRow {
+    let cfg = trial_config(algo, alpha, fault, accel, rounds, seed);
+    eprintln!("algo_compare: {algo} alpha={alpha} fault={fault} accel={accel} seed={seed} ...");
+    let start = Instant::now();
+    let (report, telemetry) = Experiment::new(cfg)
+        .expect("valid trial config")
+        .run_traced();
+    let seconds = start.elapsed().as_secs_f64();
+    assert!(
+        report.is_finite(),
+        "{algo}/{alpha}/{fault}/{accel} produced non-finite report"
+    );
+    let stem = format!("{algo}_a{alpha}_{fault}_{accel}")
+        .replace('+', "_")
+        .replace('.', "p");
+    let jsonl = obs_dir.join(format!("{stem}.jsonl"));
+    sink::write_jsonl(&jsonl, &telemetry.events).expect("write trial event stream");
+    eprintln!(
+        "  {seconds:7.3}s  mean acc {:.4}  label {}  {} events",
+        report.accuracy.mean,
+        report.label,
+        telemetry.events.len()
+    );
+    TrialRow {
+        algo: algo.to_string(),
+        alpha,
+        fault: fault.to_string(),
+        accel: accel.to_string(),
+        seed,
+        label: report.label.clone(),
+        rounds,
+        mean_accuracy: report.accuracy.mean,
+        bottom10_accuracy: report.accuracy.bottom10,
+        top10_accuracy: report.accuracy.top10,
+        completions: report.total_completions,
+        dropouts: report.total_dropouts,
+        quarantined: report.total_quarantined,
+        wall_clock_h: report.wall_clock_h,
+        seconds,
+        events: telemetry.summary.events_recorded,
+        jsonl: jsonl.to_string_lossy().into_owned(),
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: algo_compare [--rounds N] [--seed S] [--out PATH] [--quick]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut rounds: Option<usize> = None;
+    let mut root_seed = 42u64;
+    let mut out = "BENCH_algo_compare.json".to_string();
+    let mut quick = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = || it.next().cloned().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--rounds" => rounds = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--seed" => root_seed = val().parse().unwrap_or_else(|_| usage()),
+            "--out" => out = val(),
+            "--quick" => quick = true,
+            _ => usage(),
+        }
+    }
+    if quick && out == "BENCH_algo_compare.json" {
+        out = "target/BENCH_algo_compare_ci.json".to_string();
+    }
+    let rounds = rounds.unwrap_or(if quick { 3 } else { 15 });
+    let (alphas, faults, accels): (&[f64], &[&str], &[&str]) = if quick {
+        (&[0.1], &["chaos"], &["off"])
+    } else {
+        (&[0.1, 1.0], &["none", "chaos"], &["off", "rlhf"])
+    };
+    let obs_dir = std::path::PathBuf::from("target/obs/algo_compare");
+    std::fs::create_dir_all(&obs_dir).expect("create event-stream directory");
+
+    // Determinism probe: the heaviest composition (adaptive optimizer +
+    // both drift corrections, chaos faults, RLHF accel) must be
+    // bit-identical across 1 vs 4 worker threads — optimizer moments and
+    // control variates live in the sequential commit phase.
+    let deterministic = {
+        let mut cfg = trial_config("fedyogi", 0.1, "chaos", "rlhf", rounds.min(5), root_seed);
+        cfg.prox_mu = 0.1;
+        cfg.scaffold = true;
+        let mut one = cfg;
+        one.num_threads = 1;
+        let mut four = cfg;
+        four.num_threads = 4;
+        let a = Experiment::new(one).expect("valid config").run();
+        let b = Experiment::new(four).expect("valid config").run();
+        let ok = a == b;
+        eprintln!(
+            "determinism probe (fedyogi+prox+scaffold, chaos, 1 vs 4 threads): {}",
+            if ok { "bit-identical" } else { "DIVERGED" }
+        );
+        ok
+    };
+
+    let mut rows = Vec::new();
+    let mut trial_idx = 0u64;
+    for algo in ALGOS {
+        for &alpha in alphas {
+            for fault in faults {
+                for accel in accels {
+                    let seed = split_seed(root_seed, trial_idx);
+                    rows.push(run_trial(algo, alpha, fault, accel, rounds, seed, &obs_dir));
+                    trial_idx += 1;
+                }
+            }
+        }
+    }
+
+    // Pair each (algo, α, fault) cell's off and rlhf runs: the accel ×
+    // optimizer interaction the harness exists to surface.
+    let mut interactions = Vec::new();
+    if accels.contains(&"off") && accels.contains(&"rlhf") {
+        for algo in ALGOS {
+            for &alpha in alphas {
+                for fault in faults {
+                    let find = |accel: &str| {
+                        rows.iter()
+                            .find(|r| {
+                                r.algo == algo
+                                    && r.alpha == alpha
+                                    && r.fault == *fault
+                                    && r.accel == accel
+                            })
+                            .expect("grid cell present")
+                    };
+                    let off = find("off").mean_accuracy;
+                    let rlhf = find("rlhf").mean_accuracy;
+                    interactions.push(InteractionRow {
+                        algo: algo.to_string(),
+                        alpha,
+                        fault: fault.to_string(),
+                        off_mean_accuracy: off,
+                        rlhf_mean_accuracy: rlhf,
+                        rlhf_gain: rlhf - off,
+                    });
+                }
+            }
+        }
+    }
+
+    let row_count = rows.len();
+    let interaction_count = interactions.len();
+    let report = BenchReport {
+        benchmark: "algo_compare".to_string(),
+        selector: "fedavg".to_string(),
+        rounds,
+        root_seed,
+        deterministic_across_threads: deterministic,
+        rows,
+        interactions,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out, format!("{json}\n")).expect("write benchmark output");
+    eprintln!("wrote {out} ({row_count} trials, {interaction_count} interaction cells)");
+
+    // Parse-back self-check: the emitted JSON must round-trip, carry
+    // finite accuracies, correctly suffixed labels, and event streams
+    // that replay from disk.
+    let parsed: BenchReport =
+        serde_json::from_str(&std::fs::read_to_string(&out).expect("read back benchmark output"))
+            .expect("benchmark output parses");
+    assert_eq!(parsed.rows.len(), row_count);
+    assert_eq!(parsed.interactions.len(), interaction_count);
+    for row in &parsed.rows {
+        assert!(
+            row.mean_accuracy.is_finite() && (0.0..=1.0).contains(&row.mean_accuracy),
+            "{}: mean accuracy {} out of range",
+            row.algo,
+            row.mean_accuracy
+        );
+        assert!(
+            row.completions + row.dropouts > 0,
+            "{}: trial did no work",
+            row.algo
+        );
+        let (want_suffix, forbid) = match row.algo.as_str() {
+            "fedavg" => ("", "@"),
+            "fedavgm" => ("@fedavgm", "+"),
+            "fedadam" => ("@fedadam", "+"),
+            "fedyogi" => ("@fedyogi", "+"),
+            "fedavg+prox" => ("+prox", "@"),
+            _ => ("+scaffold", "@"),
+        };
+        assert!(
+            row.label.ends_with(want_suffix) && !row.label.contains(forbid),
+            "{}: label {} does not carry suffix {:?}",
+            row.algo,
+            row.label,
+            want_suffix
+        );
+        assert!(row.events > 0, "{}: trial recorded no events", row.algo);
+        let stream = std::fs::read_to_string(&row.jsonl)
+            .unwrap_or_else(|e| panic!("cannot read back {}: {e}", row.jsonl));
+        let events = sink::from_jsonl(&stream).expect("trial event stream replays");
+        assert!(!events.is_empty(), "{}: empty event stream", row.algo);
+    }
+    for cell in &parsed.interactions {
+        assert!(
+            cell.rlhf_gain.is_finite(),
+            "{}: non-finite interaction",
+            cell.algo
+        );
+    }
+    eprintln!(
+        "self-check passed: {row_count} trials, labels suffixed, event streams replay, \
+         {interaction_count} interaction cells finite"
+    );
+    if !deterministic {
+        std::process::exit(1);
+    }
+}

@@ -88,14 +88,20 @@ fn main() {
         "cpu", "mem", "net", "hf", "best", "visits"
     );
     for (key, entries) in rows {
+        // Same NaN-demoting argmax as `QTable::best_action`: a poisoned Q
+        // value must never masquerade as the learned policy in the dump.
+        let demoted = |e: &float_rl::QEntry| {
+            let s = e.scalar(0.5, 0.5);
+            if s.is_nan() {
+                f64::NEG_INFINITY
+            } else {
+                s
+            }
+        };
         let best = entries
             .iter()
             .enumerate()
-            .max_by(|a, b| {
-                a.1.scalar(0.5, 0.5)
-                    .partial_cmp(&b.1.scalar(0.5, 0.5))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .max_by(|a, b| demoted(a.1).total_cmp(&demoted(b.1)).then(a.0.cmp(&b.0)))
             .map(|(i, _)| i)
             .unwrap_or(0);
         let total: u64 = entries.iter().map(|e| e.visits).sum();

@@ -54,7 +54,7 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 
 fn summarize(scenario: &str, resource: &str, per_client: &[Vec<f64>]) -> Fig4Row {
     let mut all: Vec<f64> = per_client.iter().flatten().copied().collect();
-    all.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    all.sort_by(f64::total_cmp);
     let n = all.len().max(1) as f64;
     let mean = all.iter().sum::<f64>() / n;
     let var = all.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;

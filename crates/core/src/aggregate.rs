@@ -17,43 +17,65 @@ pub struct PendingUpdate {
     pub staleness: u64,
 }
 
-/// Weighted-average aggregation of deltas into the global parameters.
+/// Staleness-discounted weighted mean of the pending deltas, in `f64`.
 ///
 /// Synchronous FedAvg: weight by sample count. Asynchronous updates are
 /// additionally discounted by `1 / sqrt(1 + staleness)` — the polynomial
-/// staleness weighting FedBuff uses.
+/// staleness weighting FedBuff uses. Accumulation runs in update order
+/// with `f64` precision, which is the determinism-relevant part: every
+/// server optimizer consumes this same mean.
 ///
-/// Returns the number of updates applied (0 leaves `global` untouched).
+/// Returns `None` when the batch is empty or carries no aggregate
+/// weight — callers must apply nothing and report zero updates applied.
 ///
 /// # Panics
 ///
-/// Panics if an update's delta length differs from `global.len()` —
+/// Panics if an update's delta length differs from `global_len` —
 /// aggregating mismatched models is a programming error, not a runtime
 /// condition.
-pub fn aggregate(global: &mut [f32], updates: &[PendingUpdate]) -> usize {
+pub fn weighted_mean_delta(global_len: usize, updates: &[PendingUpdate]) -> Option<Vec<f64>> {
     if updates.is_empty() {
-        return 0;
+        return None;
     }
     let mut total_weight = 0.0f64;
     for u in updates {
         assert_eq!(
             u.delta.len(),
-            global.len(),
+            global_len,
             "client {} delta has wrong length",
             u.client
         );
         total_weight += weight(u);
     }
     if total_weight <= 0.0 {
-        return 0;
+        return None;
     }
-    let mut acc = vec![0.0f64; global.len()];
+    let mut acc = vec![0.0f64; global_len];
     for u in updates {
         let w = weight(u) / total_weight;
         for (a, &d) in acc.iter_mut().zip(&u.delta) {
             *a += w * f64::from(d);
         }
     }
+    Some(acc)
+}
+
+/// Weighted-average aggregation of deltas into the global parameters —
+/// the plain FedAvg apply: `g += mean_delta`.
+///
+/// Returns the number of updates actually applied: `updates.len()` when
+/// the mean delta was folded in, `0` when the batch was empty or had no
+/// aggregate weight (in which case `global` is untouched). The return
+/// value is authoritative for ledger/event accounting — callers must not
+/// substitute `updates.len()`.
+///
+/// # Panics
+///
+/// Panics if an update's delta length differs from `global.len()`.
+pub fn aggregate(global: &mut [f32], updates: &[PendingUpdate]) -> usize {
+    let Some(acc) = weighted_mean_delta(global.len(), updates) else {
+        return 0;
+    };
     for (g, a) in global.iter_mut().zip(&acc) {
         *g += *a as f32;
     }
@@ -176,5 +198,51 @@ mod tests {
         let n = aggregate(&mut g, &[upd(0, vec![1.0], 0, 0)]);
         assert_eq!(n, 1);
         assert!((g[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn applied_count_agrees_with_mutation() {
+        // The return value is the authoritative "applied" count: it is
+        // positive exactly when the mean delta exists and was folded in,
+        // and zero exactly when `global` was left untouched.
+        let cases: Vec<Vec<PendingUpdate>> = vec![
+            vec![],
+            vec![upd(0, vec![0.5, -0.5], 4, 0)],
+            vec![
+                upd(0, vec![1.0, 0.0], 0, u64::MAX),
+                upd(1, vec![0.0, 1.0], 0, 0),
+            ],
+        ];
+        for updates in cases {
+            let before = vec![1.0f32, -2.0];
+            let mut g = before.clone();
+            let n = aggregate(&mut g, &updates);
+            let mean = weighted_mean_delta(g.len(), &updates);
+            match mean {
+                None => {
+                    assert_eq!(n, 0, "no mean delta must report zero applied");
+                    assert_eq!(g, before, "no mean delta must leave global");
+                }
+                Some(_) => assert_eq!(n, updates.len(), "applied count mismatch"),
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_mean_delta_matches_direct_apply() {
+        let updates = vec![
+            upd(0, vec![1.0, 3.0], 30, 0),
+            upd(1, vec![-1.0, 1.0], 10, 2),
+        ];
+        let mut g = vec![0.25f32, -0.75];
+        let expect: Vec<f32> = {
+            let mean = weighted_mean_delta(2, &updates).expect("weighted batch");
+            g.iter().zip(&mean).map(|(x, m)| *x + *m as f32).collect()
+        };
+        aggregate(&mut g, &updates);
+        assert_eq!(
+            g.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            expect.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        );
     }
 }

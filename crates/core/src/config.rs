@@ -9,6 +9,8 @@ use float_obs::ObsConfig;
 use float_sim::FaultPlan;
 use float_traces::InterferenceModel;
 
+use crate::optim::ServerOptimConfig;
+
 /// Which client-selection algorithm drives the run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SelectorChoice {
@@ -191,6 +193,27 @@ pub struct ExperimentConfig {
     /// contract and `RoundRecord::eligible` for telemetry semantics.
     #[serde(default)]
     pub candidate_pool: usize,
+    /// Server-side aggregation optimizer (the FedOpt family). The
+    /// default is plain FedAvg, byte-identical to pre-optimizer reports;
+    /// FedAvgM / FedAdam / FedYogi keep moment buffers that advance only
+    /// in the sequential commit phase, so every choice honours the
+    /// thread-count determinism contract. See `DESIGN.md` §Server
+    /// optimizer layer.
+    #[serde(default)]
+    pub server_optim: ServerOptimConfig,
+    /// FedProx proximal coefficient `μ` (`0` ⇒ off, the historical
+    /// training path bit for bit). When positive, every local gradient
+    /// step is pulled toward the round's global parameters by
+    /// `μ·(w − w_global)`, bounding client drift under non-IID data.
+    #[serde(default)]
+    pub prox_mu: f64,
+    /// SCAFFOLD control variates: maintain a server variate `c` and one
+    /// per-client variate `c_i`, correct every local gradient by
+    /// `c − c_i`, and fold variate updates in at commit time (sequential,
+    /// cohort order — deterministic for any thread count). Composable
+    /// with [`ExperimentConfig::prox_mu`].
+    #[serde(default)]
+    pub scaffold: bool,
 }
 
 impl ExperimentConfig {
@@ -235,6 +258,9 @@ impl ExperimentConfig {
             eval_sample: 0,
             shard_cache: 0,
             candidate_pool: 0,
+            server_optim: ServerOptimConfig::default(),
+            prox_mu: 0.0,
+            scaffold: false,
         }
     }
 
@@ -269,6 +295,9 @@ impl ExperimentConfig {
             eval_sample: 0,
             shard_cache: 0,
             candidate_pool: 0,
+            server_optim: ServerOptimConfig::default(),
+            prox_mu: 0.0,
+            scaffold: false,
         }
     }
 
@@ -408,6 +437,13 @@ impl ExperimentConfig {
                 ));
             }
         }
+        if self.prox_mu < 0.0 || !self.prox_mu.is_finite() {
+            return Err(format!(
+                "prox_mu {} must be non-negative and finite (0 disables FedProx)",
+                self.prox_mu
+            ));
+        }
+        self.server_optim.validate()?;
         self.fault_plan.validate()?;
         self.obs.validate()?;
         Ok(())
@@ -481,6 +517,19 @@ mod tests {
         let mut c = base;
         c.candidate_pool = c.cohort_size;
         c.validate().expect("pool = cohort must validate");
+        let mut c = base;
+        c.prox_mu = f64::NAN;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.server_optim.server_lr = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.server_optim =
+            crate::optim::ServerOptimConfig::with(crate::optim::ServerOptimizerChoice::FedYogi);
+        c.prox_mu = 0.1;
+        c.scaffold = true;
+        c.validate()
+            .expect("drift corrections compose with any server optimizer");
     }
 
     #[test]
@@ -523,6 +572,26 @@ mod tests {
         c.candidate_pool = 12; // async_concurrency is 20
         let err = c.validate().expect_err("pool below concurrency");
         assert!(err.contains("12") && err.contains("20"), "message: {err}");
+        let mut c = base;
+        c.prox_mu = -0.5;
+        let err = c.validate().expect_err("bad prox_mu");
+        assert!(err.contains("-0.5"), "message: {err}");
+        let mut c = base;
+        c.server_optim.beta1 = 1.25;
+        let err = c.validate().expect_err("bad beta1");
+        assert!(err.contains("1.25"), "message: {err}");
+    }
+
+    #[test]
+    fn server_optim_defaults_keep_fedavg() {
+        let c = ExperimentConfig::small(SelectorChoice::FedAvg, AccelMode::Off, 5);
+        assert_eq!(
+            c.server_optim.optimizer,
+            crate::optim::ServerOptimizerChoice::FedAvg,
+            "presets must default to the historical FedAvg path"
+        );
+        assert_eq!(c.prox_mu, 0.0);
+        assert!(!c.scaffold);
     }
 
     #[test]

@@ -21,9 +21,11 @@ pub mod aggregate;
 pub mod config;
 pub mod engine;
 pub mod metrics;
+pub mod optim;
 pub mod runtime;
 
 pub use config::{AccelMode, ExperimentConfig, SelectorChoice};
 pub use float_data::ShardCacheStats;
 pub use metrics::{AccuracySummary, ExperimentReport, RoundRecord, TechniqueStats};
+pub use optim::{ServerOptimConfig, ServerOptimizer, ServerOptimizerChoice};
 pub use runtime::Experiment;

@@ -1,0 +1,431 @@
+//! Server-side aggregation optimizers (the FedOpt family).
+//!
+//! FedAvg applies the weighted-mean client delta directly; the adaptive
+//! members keep first/second-moment state over the *aggregated delta*
+//! (never per-client state), exactly as Reddi et al.'s FedOpt framework
+//! prescribes:
+//!
+//! ```text
+//! m_{t+1} = β₁·m_t + (1-β₁)·Δ_t            (FedAdam / FedYogi)
+//! v_{t+1} = β₂·v_t + (1-β₂)·Δ_t²            (FedAdam)
+//! v_{t+1} = v_t − (1-β₂)·Δ_t²·sign(v_t−Δ_t²) (FedYogi)
+//! w_{t+1} = w_t + η·m_{t+1}/(√v_{t+1} + τ)
+//! ```
+//!
+//! FedAvgM is classical server momentum (`m ← β₁·m + Δ; w ← w + η·m`).
+//!
+//! Determinism contract: optimizer state is mutated only in the
+//! sequential commit phase (both engines call [`ServerOptimizer::apply`]
+//! from their aggregation step), all accumulation runs in `f64` in
+//! parameter order, and [`ServerOptimizerChoice::FedAvg`] reproduces the
+//! historical direct-apply path bit for bit — see `DESIGN.md` §Server
+//! optimizer layer.
+
+use serde::{Deserialize, Serialize};
+
+use crate::aggregate::{weighted_mean_delta, PendingUpdate};
+
+/// Which server-side optimizer folds the aggregated delta into the
+/// global model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServerOptimizerChoice {
+    /// Direct application of the weighted-mean delta (the historical
+    /// path, bit-identical to pre-optimizer reports).
+    FedAvg,
+    /// Server momentum over the aggregated delta.
+    FedAvgM,
+    /// Adam at the server (FedOpt).
+    FedAdam,
+    /// Yogi at the server: additive, sign-controlled second moment —
+    /// more stable than Adam when deltas are sparse or bursty.
+    FedYogi,
+}
+
+impl ServerOptimizerChoice {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServerOptimizerChoice::FedAvg => "fedavg",
+            ServerOptimizerChoice::FedAvgM => "fedavgm",
+            ServerOptimizerChoice::FedAdam => "fedadam",
+            ServerOptimizerChoice::FedYogi => "fedyogi",
+        }
+    }
+
+    /// All four optimizers, in comparison-grid order.
+    pub const ALL: [ServerOptimizerChoice; 4] = [
+        ServerOptimizerChoice::FedAvg,
+        ServerOptimizerChoice::FedAvgM,
+        ServerOptimizerChoice::FedAdam,
+        ServerOptimizerChoice::FedYogi,
+    ];
+}
+
+/// Hyperparameters of the server optimizer. The defaults select
+/// [`ServerOptimizerChoice::FedAvg`], so configurations that never heard
+/// of this struct (old JSON, existing presets) keep their exact
+/// behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerOptimConfig {
+    /// Which optimizer runs at the server.
+    pub optimizer: ServerOptimizerChoice,
+    /// Server learning rate `η`. Ignored by FedAvg (whose step is the
+    /// raw mean delta); `1.0` keeps the adaptive members on the same
+    /// scale as FedAvg.
+    pub server_lr: f64,
+    /// First-moment coefficient `β₁` (FedAvgM momentum / Adam / Yogi).
+    pub beta1: f64,
+    /// Second-moment coefficient `β₂` (FedAdam / FedYogi).
+    pub beta2: f64,
+    /// Adaptivity floor `τ` added to `√v` — bounds the effective
+    /// per-parameter learning rate at `η/τ`.
+    pub tau: f64,
+}
+
+impl Default for ServerOptimConfig {
+    fn default() -> Self {
+        ServerOptimConfig {
+            optimizer: ServerOptimizerChoice::FedAvg,
+            server_lr: 1.0,
+            beta1: 0.9,
+            beta2: 0.99,
+            tau: 1e-3,
+        }
+    }
+}
+
+impl ServerOptimConfig {
+    /// A preset for `optimizer` with the default hyperparameters.
+    pub fn with(optimizer: ServerOptimizerChoice) -> Self {
+        ServerOptimConfig {
+            optimizer,
+            ..Default::default()
+        }
+    }
+
+    /// Validate internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint, carrying
+    /// the offending value.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.server_lr <= 0.0 || !self.server_lr.is_finite() {
+            return Err(format!(
+                "server_optim.server_lr {} must be positive and finite",
+                self.server_lr
+            ));
+        }
+        if !(0.0..1.0).contains(&self.beta1) {
+            return Err(format!(
+                "server_optim.beta1 {} must be in [0, 1)",
+                self.beta1
+            ));
+        }
+        if !(0.0..1.0).contains(&self.beta2) {
+            return Err(format!(
+                "server_optim.beta2 {} must be in [0, 1)",
+                self.beta2
+            ));
+        }
+        if self.tau <= 0.0 || !self.tau.is_finite() {
+            return Err(format!(
+                "server_optim.tau {} must be positive and finite",
+                self.tau
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The server optimizer: configuration plus moment buffers, lazily sized
+/// to the model on first use. Owned by the experiment and only ever
+/// touched from the sequential commit phase, so its state trajectory is
+/// identical for any worker-thread count.
+#[derive(Debug, Clone)]
+pub struct ServerOptimizer {
+    cfg: ServerOptimConfig,
+    /// First moment `m` (FedAvgM / FedAdam / FedYogi). Empty until the
+    /// first aggregation.
+    momentum: Vec<f64>,
+    /// Second moment `v` (FedAdam / FedYogi). Empty until the first
+    /// aggregation.
+    second: Vec<f64>,
+}
+
+impl ServerOptimizer {
+    /// Build an optimizer from its configuration.
+    pub fn new(cfg: ServerOptimConfig) -> Self {
+        ServerOptimizer {
+            cfg,
+            momentum: Vec::new(),
+            second: Vec::new(),
+        }
+    }
+
+    /// The configuration this optimizer runs with.
+    pub fn config(&self) -> &ServerOptimConfig {
+        &self.cfg
+    }
+
+    /// Aggregate `updates` into `global` through the configured
+    /// optimizer: compute the staleness-discounted weighted-mean delta,
+    /// then fold it in via [`ServerOptimizer::apply`].
+    ///
+    /// Returns the number of updates actually applied — `0` when the
+    /// batch is empty or carries no aggregate weight, in which case
+    /// `global` and the optimizer state are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an update's delta length differs from `global.len()`.
+    pub fn aggregate(&mut self, global: &mut [f32], updates: &[PendingUpdate]) -> usize {
+        let Some(delta) = weighted_mean_delta(global.len(), updates) else {
+            return 0;
+        };
+        self.apply(global, &delta);
+        updates.len()
+    }
+
+    /// Apply one aggregated mean delta to the global parameters,
+    /// advancing the moment buffers. FedAvg performs exactly the
+    /// historical `g += delta as f32` walk, so selecting it reproduces
+    /// pre-optimizer reports bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta.len() != global.len()`.
+    pub fn apply(&mut self, global: &mut [f32], delta: &[f64]) {
+        assert_eq!(
+            delta.len(),
+            global.len(),
+            "aggregated delta length {} does not match the model's {}",
+            delta.len(),
+            global.len()
+        );
+        let ServerOptimConfig {
+            optimizer,
+            server_lr: eta,
+            beta1,
+            beta2,
+            tau,
+        } = self.cfg;
+        match optimizer {
+            ServerOptimizerChoice::FedAvg => {
+                for (g, d) in global.iter_mut().zip(delta) {
+                    *g += *d as f32;
+                }
+            }
+            ServerOptimizerChoice::FedAvgM => {
+                self.ensure_momentum(global.len());
+                for ((g, d), m) in global.iter_mut().zip(delta).zip(&mut self.momentum) {
+                    *m = beta1 * *m + *d;
+                    *g = (f64::from(*g) + eta * *m) as f32;
+                }
+            }
+            ServerOptimizerChoice::FedAdam => {
+                self.ensure_momentum(global.len());
+                self.ensure_second(global.len());
+                for (((g, d), m), v) in global
+                    .iter_mut()
+                    .zip(delta)
+                    .zip(&mut self.momentum)
+                    .zip(&mut self.second)
+                {
+                    *m = beta1 * *m + (1.0 - beta1) * *d;
+                    *v = beta2 * *v + (1.0 - beta2) * *d * *d;
+                    *g = (f64::from(*g) + eta * *m / (v.sqrt() + tau)) as f32;
+                }
+            }
+            ServerOptimizerChoice::FedYogi => {
+                self.ensure_momentum(global.len());
+                self.ensure_second(global.len());
+                for (((g, d), m), v) in global
+                    .iter_mut()
+                    .zip(delta)
+                    .zip(&mut self.momentum)
+                    .zip(&mut self.second)
+                {
+                    *m = beta1 * *m + (1.0 - beta1) * *d;
+                    let d2 = *d * *d;
+                    *v -= (1.0 - beta2) * d2 * (*v - d2).signum();
+                    *g = (f64::from(*g) + eta * *m / (v.sqrt().max(0.0) + tau)) as f32;
+                }
+            }
+        }
+    }
+
+    /// Snapshot of the moment buffers (momentum, second moment) for
+    /// determinism tests; empty until the optimizer first applies.
+    pub fn state(&self) -> (&[f64], &[f64]) {
+        (&self.momentum, &self.second)
+    }
+
+    fn ensure_momentum(&mut self, n: usize) {
+        if self.momentum.len() != n {
+            self.momentum = vec![0.0; n];
+        }
+    }
+
+    fn ensure_second(&mut self, n: usize) {
+        if self.second.len() != n {
+            self.second = vec![0.0; n];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::aggregate;
+
+    fn upd(client: usize, delta: Vec<f32>, samples: usize) -> PendingUpdate {
+        PendingUpdate {
+            client,
+            delta,
+            samples,
+            staleness: 0,
+        }
+    }
+
+    #[test]
+    fn default_config_is_fedavg_and_validates() {
+        let cfg = ServerOptimConfig::default();
+        assert_eq!(cfg.optimizer, ServerOptimizerChoice::FedAvg);
+        cfg.validate().expect("default must validate");
+    }
+
+    #[test]
+    fn validation_messages_carry_offending_values() {
+        let cfg = ServerOptimConfig {
+            server_lr: -0.25,
+            ..ServerOptimConfig::default()
+        };
+        let err = cfg.validate().expect_err("bad lr");
+        assert!(err.contains("-0.25"), "message: {err}");
+        let cfg = ServerOptimConfig {
+            beta1: 1.5,
+            ..ServerOptimConfig::default()
+        };
+        let err = cfg.validate().expect_err("bad beta1");
+        assert!(err.contains("1.5"), "message: {err}");
+        let cfg = ServerOptimConfig {
+            beta2: -0.1,
+            ..ServerOptimConfig::default()
+        };
+        let err = cfg.validate().expect_err("bad beta2");
+        assert!(err.contains("-0.1"), "message: {err}");
+        let cfg = ServerOptimConfig {
+            tau: f64::NAN,
+            ..ServerOptimConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn fedavg_choice_matches_plain_aggregate_bitwise() {
+        let updates = vec![
+            upd(0, vec![0.125, -3.5, 0.7], 30),
+            upd(1, vec![-0.25, 1.1, 0.01], 10),
+            upd(2, vec![9.75, 0.333, -2.25], 17),
+        ];
+        let mut direct = vec![0.5f32, -1.25, 2.0];
+        let n_direct = aggregate(&mut direct, &updates);
+        let mut through = vec![0.5f32, -1.25, 2.0];
+        let mut opt = ServerOptimizer::new(ServerOptimConfig::default());
+        let n_through = opt.aggregate(&mut through, &updates);
+        assert_eq!(n_direct, n_through);
+        assert_eq!(
+            direct.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            through.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            "FedAvg through the optimizer drifted from the direct path"
+        );
+        // FedAvg keeps no moment state.
+        assert!(opt.state().0.is_empty() && opt.state().1.is_empty());
+    }
+
+    #[test]
+    fn fedavgm_momentum_accumulates_across_rounds() {
+        let mut opt = ServerOptimizer::new(ServerOptimConfig {
+            optimizer: ServerOptimizerChoice::FedAvgM,
+            server_lr: 1.0,
+            beta1: 0.5,
+            ..Default::default()
+        });
+        let mut g = vec![0.0f32];
+        opt.apply(&mut g, &[1.0]); // m = 1, g = 1
+        assert!((g[0] - 1.0).abs() < 1e-6);
+        opt.apply(&mut g, &[1.0]); // m = 1.5, g = 2.5
+        assert!((g[0] - 2.5).abs() < 1e-6, "momentum lost: {}", g[0]);
+    }
+
+    #[test]
+    fn fedadam_step_is_bounded_by_lr_over_tau() {
+        let mut opt = ServerOptimizer::new(ServerOptimConfig {
+            optimizer: ServerOptimizerChoice::FedAdam,
+            server_lr: 0.1,
+            tau: 1e-3,
+            ..Default::default()
+        });
+        let mut g = vec![0.0f32];
+        for _ in 0..100 {
+            opt.apply(&mut g, &[1000.0]);
+        }
+        // η/τ bounds each per-parameter step; 100 steps stay under 100·η/τ.
+        assert!(g[0].is_finite());
+        assert!(g[0] <= 100.0 * 0.1 / 1e-3 + 1.0, "unbounded step: {}", g[0]);
+    }
+
+    #[test]
+    fn fedyogi_second_moment_moves_toward_delta_square() {
+        let cfg = ServerOptimConfig {
+            optimizer: ServerOptimizerChoice::FedYogi,
+            ..Default::default()
+        };
+        let mut opt = ServerOptimizer::new(cfg);
+        let mut g = vec![0.0f32];
+        for _ in 0..200 {
+            opt.apply(&mut g, &[2.0]);
+        }
+        let (_, v) = opt.state();
+        // Yogi's additive update converges v toward Δ² = 4 from below.
+        assert!((v[0] - 4.0).abs() < 0.5, "v = {}", v[0]);
+        assert!(g[0].is_finite());
+    }
+
+    #[test]
+    fn adaptive_optimizers_are_deterministic() {
+        for choice in ServerOptimizerChoice::ALL {
+            let cfg = ServerOptimConfig::with(choice);
+            let updates = vec![upd(0, vec![0.3, -0.7], 12), upd(1, vec![1.5, 0.2], 5)];
+            let run = || {
+                let mut opt = ServerOptimizer::new(cfg);
+                let mut g = vec![0.1f32, -0.2];
+                for _ in 0..5 {
+                    opt.aggregate(&mut g, &updates);
+                }
+                g.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            };
+            assert_eq!(run(), run(), "{choice:?} not deterministic");
+        }
+    }
+
+    #[test]
+    fn empty_batch_applies_nothing_and_reports_zero() {
+        for choice in ServerOptimizerChoice::ALL {
+            let mut opt = ServerOptimizer::new(ServerOptimConfig::with(choice));
+            let mut g = vec![1.0f32, 2.0];
+            assert_eq!(opt.aggregate(&mut g, &[]), 0);
+            assert_eq!(g, vec![1.0, 2.0], "{choice:?} moved on empty batch");
+            assert!(opt.state().0.is_empty(), "{choice:?} grew state");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_delta_panics() {
+        let mut opt = ServerOptimizer::new(ServerOptimConfig::with(ServerOptimizerChoice::FedAdam));
+        let mut g = vec![0.0f32; 2];
+        opt.apply(&mut g, &[1.0]);
+    }
+}

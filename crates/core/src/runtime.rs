@@ -24,13 +24,14 @@ use float_sim::{
     DropReason, FaultKind, ResourceLedger, RoundParams, SimClock,
 };
 use float_tensor::rng::{seed_rng, split_seed};
-use float_tensor::{Dataset, Mlp, MlpConfig, Sgd};
+use float_tensor::{Dataset, DriftOptions, Mlp, MlpConfig, Sgd};
 use float_traces::{AvailabilityStats, DeviceProfile, ResourceSampler, ResourceSnapshot};
 
-use crate::aggregate::{aggregate, dedup_updates, PendingUpdate};
+use crate::aggregate::{dedup_updates, PendingUpdate};
 use crate::config::{AccelMode, ExperimentConfig, SelectorChoice};
 use crate::engine::parallel_map_with;
 use crate::metrics::{AccuracySummary, ExperimentReport, RoundRecord};
+use crate::optim::{ServerOptimizer, ServerOptimizerChoice};
 
 /// Hidden width of the proxy model used for the accuracy side of the
 /// simulation. Kept modest so full 300-round runs stay fast.
@@ -94,6 +95,18 @@ pub struct Experiment {
     /// the exact count). Feeds `Event::RoundStart` and
     /// `RoundRecord::eligible` — never the pool size.
     record_eligible: Option<usize>,
+    /// Server-side aggregation optimizer (FedAvg / FedAvgM / FedAdam /
+    /// FedYogi). Its moment buffers advance only inside the sequential
+    /// aggregation step of either engine, so optimizer state — like every
+    /// other committed state — is identical for any worker-thread count.
+    server_optim: ServerOptimizer,
+    /// SCAFFOLD server control variate `c` (empty when SCAFFOLD is off).
+    /// Read by the parallel execute phase, mutated only at commit time.
+    scaffold_c: Vec<f32>,
+    /// SCAFFOLD per-client control variates `c_i`. Sparse like
+    /// `hf_overrun_ema` (absent ⇒ all-zero variate), so memory is
+    /// O(participants), not O(population).
+    scaffold_ci: HashMap<usize, Vec<f32>>,
 }
 
 /// The frozen inputs of one client attempt, produced by the sequential
@@ -145,6 +158,10 @@ struct AttemptExec {
     /// The fault (if any) the schedule injected into this attempt, carried
     /// back so the sequential commit phase can emit its telemetry event.
     fault: Option<FaultKind>,
+    /// Refreshed SCAFFOLD client control variate (`c_i⁺`, SCAFFOLD runs
+    /// only); folded into the server variate and stored at commit time,
+    /// in cohort order.
+    scaffold_ci: Option<Vec<f32>>,
 }
 
 /// Per-worker reusable buffers for the execute phase. Contents are fully
@@ -262,12 +279,25 @@ impl Experiment {
             &MlpConfig::new(synth.feature_dim, &[PROXY_HIDDEN], synth.num_classes),
             split_seed(seed, 6),
         );
-        let label = format!(
+        // Non-default optimizer / drift choices are spelled out in the
+        // label; the default FedAvg-no-drift path keeps the historical
+        // format byte for byte (pinned by the golden reports).
+        let mut label = format!(
             "{}({})/{}",
             config.accel.name(),
             config.selector.name(),
             config.task.name()
         );
+        if config.server_optim.optimizer != ServerOptimizerChoice::FedAvg {
+            label.push('@');
+            label.push_str(config.server_optim.optimizer.name());
+        }
+        if config.prox_mu > 0.0 {
+            label.push_str("+prox");
+        }
+        if config.scaffold {
+            label.push_str("+scaffold");
+        }
         let report = ExperimentReport {
             label,
             accuracy: AccuracySummary::from_accuracies(&[]),
@@ -286,6 +316,7 @@ impl Experiment {
             telemetry: None,
         };
         let protected = global_model.protected_mask();
+        let num_params = global_model.num_params();
         // The evaluation set: a fixed uniform sample from a dedicated seed
         // stream, sorted ascending so sampled evaluation visits clients in
         // the same order full evaluation does. Empty means "everyone".
@@ -320,6 +351,13 @@ impl Experiment {
             cohort_buf: Vec::new(),
             eval_set,
             record_eligible: None,
+            server_optim: ServerOptimizer::new(config.server_optim),
+            scaffold_c: if config.scaffold {
+                vec![0.0; num_params]
+            } else {
+                Vec::new()
+            },
+            scaffold_ci: HashMap::new(),
         })
     }
 
@@ -696,6 +734,7 @@ impl Experiment {
                 error_feedback: None,
                 duplicate: false,
                 fault,
+                scaffold_ci: None,
             };
         }
 
@@ -714,8 +753,25 @@ impl Experiment {
         let before = local.evaluate_mut(test).accuracy as f64;
         let mut opt = Sgd::new(self.config.learning_rate);
         let mut last_loss = 0.0f32;
+        // Drift corrections (FedProx / SCAFFOLD) read experiment state
+        // that only the sequential commit phase mutates, so the parallel
+        // execute phase sees one consistent view per round. With both
+        // corrections off this is the historical training path bit for
+        // bit (the default `DriftOptions` skips the correction branches).
+        let client_ci: &[f32] = self
+            .scaffold_ci
+            .get(&task.client)
+            .map_or(&[], |v| v.as_slice());
+        let drift = DriftOptions {
+            prox: (self.config.prox_mu > 0.0)
+                .then_some((self.config.prox_mu as f32, global_params)),
+            scaffold: self
+                .config
+                .scaffold
+                .then_some((self.scaffold_c.as_slice(), client_ci)),
+        };
         for e in 0..self.config.local_epochs {
-            last_loss = local.train_epoch_with(
+            last_loss = local.train_epoch_corrected(
                 shard,
                 self.config.batch_size,
                 &mut opt,
@@ -724,6 +780,7 @@ impl Experiment {
                     (round as u64) << 24 | (task.client as u64) << 8 | e as u64,
                 ),
                 &plan.train_options,
+                &drift,
             );
         }
         let after = local.evaluate_mut(test).accuracy as f64;
@@ -733,6 +790,27 @@ impl Experiment {
         scratch
             .delta
             .extend(scratch.params.iter().zip(global_params).map(|(l, g)| l - g));
+        // SCAFFOLD client-variate refresh (option II of the paper):
+        // c_i⁺ = c_i − c + (x − y_i)/(K·η_l) = c_i − c − Δ_i/(K·η_l),
+        // computed from the *raw* local delta before any wire transform.
+        // The commit phase folds it into the server variate sequentially.
+        let scaffold_ci = if self.config.scaffold {
+            let steps = self.config.local_epochs * task.shard_len.div_ceil(self.config.batch_size);
+            if steps == 0 {
+                None
+            } else {
+                let scale = 1.0 / (steps as f32 * self.config.learning_rate);
+                let ci_new: Vec<f32> = (0..scratch.delta.len())
+                    .map(|j| {
+                        let ci = client_ci.get(j).copied().unwrap_or(0.0);
+                        ci - self.scaffold_c[j] - scratch.delta[j] * scale
+                    })
+                    .collect();
+                Some(ci_new)
+            }
+        } else {
+            None
+        };
         // Apply the wire transform the acceleration dictates (quantization
         // grid, pruning zeros, sparsification). The attempt plan already
         // carries the masks — they depend only on the action, the global
@@ -801,6 +879,7 @@ impl Experiment {
             error_feedback,
             duplicate: fault == Some(FaultKind::DuplicateDelivery),
             fault,
+            scaffold_ci,
         }
     }
 
@@ -826,8 +905,10 @@ impl Experiment {
             exec.outcome.dropped = Some(DropReason::Quarantined);
             exec.update = None;
             // Discard the residual too: error feedback distilled from a
-            // poisoned update must not leak into future rounds.
+            // poisoned update must not leak into future rounds. The same
+            // goes for a SCAFFOLD variate derived from a poisoned delta.
             exec.error_feedback = None;
+            exec.scaffold_ci = None;
             exec.utility = 0.0;
             exec.improvement = 0.0;
             self.report.total_quarantined += 1;
@@ -837,6 +918,23 @@ impl Experiment {
             .drain_battery(task.client, exec.outcome.energy_j);
         if let Some(ef) = exec.error_feedback {
             self.error_feedback.insert(task.client, ef);
+        }
+        if let Some(ci_new) = exec.scaffold_ci.take() {
+            // Reject a variate poisoned by non-finite arithmetic: a NaN
+            // entry would spread to the server variate and from there to
+            // every client's gradients.
+            if ci_new.iter().all(|v| v.is_finite()) {
+                // Server variate: c += (c_i⁺ − c_i)/N over the population,
+                // applied here in cohort order (sequential ⇒ thread-count
+                // invariant, like all committed state).
+                let n = self.config.num_clients as f32;
+                let old = self.scaffold_ci.get(&task.client);
+                for (j, c) in self.scaffold_c.iter_mut().enumerate() {
+                    let prev = old.map_or(0.0, |v| v[j]);
+                    *c += (ci_new[j] - prev) / n;
+                }
+                self.scaffold_ci.insert(task.client, ci_new);
+            }
         }
         let completed = exec.outcome.completed();
         let reward = self.agent.as_mut().map(|agent| {
@@ -1049,14 +1147,17 @@ impl Experiment {
             }
             let suppressed = dedup_updates(&mut updates);
             self.report.duplicates_suppressed += suppressed;
-            aggregate(&mut global, &updates);
+            // The optimizer's applied count is authoritative: a batch with
+            // no aggregate weight applies nothing, and the event must say
+            // so rather than echo the batch size.
+            let applied = self.server_optim.aggregate(&mut global, &updates);
             self.global_model
                 .set_params(&global)
                 .expect("aggregation preserves parameter count");
             self.obs.record(Event::AggregationApplied {
                 round: round as u64,
                 sim_s: self.clock.now_s(),
-                updates: updates.len() as u64,
+                updates: applied as u64,
                 suppressed,
             });
 
@@ -1099,11 +1200,12 @@ impl Experiment {
         impl Eq for Finish {}
         impl Ord for Finish {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                // Min-heap on time.
+                // Min-heap on time. Finish times are sums of finite
+                // simulated durations, so `total_cmp` orders exactly like
+                // the old partial comparator while staying total.
                 other
                     .at_s
-                    .partial_cmp(&self.at_s)
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .total_cmp(&self.at_s)
                     .then(other.client.cmp(&self.client))
             }
         }
@@ -1211,14 +1313,14 @@ impl Experiment {
                 let suppressed = dedup_updates(&mut buffer);
                 self.report.duplicates_suppressed += suppressed;
                 let mut global = self.global_model.params();
-                aggregate(&mut global, &buffer);
+                let applied = self.server_optim.aggregate(&mut global, &buffer);
                 self.global_model
                     .set_params(&global)
                     .expect("aggregation preserves parameter count");
                 self.obs.record(Event::AggregationApplied {
                     round: agg_round as u64,
                     sim_s: self.clock.now_s(),
-                    updates: buffer.len() as u64,
+                    updates: applied as u64,
                     suppressed,
                 });
                 buffer.clear();

@@ -152,7 +152,7 @@ pub fn dirichlet_client_counts(
         let hot = props
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("proportions are finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0);
         counts[hot] = 1;

@@ -26,7 +26,7 @@ impl AdaptiveBinner {
         assert!(bins > 0, "need at least one bin");
         assert!(!samples.is_empty(), "cannot fit binner to no samples");
         let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite after filter"));
+        sorted.sort_by(f64::total_cmp);
         let mut boundaries = Vec::with_capacity(bins.saturating_sub(1));
         for i in 1..bins {
             let q = i as f64 / bins as f64;

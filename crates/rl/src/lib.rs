@@ -36,5 +36,5 @@ pub mod qtable;
 pub mod state;
 
 pub use agent::{AgentConfig, DecisionTrace, RlhfAgent};
-pub use qtable::{QKey, QTable};
+pub use qtable::{QEntry, QKey, QTable};
 pub use state::{DeadlineLevel, GlobalState, Level5, LocalState};

@@ -167,15 +167,27 @@ impl QTable {
 
     /// The best (highest scalarized) action for a state, or `None` if the
     /// state has never been visited.
+    ///
+    /// A NaN Q value (e.g. a reward distilled from a quarantined round)
+    /// is demoted below every finite value rather than silently winning
+    /// or losing by comparator accident: `f64::total_cmp`'s total order
+    /// ranks `+NaN` above `+∞`, and the old `partial_cmp(..).unwrap_or(
+    /// Equal)` biased the pick toward whichever action happened to sit
+    /// after the NaN. Ties break toward the highest index, matching the
+    /// historical `max_by` behaviour on all-finite rows bit for bit.
     pub fn best_action(&self, key: &QKey, w_p: f64, w_a: f64) -> Option<usize> {
+        let demoted = |e: &QEntry| {
+            let s = e.scalar(w_p, w_a);
+            if s.is_nan() {
+                f64::NEG_INFINITY
+            } else {
+                s
+            }
+        };
         self.row(key).map(|row| {
             row.iter()
                 .enumerate()
-                .max_by(|a, b| {
-                    a.1.scalar(w_p, w_a)
-                        .partial_cmp(&b.1.scalar(w_p, w_a))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
+                .max_by(|a, b| demoted(a.1).total_cmp(&demoted(b.1)).then(a.0.cmp(&b.0)))
                 .map(|(i, _)| i)
                 .unwrap_or(0)
         })
@@ -288,6 +300,38 @@ mod tests {
         }
         assert_eq!(t.best_action(&key(), 1.0, 0.0), Some(0));
         assert_eq!(t.best_action(&key(), 0.0, 1.0), Some(1));
+    }
+
+    #[test]
+    fn nan_q_value_never_wins_the_argmax() {
+        let mut t = QTable::new(3);
+        // Action 0 earns a solid finite value; action 2 is poisoned with a
+        // NaN reward (as a quarantined round's feedback could produce).
+        for _ in 0..10 {
+            t.update(key(), 0, 0.8, 0.8, 0.5, 0.0, (0.0, 0.0));
+        }
+        t.update(key(), 2, f64::NAN, f64::NAN, 0.5, 0.0, (0.0, 0.0));
+        assert_eq!(
+            t.best_action(&key(), 0.5, 0.5),
+            Some(0),
+            "a NaN Q value must rank below every finite value"
+        );
+        // All-NaN rows degrade deterministically instead of depending on
+        // comparator accidents: ties break toward the highest index.
+        let mut t = QTable::new(2);
+        t.update(key(), 0, f64::NAN, f64::NAN, 0.5, 0.0, (0.0, 0.0));
+        t.update(key(), 1, f64::NAN, f64::NAN, 0.5, 0.0, (0.0, 0.0));
+        assert_eq!(t.best_action(&key(), 0.5, 0.5), Some(1));
+    }
+
+    #[test]
+    fn fresh_row_tiebreak_matches_historical_last_index() {
+        // An all-zero (never-updated) row used to pick the last index via
+        // `max_by` returning the final maximum; the explicit index
+        // tiebreak must preserve that so pinned reports stay stable.
+        let mut t = QTable::new(5);
+        t.row_mut(key());
+        assert_eq!(t.best_action(&key(), 0.5, 0.5), Some(4));
     }
 
     #[test]

@@ -112,11 +112,21 @@ impl TiflSelector {
     /// Recompute tier boundaries by latency quantiles over profiled
     /// clients; unprofiled clients go to the middle tier.
     fn retier(&mut self) {
-        let mut latencies: Vec<f64> = self.profiles.values().filter_map(|p| p.latency_s).collect();
+        // Quarantine-style degradation: a non-finite latency sample (a
+        // poisoned EMA, a simulated sensor glitch) is excluded from the
+        // quantile computation instead of panicking the whole run, and
+        // `total_cmp` gives the sort a total order — identical to the old
+        // comparator on all-finite data.
+        let mut latencies: Vec<f64> = self
+            .profiles
+            .values()
+            .filter_map(|p| p.latency_s)
+            .filter(|l| l.is_finite())
+            .collect();
         if latencies.len() < NUM_TIERS {
             return;
         }
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies finite"));
+        latencies.sort_by(f64::total_cmp);
         let boundary = |q: f64| -> f64 {
             let idx = ((latencies.len() as f64 - 1.0) * q).round() as usize;
             latencies[idx.min(latencies.len() - 1)]
@@ -126,8 +136,12 @@ impl TiflSelector {
             .collect();
         for p in self.profiles.values_mut() {
             p.tier = match p.latency_s {
-                Some(l) => cuts.iter().position(|&c| l <= c).unwrap_or(NUM_TIERS - 1),
-                None => NUM_TIERS / 2,
+                Some(l) if l.is_finite() => {
+                    cuts.iter().position(|&c| l <= c).unwrap_or(NUM_TIERS - 1)
+                }
+                // No usable latency (never observed, or quarantined as
+                // non-finite): the middle tier, like any unprofiled client.
+                _ => NUM_TIERS / 2,
             };
         }
         self.retiered = self.ensured;
@@ -259,7 +273,10 @@ impl ClientSelector for TiflSelector {
                 tier,
                 ..ClientProfile::default()
             });
-            if f.duration_s > 0.0 {
+            // Quarantine non-finite samples at the source: folding a NaN
+            // or infinite duration into the EMA would poison the latency
+            // profile for every future re-tiering.
+            if f.duration_s > 0.0 && f.duration_s.is_finite() {
                 p.latency_s = Some(match p.latency_s {
                     Some(l) => 0.7 * l + 0.3 * f.duration_s,
                     None => f.duration_s,
@@ -365,5 +382,56 @@ mod tests {
         let mut s = TiflSelector::new(5);
         let picks = s.select(0, &pool(20), 8);
         assert_eq!(picks.len(), 8);
+    }
+
+    #[test]
+    fn non_finite_durations_are_quarantined_not_fatal() {
+        let mut s = TiflSelector::new(6);
+        // Clients report a mix of honest, NaN, and infinite durations;
+        // none of the poisoned samples may enter the latency EMAs.
+        for round in 0..RETIER_EVERY + 1 {
+            let results: Vec<SelectionFeedback> = (0..50)
+                .map(|c| {
+                    let d = match c % 3 {
+                        0 => 10.0 + c as f64,
+                        1 => f64::NAN,
+                        _ => f64::INFINITY,
+                    };
+                    fb(c, d, 1.0)
+                })
+                .collect();
+            s.feedback(round, &results);
+            let _ = s.select(round, &pool(50), 4);
+        }
+        for c in 0..50 {
+            if let Some(p) = s.profiles.get(&c) {
+                if let Some(l) = p.latency_s {
+                    assert!(l.is_finite(), "client {c} EMA poisoned to {l}");
+                }
+            }
+        }
+        // Selection still produces full cohorts after the poisoned rounds.
+        assert_eq!(s.select(99, &pool(50), 8).len(), 8);
+    }
+
+    #[test]
+    fn poisoned_latency_profile_degrades_to_middle_tier() {
+        // Simulate an EMA that was already poisoned (e.g. by state written
+        // before the quarantine guard existed): re-tiering must exclude it
+        // from the quantiles and park the client in the middle tier
+        // instead of panicking on the sort comparator.
+        let mut s = TiflSelector::new(7);
+        profile_clients(&mut s, 50);
+        s.profiles.get_mut(&3).expect("profiled").latency_s = Some(f64::NAN);
+        s.profiles.get_mut(&4).expect("profiled").latency_s = Some(f64::INFINITY);
+        for round in 20..20 + RETIER_EVERY {
+            let _ = s.select(round, &pool(50), 4);
+        }
+        assert_eq!(s.tier_of(3), Some(NUM_TIERS / 2));
+        assert_eq!(s.tier_of(4), Some(NUM_TIERS / 2));
+        // Finite clients keep a monotone latency→tier mapping.
+        let fast = s.tier_of(0).expect("profiled");
+        let slow = s.tier_of(49).expect("profiled");
+        assert!(fast < slow, "fast tier {fast} !< slow tier {slow}");
     }
 }

@@ -50,7 +50,7 @@ pub use conv::{Conv2d, FeatureShape, MaxPool2};
 pub use dataset::Dataset;
 pub use layers::{Linear, Relu};
 pub use loss::{softmax_cross_entropy, Evaluation};
-pub use model::{Mlp, MlpConfig};
+pub use model::{DriftOptions, Mlp, MlpConfig};
 pub use optim::Sgd;
 pub use rng::seed_rng;
 pub use tensor::Tensor;

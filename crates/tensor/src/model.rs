@@ -55,6 +55,25 @@ pub struct TrainOptions {
     pub frozen: Option<Vec<bool>>,
 }
 
+/// Client-drift corrections applied to every minibatch gradient — the
+/// composable FedProx / SCAFFOLD layer. The default applies nothing and
+/// leaves [`Mlp::train_epoch_with`] bit-identical to its historical
+/// behaviour (the correction branches are skipped entirely, so the
+/// floating-point op sequence is unchanged).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DriftOptions<'a> {
+    /// FedProx proximal term: `(μ, anchor)` adds `μ·(w − anchor)` to the
+    /// gradient, pulling local training toward the round's global
+    /// parameters. `anchor` must have [`Mlp::num_params`] entries.
+    pub prox: Option<(f32, &'a [f32])>,
+    /// SCAFFOLD control-variate correction: `(c, c_i)` adds the server
+    /// control variate minus the client's (`c − c_i`) to the gradient.
+    /// An empty `c_i` slice stands for an all-zero client variate (a
+    /// client correcting for the first time); otherwise both slices must
+    /// have [`Mlp::num_params`] entries.
+    pub scaffold: Option<(&'a [f32], &'a [f32])>,
+}
+
 /// Reusable buffers for the forward/backward and minibatching hot path.
 /// Everything here is overwritten before use; after the first batch the
 /// buffers reach steady-state capacity and training allocates nothing.
@@ -296,6 +315,23 @@ impl Mlp {
         seed: u64,
         opts: &TrainOptions,
     ) -> f32 {
+        self.train_epoch_corrected(data, batch_size, opt, seed, opts, &DriftOptions::default())
+    }
+
+    /// [`Mlp::train_epoch_with`] plus client-drift corrections applied to
+    /// each minibatch gradient *before* the acceleration hooks: FedProx's
+    /// proximal pull and/or SCAFFOLD's control-variate correction (see
+    /// [`DriftOptions`]). With the default (empty) drift options this is
+    /// exactly `train_epoch_with`, bit for bit.
+    pub fn train_epoch_corrected(
+        &mut self,
+        data: &Dataset,
+        batch_size: usize,
+        opt: &mut Sgd,
+        seed: u64,
+        opts: &TrainOptions,
+        drift: &DriftOptions<'_>,
+    ) -> f32 {
         if data.is_empty() || batch_size == 0 {
             return 0.0;
         }
@@ -326,6 +362,22 @@ impl Mlp {
                 Err(_) => continue,
             }
             self.grads_into(&mut grads);
+            if let Some((mu, anchor)) = drift.prox {
+                for ((g, &p), &a) in grads.iter_mut().zip(&params).zip(anchor) {
+                    *g += mu * (p - a);
+                }
+            }
+            if let Some((c, ci)) = drift.scaffold {
+                if ci.is_empty() {
+                    for (g, &cj) in grads.iter_mut().zip(c) {
+                        *g += cj;
+                    }
+                } else {
+                    for ((g, &cj), &cij) in grads.iter_mut().zip(c).zip(ci) {
+                        *g += cj - cij;
+                    }
+                }
+            }
             if let Some(frozen) = &opts.frozen {
                 for (g, &f) in grads.iter_mut().zip(frozen) {
                     if f {
@@ -525,6 +577,103 @@ mod tests {
         assert_eq!(by_ref, by_scratch);
         // A second scratch evaluation must be unaffected by buffer reuse.
         assert_eq!(m.evaluate_mut(&data), by_scratch);
+    }
+
+    #[test]
+    fn no_drift_is_bit_identical_to_plain_training() {
+        let data = xor_like();
+        let cfg = MlpConfig::new(2, &[8], 2);
+        let mut plain = Mlp::new(&cfg, 3);
+        let mut corrected = Mlp::new(&cfg, 3);
+        let mut opt_a = Sgd::new(0.2);
+        let mut opt_b = Sgd::new(0.2);
+        for e in 0..3 {
+            plain.train_epoch_with(&data, 16, &mut opt_a, e, &TrainOptions::default());
+            corrected.train_epoch_corrected(
+                &data,
+                16,
+                &mut opt_b,
+                e,
+                &TrainOptions::default(),
+                &DriftOptions::default(),
+            );
+        }
+        assert_eq!(
+            plain
+                .params()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>(),
+            corrected
+                .params()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>(),
+            "empty drift options changed the training trajectory"
+        );
+    }
+
+    #[test]
+    fn prox_term_pulls_training_toward_anchor() {
+        let data = xor_like();
+        let cfg = MlpConfig::new(2, &[8], 2);
+        let dist = |mu: f32| {
+            let mut m = Mlp::new(&cfg, 3);
+            let anchor = m.params();
+            let mut opt = Sgd::new(0.2);
+            for e in 0..5 {
+                m.train_epoch_corrected(
+                    &data,
+                    16,
+                    &mut opt,
+                    e,
+                    &TrainOptions::default(),
+                    &DriftOptions {
+                        prox: Some((mu, &anchor)),
+                        scaffold: None,
+                    },
+                );
+            }
+            m.params()
+                .iter()
+                .zip(&anchor)
+                .map(|(p, a)| f64::from((p - a) * (p - a)))
+                .sum::<f64>()
+        };
+        let free = dist(0.0);
+        let anchored = dist(5.0);
+        assert!(
+            anchored < free,
+            "μ=5 drift {anchored} not below unconstrained drift {free}"
+        );
+    }
+
+    #[test]
+    fn scaffold_correction_alters_trajectory_unless_variates_cancel() {
+        let data = xor_like();
+        let cfg = MlpConfig::new(2, &[8], 2);
+        let n = cfg.num_params();
+        let run = |drift: &DriftOptions<'_>| {
+            let mut m = Mlp::new(&cfg, 3);
+            let mut opt = Sgd::new(0.2);
+            m.train_epoch_corrected(&data, 16, &mut opt, 0, &TrainOptions::default(), drift);
+            m.params()
+        };
+        let baseline = run(&DriftOptions::default());
+        let c = vec![0.05f32; n];
+        // c == c_i cancels exactly: the correction adds zero per entry.
+        let cancelled = run(&DriftOptions {
+            prox: None,
+            scaffold: Some((&c, &c)),
+        });
+        assert_eq!(cancelled, baseline, "c == c_i must be a no-op correction");
+        // Empty c_i stands for zeros, so the server variate alone shifts
+        // every step.
+        let shifted = run(&DriftOptions {
+            prox: None,
+            scaffold: Some((&c, &[])),
+        });
+        assert_ne!(shifted, baseline, "nonzero c − c_i must move training");
     }
 
     #[test]

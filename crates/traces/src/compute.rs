@@ -191,7 +191,7 @@ mod tests {
                 .filter(|d| d.class == cls)
                 .map(|d| d.gflops)
                 .collect();
-            xs.sort_by(|a, b| a.partial_cmp(b).expect("gflops finite"));
+            xs.sort_by(f64::total_cmp);
             xs[xs.len() / 2]
         };
         assert!(med(DeviceClass::HighEnd) > med(DeviceClass::MidRange));

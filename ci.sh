@@ -34,6 +34,12 @@ cargo test -q --offline --test fault_injection --test sim_properties
 step "availability index + candidate pool tests"
 cargo test -q --offline --test availability_index --test candidate_pool
 
+# Pipelined rounds: plan/execute/commit overlap must change wall-clock
+# only — reports (including the pinned pre-pipeline goldens) byte-for-
+# byte, telemetry identical modulo phase-span stream position.
+step "pipelined-rounds determinism tests"
+cargo test -q --offline --test pipelined_determinism
+
 if [[ "${1:-}" != "quick" ]]; then
   # Short chaos run with a fixed seed, every fault kind active, and
   # telemetry on: asserts reports *and event streams* stay finite and
@@ -53,14 +59,29 @@ if [[ "${1:-}" != "quick" ]]; then
     --clients 1 > target/obs/obsdump_ci.txt
   grep -q "event stream and report reconcile exactly" target/obs/obsdump_ci.txt
 
+  # The same chaos run with pipelined rounds: identical invariants, plus
+  # an in-process byte-identity check against the sequential report, and
+  # a reconcile of the pipelined event stream (exercising the
+  # overlapped_us span accounting end to end).
+  step "chaos smoke (pipelined rounds)"
+  cargo run --release --offline --example chaos_smoke -- --pipelined
+  cargo run --release --offline -p float-bench --bin obsdump -- \
+    target/obs/chaos_sync_pipelined.jsonl \
+    --report target/obs/chaos_sync_pipelined.report.json \
+    --clients 1 > target/obs/obsdump_pipelined_ci.txt
+  grep -q "event stream and report reconcile exactly" \
+    target/obs/obsdump_pipelined_ci.txt
+
   # Kernel micro-bench in quick mode: asserts the blocked GEMM stays
   # bit-identical to the ascending-order reference and that the emitted
-  # report parses with positive throughput on every shape. Writes to a
+  # report parses with positive throughput on every shape. --gate holds
+  # every shape to its per-shape speedup floor over the pinned PR 3
+  # (4x8-kernel) baseline, so a kernel regression fails CI. Writes to a
   # scratch path so the checked-in BENCH_kernels.json (full run) is not
   # clobbered by CI's reduced iteration counts.
-  step "kernel throughput (quick self-check)"
+  step "kernel throughput (quick self-check, gated vs PR 3 baseline)"
   cargo run --release --offline -p float-bench --bin kernel_throughput -- \
-    --quick --out target/BENCH_kernels_ci.json
+    --quick --gate --out target/BENCH_kernels_ci.json
 
   # Population smoke: 10k clients, sync, fault-free + chaos, 1 vs 4
   # threads. Asserts bit-identical reports, finite numbers, and that

@@ -1,22 +1,32 @@
 //! `kernel_throughput` — GFLOP/s of the blocked GEMM kernels on the
 //! training hot-path shapes, against a naive triple-loop baseline.
 //!
-//! Shapes mirror what one local-training step actually runs (the MLP
-//! proxy's forward/backward GEMMs at the default batch size, plus the
-//! im2col convolution path and two square sizes that exercise the cache
-//! blocking). Before timing, each GEMM shape is checked bit-identical to
-//! the ascending-order reference — the determinism contract the round
-//! engine relies on. Results land in `BENCH_kernels.json`, which the tool
-//! re-reads and validates (`--quick` keeps iteration counts CI-sized).
+//! Shapes mirror what one local-training step actually runs: the MLP
+//! proxy's forward/backward GEMMs at the default batch size, every GEMM
+//! the Conv2d layers issue per sample (forward `weight·cols`, backward
+//! `grad·colsᵀ` and `weightᵀ·grad`), and two square sizes that exercise
+//! the cache blocking. Before timing, each GEMM shape is checked
+//! bit-identical to the ascending-order reference — the determinism
+//! contract the round engine relies on. Each shape is also timed through
+//! the packed-panel cache (steady-state hit path) to show what operand
+//! reuse buys. Results land in `BENCH_kernels.json` with per-shape deltas
+//! against the committed PR 3 numbers and geomean summaries; the tool
+//! re-reads and validates its own output (`--quick` keeps iteration
+//! counts CI-sized).
+//!
+//! With `--gate`, after writing the report the tool enforces the
+//! committed per-shape `speedup_vs_naive` floors and exits nonzero if any
+//! shape regressed below its floor — the CI kernel-regression gate.
 //!
 //! ```text
-//! kernel_throughput [--quick] [--out PATH]
+//! kernel_throughput [--quick] [--out PATH] [--gate]
 //! ```
 
 use std::hint::black_box;
 use std::time::Instant;
 
 use float_tensor::conv::{Conv2d, FeatureShape};
+use float_tensor::kernels::PanelCache;
 use float_tensor::{kernels, seed_rng, Tensor};
 use rand::Rng;
 use serde::Serialize;
@@ -29,8 +39,17 @@ struct ShapeResult {
     n: usize,
     iters: usize,
     gflops: f64,
+    /// Steady-state rate through the packed-panel cache (B operand hit).
+    cached_gflops: f64,
     naive_gflops: f64,
     speedup_vs_naive: f64,
+    /// `gflops` of the same shape in the committed PR 3 report, where the
+    /// shape existed then.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pr3_gflops: Option<f64>,
+    /// `gflops / pr3_gflops` — the before/after delta per shape.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    speedup_vs_pr3: Option<f64>,
 }
 
 #[derive(Serialize)]
@@ -38,8 +57,47 @@ struct BenchReport {
     benchmark: String,
     quick: bool,
     results: Vec<ShapeResult>,
+    /// Geometric mean of `gflops` over all shapes.
+    geomean_gflops: f64,
+    /// Geometric mean of `speedup_vs_naive` over all shapes.
+    geomean_speedup_vs_naive: f64,
+    /// Geometric mean of `speedup_vs_pr3` over the shapes PR 3 benched —
+    /// the headline before/after number (target ≥ 1.2).
+    geomean_speedup_vs_pr3: f64,
     conv_fwd_bwd_gflops: f64,
 }
+
+/// The committed PR 3 `gflops` per shape (from `BENCH_kernels.json` as of
+/// the 4×8 fixed-tile kernels), for before/after deltas.
+const PR3_GFLOPS: &[(&str, f64)] = &[
+    ("mlp_fwd_l0", 10.929614117802865),
+    ("mlp_fwd_l1", 6.996982457279465),
+    ("mlp_bwd_gw_l0", 9.882120151788026),
+    ("mlp_bwd_gw_l1", 8.42426507953991),
+    ("mlp_bwd_gin_l1", 8.270690633215322),
+    ("conv_im2col_8x8", 7.014427464357629),
+    ("square_128", 15.291581512618444),
+    ("square_256", 17.178793928930403),
+];
+
+/// Committed per-shape `speedup_vs_naive` floors for the CI gate. Set
+/// from measured quick-mode runs with ~50% headroom for timer noise on a
+/// loaded CI host; a drop below a floor means the kernels (or the tile
+/// dispatcher) genuinely regressed, not that the machine was busy —
+/// speedup is a ratio of two rates measured back-to-back, so load mostly
+/// cancels.
+const SPEEDUP_FLOORS: &[(&str, f64)] = &[
+    ("mlp_fwd_l0", 3.0),
+    ("mlp_fwd_l1", 2.0),
+    ("mlp_bwd_gw_l0", 3.0),
+    ("mlp_bwd_gw_l1", 1.8),
+    ("mlp_bwd_gin_l1", 2.8),
+    ("conv_im2col_8x8", 2.0),
+    ("conv_bwd_gw_8x8", 2.0),
+    ("conv_bwd_gcols_8x8", 2.0),
+    ("square_128", 8.0),
+    ("square_256", 8.0),
+];
 
 /// Ascending-`p` triple loop — the pre-kernel implementation, kept here as
 /// the honest baseline and bitwise reference.
@@ -60,26 +118,43 @@ fn random_vec(len: usize, seed: u64) -> Vec<f32> {
     (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
 }
 
+fn geomean(vals: impl Iterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut count) = (0.0f64, 0usize);
+    for v in vals {
+        log_sum += v.max(1e-12).ln();
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        (log_sum / count as f64).exp()
+    }
+}
+
 fn usage() -> ! {
-    eprintln!("usage: kernel_throughput [--quick] [--out PATH]");
+    eprintln!("usage: kernel_throughput [--quick] [--out PATH] [--gate]");
     std::process::exit(2);
 }
 
 fn main() {
     let mut quick = false;
+    let mut gate = false;
     let mut out_path = "BENCH_kernels.json".to_string();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--gate" => gate = true,
             "--out" => out_path = it.next().cloned().unwrap_or_else(|| usage()),
             _ => usage(),
         }
     }
 
     // The MLP proxy (24 → 128 → 10 at batch 16) forward/backward GEMMs,
-    // the im2col conv lowering, and two square blocking stress shapes.
+    // the three Conv2d per-sample GEMMs for the 2×8×8 → 8-channel layer
+    // (forward weight·cols, backward grad·colsᵀ and weightᵀ·grad), and
+    // two square blocking stress shapes.
     let shapes: &[(&str, usize, usize, usize)] = &[
         ("mlp_fwd_l0", 16, 24, 128),
         ("mlp_fwd_l1", 16, 128, 10),
@@ -87,6 +162,8 @@ fn main() {
         ("mlp_bwd_gw_l1", 128, 16, 10),
         ("mlp_bwd_gin_l1", 16, 10, 128),
         ("conv_im2col_8x8", 8, 18, 64),
+        ("conv_bwd_gw_8x8", 8, 64, 18),
+        ("conv_bwd_gcols_8x8", 18, 8, 64),
         ("square_128", 128, 128, 128),
         ("square_256", 256, 256, 256),
     ];
@@ -108,6 +185,18 @@ fn main() {
                 .all(|(x, y)| x.to_bits() == y.to_bits()),
             "{name}: blocked GEMM diverged from the ascending-order reference"
         );
+        // And the cached path must agree with the uncached one on both the
+        // miss (pack) and hit (replay) calls.
+        let mut cache = PanelCache::new();
+        for pass in 0..2 {
+            kernels::gemm_nn_b_cached(m, k, n, &a, &b, 1, &mut out, &mut cache);
+            assert!(
+                out.iter()
+                    .zip(&reference)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "{name}: cached GEMM diverged on pass {pass}"
+            );
+        }
 
         let flops_per_iter = 2.0 * m as f64 * k as f64 * n as f64;
         let iters = if quick {
@@ -123,6 +212,25 @@ fn main() {
         }
         let blocked_s = start.elapsed().as_secs_f64();
 
+        // Steady-state cached path: the B panels were packed above, so
+        // every timed iteration is a pure hit — the per-step reuse the
+        // model scratch sees within one forward/backward.
+        let start = Instant::now();
+        for _ in 0..iters {
+            kernels::gemm_nn_b_cached(
+                m,
+                k,
+                n,
+                black_box(&a),
+                black_box(&b),
+                1,
+                &mut out,
+                &mut cache,
+            );
+            black_box(&out);
+        }
+        let cached_s = start.elapsed().as_secs_f64();
+
         let start = Instant::now();
         for _ in 0..iters {
             naive_gemm(m, k, n, black_box(&a), black_box(&b), &mut out);
@@ -131,11 +239,16 @@ fn main() {
         let naive_s = start.elapsed().as_secs_f64();
 
         let gflops = flops_per_iter * iters as f64 / blocked_s.max(1e-12) / 1e9;
+        let cached_gflops = flops_per_iter * iters as f64 / cached_s.max(1e-12) / 1e9;
         let naive_gflops = flops_per_iter * iters as f64 / naive_s.max(1e-12) / 1e9;
+        let pr3_gflops = PR3_GFLOPS.iter().find(|(s, _)| *s == name).map(|&(_, g)| g);
         eprintln!(
-            "  {name:>16} ({m:>3}x{k:>3}x{n:>3}): {gflops:7.2} GFLOP/s  \
-             (naive {naive_gflops:6.2}, x{:.2})",
-            gflops / naive_gflops.max(1e-12)
+            "  {name:>18} ({m:>3}x{k:>3}x{n:>3}): {gflops:7.2} GFLOP/s  \
+             (cached {cached_gflops:7.2}, naive {naive_gflops:6.2}, x{:.2}{})",
+            gflops / naive_gflops.max(1e-12),
+            pr3_gflops
+                .map(|p| format!(", vs PR3 x{:.2}", gflops / p))
+                .unwrap_or_default()
         );
         results.push(ShapeResult {
             name: name.to_string(),
@@ -144,8 +257,11 @@ fn main() {
             n,
             iters,
             gflops,
+            cached_gflops,
             naive_gflops,
             speedup_vs_naive: gflops / naive_gflops.max(1e-12),
+            pr3_gflops,
+            speedup_vs_pr3: pr3_gflops.map(|p| gflops / p),
         });
     }
 
@@ -177,10 +293,21 @@ fn main() {
     let conv_gflops = conv_flops * conv_iters as f64 / conv_s.max(1e-12) / 1e9;
     eprintln!("  conv2d fwd+bwd (2x8x8 -> 8ch, batch 16): {conv_gflops:.2} GFLOP/s");
 
+    let geomean_gflops = geomean(results.iter().map(|r| r.gflops));
+    let geomean_speedup_vs_naive = geomean(results.iter().map(|r| r.speedup_vs_naive));
+    let geomean_speedup_vs_pr3 = geomean(results.iter().filter_map(|r| r.speedup_vs_pr3));
+    eprintln!(
+        "  geomean: {geomean_gflops:.2} GFLOP/s, x{geomean_speedup_vs_naive:.2} vs naive, \
+         x{geomean_speedup_vs_pr3:.2} vs PR 3"
+    );
+
     let report = BenchReport {
         benchmark: "kernel_throughput".to_string(),
         quick,
         results,
+        geomean_gflops,
+        geomean_speedup_vs_naive,
+        geomean_speedup_vs_pr3,
         conv_fwd_bwd_gflops: conv_gflops,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -197,11 +324,13 @@ fn main() {
         .expect("results array present");
     assert_eq!(parsed.len(), shapes.len(), "one result per shape");
     for entry in parsed {
-        let g = entry
-            .get("gflops")
-            .and_then(|g| g.as_f64())
-            .expect("gflops present");
-        assert!(g.is_finite() && g > 0.0, "non-positive GFLOP/s in report");
+        for field in ["gflops", "cached_gflops", "naive_gflops"] {
+            let g = entry
+                .get(field)
+                .and_then(|g| g.as_f64())
+                .expect("rate present");
+            assert!(g.is_finite() && g > 0.0, "non-positive {field} in report");
+        }
     }
     let cg = v
         .get("conv_fwd_bwd_gflops")
@@ -209,4 +338,37 @@ fn main() {
         .expect("conv rate present");
     assert!(cg.is_finite() && cg > 0.0, "non-positive conv GFLOP/s");
     eprintln!("self-check OK: report parses, all rates positive");
+
+    if gate {
+        // Kernel-regression gate: re-read the report just written and
+        // enforce the committed floors on the parsed values (so the gate
+        // exercises the same parse path CI depends on).
+        let mut failed = false;
+        for entry in parsed {
+            let name = entry
+                .get("name")
+                .and_then(|s| s.as_str())
+                .expect("name present");
+            let speedup = entry
+                .get("speedup_vs_naive")
+                .and_then(|g| g.as_f64())
+                .expect("speedup present");
+            let floor = SPEEDUP_FLOORS
+                .iter()
+                .find(|(s, _)| *s == name)
+                .map(|&(_, f)| f)
+                .unwrap_or_else(|| panic!("no committed floor for shape {name}"));
+            if speedup < floor {
+                eprintln!("GATE FAIL: {name} speedup_vs_naive {speedup:.2} < floor {floor:.2}");
+                failed = true;
+            } else {
+                eprintln!("gate ok: {name} x{speedup:.2} >= floor x{floor:.2}");
+            }
+        }
+        if failed {
+            eprintln!("kernel-regression gate FAILED");
+            std::process::exit(1);
+        }
+        eprintln!("kernel-regression gate passed");
+    }
 }

@@ -57,6 +57,25 @@ struct PhaseBreakdown {
 }
 
 #[derive(Serialize)]
+struct PipelineComparison {
+    /// Worker threads both arms ran with.
+    threads: usize,
+    sequential_rounds_per_sec: f64,
+    pipelined_rounds_per_sec: f64,
+    /// `pipelined / sequential` — the wall-clock win from overlapping
+    /// plan, streamed commits, and cross-round evaluation.
+    speedup: f64,
+    /// The acceptance gate: the pipelined report must equal the
+    /// sequential one byte-for-byte.
+    reports_byte_identical: bool,
+    /// From a profiled pipelined run: wall time the spans report as
+    /// overlapped with another phase, milliseconds, summed over rounds.
+    overlapped_ms: f64,
+    /// Σ span wall − Σ overlapped — the residual critical path.
+    critical_path_ms: f64,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     benchmark: String,
     selector: String,
@@ -68,6 +87,9 @@ struct BenchReport {
     deterministic_across_thread_counts: bool,
     results: Vec<ThreadResult>,
     telemetry: TelemetryOverhead,
+    /// Sequential vs pipelined rounds A/B at a fixed thread count, with
+    /// the byte-identity check the pipelining contract demands.
+    pipeline: PipelineComparison,
     /// Per-phase wall-clock from a profiled single-thread run (wall
     /// timers on). Wall payloads are non-deterministic by nature; the
     /// breakdown is reported for attribution, not for byte-stability.
@@ -238,6 +260,74 @@ fn main() {
         }
     };
 
+    // Pipelining A/B: the same workload with rounds executed
+    // sequentially and with plan/execute/commit overlapped. Best-of-3
+    // per arm; the reports must stay byte-identical (that is the whole
+    // contract — pipelining buys wall-clock, never different bits).
+    let pipeline = {
+        let ab_threads = threads
+            .iter()
+            .copied()
+            .find(|&t| t >= 4)
+            .unwrap_or(host.max(2));
+        let mut c = cfg;
+        c.num_threads = ab_threads;
+        let best = |pipelined: bool| {
+            let mut c = c;
+            c.pipeline_rounds = pipelined;
+            let mut report = None;
+            let secs = (0..3)
+                .map(|_| {
+                    let exp = Experiment::new(c).expect("valid config");
+                    let start = Instant::now();
+                    report = Some(exp.run());
+                    start.elapsed().as_secs_f64()
+                })
+                .fold(f64::INFINITY, f64::min);
+            (secs, report.expect("ran at least once"))
+        };
+        let (seq_secs, seq_report) = best(false);
+        let (pip_secs, pip_report) = best(true);
+        let identical = seq_report == pip_report;
+        let seq_rps = rounds as f64 / seq_secs.max(1e-9);
+        let pip_rps = rounds as f64 / pip_secs.max(1e-9);
+
+        // Overlap attribution from one profiled pipelined run.
+        let mut prof = c;
+        prof.pipeline_rounds = true;
+        prof.obs = float_obs::ObsConfig::profiled();
+        let (_, tel) = Experiment::new(prof).expect("valid config").run_traced();
+        let (mut wall, mut overlapped) = (0u64, 0u64);
+        for event in &tel.events {
+            if let float_obs::Event::PhaseSpan {
+                wall_us,
+                overlapped_us,
+                ..
+            } = event
+            {
+                wall += wall_us;
+                overlapped += overlapped_us.unwrap_or(0);
+            }
+        }
+        eprintln!(
+            "  pipeline ({ab_threads} threads): sequential {seq_rps:6.2} rounds/s,              pipelined {pip_rps:6.2} rounds/s (x{:.2}), byte-identical: {identical},              {:.1} ms overlapped",
+            pip_rps / seq_rps.max(1e-9),
+            overlapped as f64 / 1e3,
+        );
+        if !identical {
+            eprintln!("WARNING: pipelined report diverged from sequential — determinism bug!");
+        }
+        PipelineComparison {
+            threads: ab_threads,
+            sequential_rounds_per_sec: seq_rps,
+            pipelined_rounds_per_sec: pip_rps,
+            speedup: pip_rps / seq_rps.max(1e-9),
+            reports_byte_identical: identical,
+            overlapped_ms: overlapped as f64 / 1e3,
+            critical_path_ms: wall.saturating_sub(overlapped) as f64 / 1e3,
+        }
+    };
+
     let report = BenchReport {
         benchmark: "round_throughput".to_string(),
         selector: "fedavg".to_string(),
@@ -249,12 +339,13 @@ fn main() {
         deterministic_across_thread_counts: deterministic,
         results,
         telemetry,
+        pipeline,
         phases,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, format!("{json}\n")).expect("write benchmark output");
     eprintln!("wrote {out}");
-    if !deterministic {
+    if !deterministic || !report.pipeline.reports_byte_identical {
         std::process::exit(1);
     }
 }

@@ -214,6 +214,18 @@ pub struct ExperimentConfig {
     /// with [`ExperimentConfig::prox_mu`].
     #[serde(default)]
     pub scaffold: bool,
+    /// Pipelined round execution: stream each attempt to the worker pool
+    /// the moment it is planned and commit completed attempts in slot
+    /// order while later attempts still execute, overlapping the round's
+    /// plan/execute/commit phases instead of running them as strict
+    /// barriers; round-`r` accuracy evaluation additionally overlaps the
+    /// start of round `r+1`. Off by default (the historical three-phase
+    /// schedule). Results are byte-identical either way — commits retire
+    /// in the same deterministic slot order and evaluation reads a
+    /// snapshot of the committed model — see `DESIGN.md` §16 for the
+    /// contract and the pinned pipelined-vs-sequential golden tests.
+    #[serde(default)]
+    pub pipeline_rounds: bool,
 }
 
 impl ExperimentConfig {
@@ -261,6 +273,7 @@ impl ExperimentConfig {
             server_optim: ServerOptimConfig::default(),
             prox_mu: 0.0,
             scaffold: false,
+            pipeline_rounds: false,
         }
     }
 
@@ -298,6 +311,7 @@ impl ExperimentConfig {
             server_optim: ServerOptimConfig::default(),
             prox_mu: 0.0,
             scaffold: false,
+            pipeline_rounds: false,
         }
     }
 

@@ -4,7 +4,9 @@
 //! loop).
 
 use std::collections::{BinaryHeap, HashMap};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::Instant;
 
 use rand::seq::SliceRandom;
 
@@ -107,6 +109,30 @@ pub struct Experiment {
     /// `hf_overrun_ema` (absent ⇒ all-zero variate), so memory is
     /// O(participants), not O(population).
     scaffold_ci: HashMap<usize, Vec<f32>>,
+    /// Persistent per-worker evaluation models: clones of the global
+    /// architecture re-parameterized once per evaluation pass via
+    /// [`Mlp::set_params`]. Reusing them keeps each worker's forward
+    /// scratch *and* packed-panel cache warm across the whole eval sweep —
+    /// `set_params` bumps the weight stamps, so the first client repacks
+    /// and every later client replays the cached panels.
+    eval_models: Vec<Mlp>,
+    /// Reusable flat-parameter buffer for re-parameterizing `eval_models`.
+    eval_parameters: Vec<f32>,
+    /// In-flight background evaluation under pipelined rounds: the report
+    /// record awaiting its `mean_accuracy` plus the thread computing it.
+    /// Resolved at the next round's bookkeeping (or at finalization), so
+    /// at most one evaluation is ever outstanding.
+    pending_eval: Option<PendingEval>,
+}
+
+/// A background evaluation pass launched by a pipelined round. The thread
+/// owns clones of everything it reads (model, shard spec, client list), so
+/// it cannot observe — or perturb — the next round's mutations; its result
+/// is a pure function of the post-aggregation parameters it was given.
+struct PendingEval {
+    /// Index into `report.rounds` whose `mean_accuracy` the result fills.
+    record: usize,
+    handle: thread::JoinHandle<Vec<f64>>,
 }
 
 /// The frozen inputs of one client attempt, produced by the sequential
@@ -140,6 +166,16 @@ struct AttemptTask {
     global: GlobalState,
     local: LocalState,
     hf: DeadlineLevel,
+    /// Snapshot of the client's error-feedback residual, taken when the
+    /// attempt is planned (or re-planned for a retry). Captured by value so
+    /// a pipelined execute phase — which runs concurrently with earlier
+    /// slots' commits — reads exactly the state a sequential execute phase
+    /// would have. `Some` only for the top-k compression action.
+    error_feedback: Option<ErrorFeedback>,
+    /// Snapshot of the client's SCAFFOLD control variate `c_i`, captured
+    /// like `error_feedback` (SCAFFOLD runs only; an empty vec means the
+    /// client has no variate yet).
+    scaffold_ci: Option<Vec<f32>>,
 }
 
 /// The side-effect-free result of the parallel *execute* phase, consumed
@@ -180,6 +216,240 @@ struct WorkerScratch {
     /// commit phase in `(slot, attempt)` order, so which worker recorded a
     /// sample never matters.
     recorder: Recorder,
+}
+
+/// Owned snapshot of every piece of experiment state the execute phase
+/// reads. Both engines' attempt batches execute through one of these: the
+/// sequential engine builds it right before the fan-out, and the pipelined
+/// engine builds it before planning starts so worker threads never borrow
+/// the `Experiment` at all — the main thread is then free to keep planning
+/// and committing (both `&mut self`) while workers run. The snapshots are
+/// what make streamed commits safe: a commit may mutate `scaffold_c` or a
+/// residual while later slots are still executing, but those slots read
+/// the values frozen here (and in their [`AttemptTask`]), which are
+/// exactly the values a fully sequential round would have read.
+struct ExecuteCtx {
+    config: ExperimentConfig,
+    protected: Vec<bool>,
+    global_params: Vec<f32>,
+    /// Architecture template for workers that have not yet materialized
+    /// their scratch model (parameters are overwritten per attempt).
+    model: Mlp,
+    /// SCAFFOLD server control variate at plan time (empty when off).
+    scaffold_c: Vec<f32>,
+    obs_enabled: bool,
+}
+
+impl ExecuteCtx {
+    /// Phase 2 — *execute*: simulate the round and, on completion, run the
+    /// client's real local training and wire transform. A pure function of
+    /// `(ctx, task)` — all randomness comes from seeds derived per
+    /// `(round, client, attempt)` and the worker scratch is fully
+    /// overwritten before use, so the result is independent of which
+    /// worker runs it, in what order, and of any commit that has already
+    /// landed for an earlier slot.
+    fn execute(
+        &self,
+        round: usize,
+        task: &AttemptTask,
+        scratch: &mut WorkerScratch,
+    ) -> AttemptExec {
+        let global_params = &self.global_params[..];
+        let plan = apply_action_protected(
+            task.action,
+            task.base_cost,
+            global_params,
+            split_seed(self.config.seed, (round as u64) << 20 | task.client as u64),
+            Some(&self.protected),
+        );
+        let round_params = RoundParams {
+            deadline_s: self.config.deadline_s,
+            failure_hazard_per_s: self.config.failure_hazard_per_s,
+        };
+        let mut outcome = execute_client_round(
+            &task.snap,
+            &task.profile,
+            &plan.cost,
+            &round_params,
+            split_seed(
+                self.config.seed,
+                0xE0 << 56 | (round as u64) << 20 | task.client as u64,
+            ),
+        );
+        // Fig. 3 "no dropouts" counterfactual: every client that started
+        // finishes, no matter how long it took.
+        if self.config.assume_no_dropouts && outcome.dropped != Some(DropReason::Unavailable) {
+            outcome.dropped = None;
+        }
+        // Injected faults land after the counterfactual override: the ND
+        // analysis removes *benign* dropouts, not adversarial ones. The
+        // draw is a pure function of (seed, round, client, attempt), so
+        // it is identical no matter which worker executes the attempt.
+        let fault = self.config.fault_plan.draw(
+            self.config.seed,
+            round as u64,
+            task.client as u64,
+            task.attempt,
+        );
+        if let Some(kind) = fault {
+            if !kind.affects_payload() {
+                apply_outcome_fault(&mut outcome, kind, &round_params);
+            }
+        }
+        if !outcome.completed() {
+            if self.obs_enabled {
+                scratch
+                    .recorder
+                    .inc(task.slot, task.attempt, "attempts_executed", 1);
+            }
+            return AttemptExec {
+                outcome,
+                utility: 0.0,
+                improvement: 0.0,
+                update: None,
+                error_feedback: None,
+                duplicate: false,
+                fault,
+                scaffold_ci: None,
+            };
+        }
+
+        // Real local training with the plan's transform hooks. The worker
+        // scratch supplies the local model and parameter buffers, reused
+        // across attempts and rounds; shards were pinned by the plan phase
+        // (Arc), so execution never touches the shard cache.
+        let shard = &*task.train;
+        let test = &*task.test;
+        let local = scratch.local.get_or_insert_with(|| self.model.clone());
+        local
+            .set_params(global_params)
+            .expect("scratch model shares the global architecture");
+        let before = local.evaluate_mut(test).accuracy as f64;
+        let mut opt = Sgd::new(self.config.learning_rate);
+        let mut last_loss = 0.0f32;
+        // Drift corrections (FedProx / SCAFFOLD) read the control variates
+        // snapshotted at plan time (ctx + task), so every attempt in a
+        // batch sees one consistent view per round regardless of engine or
+        // commit streaming. With both corrections off this is the
+        // historical training path bit for bit (the default
+        // `DriftOptions` skips the correction branches).
+        let client_ci: &[f32] = task.scaffold_ci.as_deref().unwrap_or(&[]);
+        let drift = DriftOptions {
+            prox: (self.config.prox_mu > 0.0)
+                .then_some((self.config.prox_mu as f32, global_params)),
+            scaffold: self
+                .config
+                .scaffold
+                .then_some((self.scaffold_c.as_slice(), client_ci)),
+        };
+        for e in 0..self.config.local_epochs {
+            last_loss = local.train_epoch_corrected(
+                shard,
+                self.config.batch_size,
+                &mut opt,
+                split_seed(
+                    self.config.seed,
+                    (round as u64) << 24 | (task.client as u64) << 8 | e as u64,
+                ),
+                &plan.train_options,
+                &drift,
+            );
+        }
+        let after = local.evaluate_mut(test).accuracy as f64;
+        // Update delta, computed in place into the scratch buffer.
+        local.params_into(&mut scratch.params);
+        scratch.delta.clear();
+        scratch
+            .delta
+            .extend(scratch.params.iter().zip(global_params).map(|(l, g)| l - g));
+        // SCAFFOLD client-variate refresh (option II of the paper):
+        // c_i⁺ = c_i − c + (x − y_i)/(K·η_l) = c_i − c − Δ_i/(K·η_l),
+        // computed from the *raw* local delta before any wire transform.
+        // The commit phase folds it into the server variate sequentially.
+        let scaffold_ci = if self.config.scaffold {
+            let steps = self.config.local_epochs * task.shard_len.div_ceil(self.config.batch_size);
+            if steps == 0 {
+                None
+            } else {
+                let scale = 1.0 / (steps as f32 * self.config.learning_rate);
+                let ci_new: Vec<f32> = (0..scratch.delta.len())
+                    .map(|j| {
+                        let ci = client_ci.get(j).copied().unwrap_or(0.0);
+                        ci - self.scaffold_c[j] - scratch.delta[j] * scale
+                    })
+                    .collect();
+                Some(ci_new)
+            }
+        } else {
+            None
+        };
+        // Apply the wire transform the acceleration dictates (quantization
+        // grid, pruning zeros, sparsification). The attempt plan already
+        // carries the masks — they depend only on the action, the global
+        // parameters, and the seed, so no second plan is needed.
+        let (mut delta, error_feedback) = if task.action == AccelAction::TopK10 {
+            // Sparsified uploads carry per-client error feedback so the
+            // untransmitted mass is not lost (see float_accel::feedback).
+            // Work on the residual snapshotted into the task; the commit
+            // phase writes the refreshed copy back in client order.
+            let mut ef = task.error_feedback.clone().unwrap_or_default();
+            let d = ef.compress(&scratch.delta, 0.10);
+            (d, Some(ef))
+        } else {
+            (transform_update(task.action, &scratch.delta, &plan), None)
+        };
+        // A corrupt-payload fault poisons the wire delta with non-finite
+        // values; server-side validation must catch these in the commit
+        // phase before they reach aggregation.
+        if fault == Some(FaultKind::CorruptPayload) && !delta.is_empty() {
+            let mid = delta.len() / 2;
+            delta[0] = f32::NAN;
+            delta[mid] = f32::INFINITY;
+        }
+        // Oort's statistical utility: loss magnitude scaled by dataset size.
+        let utility = f64::from(last_loss.max(0.0)) * (shard.len() as f64).sqrt();
+        // Per-round accuracy improvements are a few percent at most, while
+        // participation success is binary; normalize the accuracy objective
+        // to a comparable [0, 1] range (one decile of local accuracy gain
+        // saturates it) so the multi-objective trade-off stays live rather
+        // than participation-dominated.
+        let improvement = ((after - before) * 10.0).clamp(0.0, 1.0);
+        if self.obs_enabled {
+            // Samples are simulated quantities keyed by cohort slot, so the
+            // merged registry is identical for any worker-thread count.
+            let r = &mut scratch.recorder;
+            r.inc(task.slot, task.attempt, "attempts_executed", 1);
+            r.observe(
+                task.slot,
+                task.attempt,
+                "client_latency_s",
+                LATENCY_BUCKETS_S,
+                outcome.total_s(),
+            );
+            r.observe(
+                task.slot,
+                task.attempt,
+                "upload_bytes",
+                PAYLOAD_BUCKETS_BYTES,
+                (delta.len() * std::mem::size_of::<f32>()) as f64,
+            );
+        }
+        AttemptExec {
+            outcome,
+            utility,
+            improvement,
+            update: Some(PendingUpdate {
+                client: task.client,
+                delta,
+                samples: task.shard_len,
+                staleness: task.staleness,
+            }),
+            error_feedback,
+            duplicate: fault == Some(FaultKind::DuplicateDelivery),
+            fault,
+            scaffold_ci,
+        }
+    }
 }
 
 /// Registry counter name for one committed-attempt outcome kind (counter
@@ -358,6 +628,9 @@ impl Experiment {
                 Vec::new()
             },
             scaffold_ci: HashMap::new(),
+            eval_models: Vec::new(),
+            eval_parameters: Vec::new(),
+            pending_eval: None,
         })
     }
 
@@ -642,6 +915,7 @@ impl Experiment {
         let ema = self.hf_overrun_ema.entry(client).or_insert(0.0);
         *ema = 0.7 * *ema + 0.3 * vanilla_overrun;
         let action = self.choose_action(client, &snap, round);
+        let (error_feedback, scaffold_ci) = self.snapshot_drift_state(client, action);
         AttemptTask {
             client,
             staleness,
@@ -663,224 +937,48 @@ impl Experiment {
             hf: DeadlineLevel::from_overrun(
                 self.hf_overrun_ema.get(&client).copied().unwrap_or(0.0),
             ),
+            error_feedback,
+            scaffold_ci,
         }
     }
 
-    /// Phase 2 — *execute*: simulate the round and, on completion, run the
-    /// client's real local training and wire transform. A pure function of
-    /// `(global_params, task, &self read-only state)` — it takes `&self`,
-    /// draws all randomness from seeds derived per `(round, client)`, and
-    /// fully overwrites the worker scratch before use, so the result is
-    /// independent of which worker runs it and in what order.
-    fn execute_attempt(
-        &self,
-        global_params: &[f32],
-        round: usize,
-        task: &AttemptTask,
-        scratch: &mut WorkerScratch,
-    ) -> AttemptExec {
-        let plan = apply_action_protected(
-            task.action,
-            task.base_cost,
-            global_params,
-            split_seed(self.config.seed, (round as u64) << 20 | task.client as u64),
-            Some(&self.protected),
-        );
-        let round_params = RoundParams {
-            deadline_s: self.config.deadline_s,
-            failure_hazard_per_s: self.config.failure_hazard_per_s,
-        };
-        let mut outcome = execute_client_round(
-            &task.snap,
-            &task.profile,
-            &plan.cost,
-            &round_params,
-            split_seed(
-                self.config.seed,
-                0xE0 << 56 | (round as u64) << 20 | task.client as u64,
-            ),
-        );
-        // Fig. 3 "no dropouts" counterfactual: every client that started
-        // finishes, no matter how long it took.
-        if self.config.assume_no_dropouts && outcome.dropped != Some(DropReason::Unavailable) {
-            outcome.dropped = None;
+    /// Freeze the execute phase's view of the experiment: configuration,
+    /// protection mask, global parameters, architecture template, and the
+    /// SCAFFOLD server variate. Built once per attempt batch — and rebuilt
+    /// per retry, which by the historical contract sees the batch's
+    /// earlier commits.
+    fn execute_ctx(&self, global_params: &[f32]) -> ExecuteCtx {
+        ExecuteCtx {
+            config: self.config,
+            protected: self.protected.clone(),
+            global_params: global_params.to_vec(),
+            model: self.global_model.clone(),
+            scaffold_c: self.scaffold_c.clone(),
+            obs_enabled: self.obs.enabled(),
         }
-        // Injected faults land after the counterfactual override: the ND
-        // analysis removes *benign* dropouts, not adversarial ones. The
-        // draw is a pure function of (seed, round, client, attempt), so
-        // it is identical no matter which worker executes the attempt.
-        let fault = self.config.fault_plan.draw(
-            self.config.seed,
-            round as u64,
-            task.client as u64,
-            task.attempt,
-        );
-        if let Some(kind) = fault {
-            if !kind.affects_payload() {
-                apply_outcome_fault(&mut outcome, kind, &round_params);
-            }
-        }
-        if !outcome.completed() {
-            if self.obs.enabled() {
-                scratch
-                    .recorder
-                    .inc(task.slot, task.attempt, "attempts_executed", 1);
-            }
-            return AttemptExec {
-                outcome,
-                utility: 0.0,
-                improvement: 0.0,
-                update: None,
-                error_feedback: None,
-                duplicate: false,
-                fault,
-                scaffold_ci: None,
-            };
-        }
+    }
 
-        // Real local training with the plan's transform hooks. The worker
-        // scratch supplies the local model and parameter buffers, reused
-        // across attempts and rounds; shards were pinned by the plan phase
-        // (Arc), so execution never touches the shard cache.
-        let shard = &*task.train;
-        let test = &*task.test;
-        let local = scratch
-            .local
-            .get_or_insert_with(|| self.global_model.clone());
-        local
-            .set_params(global_params)
-            .expect("scratch model shares the global architecture");
-        let before = local.evaluate_mut(test).accuracy as f64;
-        let mut opt = Sgd::new(self.config.learning_rate);
-        let mut last_loss = 0.0f32;
-        // Drift corrections (FedProx / SCAFFOLD) read experiment state
-        // that only the sequential commit phase mutates, so the parallel
-        // execute phase sees one consistent view per round. With both
-        // corrections off this is the historical training path bit for
-        // bit (the default `DriftOptions` skips the correction branches).
-        let client_ci: &[f32] = self
-            .scaffold_ci
-            .get(&task.client)
-            .map_or(&[], |v| v.as_slice());
-        let drift = DriftOptions {
-            prox: (self.config.prox_mu > 0.0)
-                .then_some((self.config.prox_mu as f32, global_params)),
-            scaffold: self
-                .config
-                .scaffold
-                .then_some((self.scaffold_c.as_slice(), client_ci)),
-        };
-        for e in 0..self.config.local_epochs {
-            last_loss = local.train_epoch_corrected(
-                shard,
-                self.config.batch_size,
-                &mut opt,
-                split_seed(
-                    self.config.seed,
-                    (round as u64) << 24 | (task.client as u64) << 8 | e as u64,
-                ),
-                &plan.train_options,
-                &drift,
-            );
-        }
-        let after = local.evaluate_mut(test).accuracy as f64;
-        // Update delta, computed in place into the scratch buffer.
-        local.params_into(&mut scratch.params);
-        scratch.delta.clear();
-        scratch
-            .delta
-            .extend(scratch.params.iter().zip(global_params).map(|(l, g)| l - g));
-        // SCAFFOLD client-variate refresh (option II of the paper):
-        // c_i⁺ = c_i − c + (x − y_i)/(K·η_l) = c_i − c − Δ_i/(K·η_l),
-        // computed from the *raw* local delta before any wire transform.
-        // The commit phase folds it into the server variate sequentially.
-        let scaffold_ci = if self.config.scaffold {
-            let steps = self.config.local_epochs * task.shard_len.div_ceil(self.config.batch_size);
-            if steps == 0 {
-                None
-            } else {
-                let scale = 1.0 / (steps as f32 * self.config.learning_rate);
-                let ci_new: Vec<f32> = (0..scratch.delta.len())
-                    .map(|j| {
-                        let ci = client_ci.get(j).copied().unwrap_or(0.0);
-                        ci - self.scaffold_c[j] - scratch.delta[j] * scale
-                    })
-                    .collect();
-                Some(ci_new)
-            }
-        } else {
-            None
-        };
-        // Apply the wire transform the acceleration dictates (quantization
-        // grid, pruning zeros, sparsification). The attempt plan already
-        // carries the masks — they depend only on the action, the global
-        // parameters, and the seed, so no second plan is needed.
-        let (mut delta, error_feedback) = if task.action == AccelAction::TopK10 {
-            // Sparsified uploads carry per-client error feedback so the
-            // untransmitted mass is not lost (see float_accel::feedback).
-            // Work on a copy of the residual state; the commit phase writes
-            // it back in client order.
-            let mut ef = self
-                .error_feedback
-                .get(&task.client)
+    /// Snapshot the per-client state the execute phase reads through the
+    /// task: the error-feedback residual (top-k compression only) and the
+    /// SCAFFOLD control variate. Taken at plan time — and re-taken per
+    /// retry, matching the historical retry path, which read them live
+    /// after the batch's first-round commits.
+    fn snapshot_drift_state(
+        &self,
+        client: usize,
+        action: AccelAction,
+    ) -> (Option<ErrorFeedback>, Option<Vec<f32>>) {
+        let ef = (action == AccelAction::TopK10).then(|| {
+            self.error_feedback
+                .get(&client)
                 .cloned()
-                .unwrap_or_else(ErrorFeedback::new);
-            let d = ef.compress(&scratch.delta, 0.10);
-            (d, Some(ef))
-        } else {
-            (transform_update(task.action, &scratch.delta, &plan), None)
-        };
-        // A corrupt-payload fault poisons the wire delta with non-finite
-        // values; server-side validation must catch these in the commit
-        // phase before they reach aggregation.
-        if fault == Some(FaultKind::CorruptPayload) && !delta.is_empty() {
-            let mid = delta.len() / 2;
-            delta[0] = f32::NAN;
-            delta[mid] = f32::INFINITY;
-        }
-        // Oort's statistical utility: loss magnitude scaled by dataset size.
-        let utility = f64::from(last_loss.max(0.0)) * (shard.len() as f64).sqrt();
-        // Per-round accuracy improvements are a few percent at most, while
-        // participation success is binary; normalize the accuracy objective
-        // to a comparable [0, 1] range (one decile of local accuracy gain
-        // saturates it) so the multi-objective trade-off stays live rather
-        // than participation-dominated.
-        let improvement = ((after - before) * 10.0).clamp(0.0, 1.0);
-        if self.obs.enabled() {
-            // Samples are simulated quantities keyed by cohort slot, so the
-            // merged registry is identical for any worker-thread count.
-            let r = &mut scratch.recorder;
-            r.inc(task.slot, task.attempt, "attempts_executed", 1);
-            r.observe(
-                task.slot,
-                task.attempt,
-                "client_latency_s",
-                LATENCY_BUCKETS_S,
-                outcome.total_s(),
-            );
-            r.observe(
-                task.slot,
-                task.attempt,
-                "upload_bytes",
-                PAYLOAD_BUCKETS_BYTES,
-                (delta.len() * std::mem::size_of::<f32>()) as f64,
-            );
-        }
-        AttemptExec {
-            outcome,
-            utility,
-            improvement,
-            update: Some(PendingUpdate {
-                client: task.client,
-                delta,
-                samples: task.shard_len,
-                staleness: task.staleness,
-            }),
-            error_feedback,
-            duplicate: fault == Some(FaultKind::DuplicateDelivery),
-            fault,
-            scaffold_ci,
-        }
+                .unwrap_or_default()
+        });
+        let ci = self
+            .config
+            .scaffold
+            .then(|| self.scaffold_ci.get(&client).cloned().unwrap_or_default());
+        (ef, ci)
     }
 
     /// Phase 3 — *commit*: apply the attempt's mutations (ledger, battery,
@@ -1021,6 +1119,14 @@ impl Experiment {
     /// Plan, execute (fanned out over `scratches`), and commit a batch of
     /// client attempts. Results come back in cohort order.
     ///
+    /// Dispatches on [`ExperimentConfig::pipeline_rounds`]: the sequential
+    /// engine runs the three phases back to back with a full barrier
+    /// between each; the pipelined engine streams tasks to workers as they
+    /// are planned and streams commits back in slot order as results
+    /// arrive. Both produce bit-identical committed state — every commit
+    /// happens on the main thread in slot order, and the execute phase
+    /// reads only plan-time snapshots (see [`ExecuteCtx`]).
+    ///
     /// With `retry_stalled` set (the synchronous engine), clients whose
     /// upload hit an injected network stall are re-requested up to the
     /// fault plan's retry bound, each retry charging its backoff to the
@@ -1028,6 +1134,22 @@ impl Experiment {
     /// bumped attempt number, so the fault schedule redraws and the result
     /// stays independent of worker-thread count.
     fn run_attempts(
+        &mut self,
+        round: usize,
+        cohort: &[usize],
+        global_params: &[f32],
+        scratches: &mut [WorkerScratch],
+        retry_stalled: bool,
+    ) -> Vec<Attempt> {
+        if self.config.pipeline_rounds {
+            self.run_attempts_pipelined(round, cohort, global_params, scratches, retry_stalled)
+        } else {
+            self.run_attempts_sequential(round, cohort, global_params, scratches, retry_stalled)
+        }
+    }
+
+    /// The historical barrier engine: plan all, execute all, commit all.
+    fn run_attempts_sequential(
         &mut self,
         round: usize,
         cohort: &[usize],
@@ -1045,8 +1167,9 @@ impl Experiment {
         }
         self.obs.phase_end(round as u64, Phase::Plan, plan_t);
         let exec_t = self.obs.phase_start();
+        let ctx = self.execute_ctx(global_params);
         let execs = parallel_map_with(scratches, &tasks, |scratch, task| {
-            self.execute_attempt(global_params, round, task, scratch)
+            ctx.execute(round, task, scratch)
         });
         self.obs.phase_end(round as u64, Phase::Execute, exec_t);
         let commit_t = self.obs.phase_start();
@@ -1055,23 +1178,8 @@ impl Experiment {
             .zip(execs)
             .map(|(task, exec)| self.commit_attempt(round, task, exec))
             .collect();
-        let max_retries = self.config.fault_plan.stall_max_retries;
-        if retry_stalled && max_retries > 0 {
-            for (i, task0) in tasks.iter().enumerate() {
-                let mut attempt_no = 0u32;
-                while attempts[i].stalled && attempt_no < max_retries {
-                    attempt_no += 1;
-                    let mut task = task0.clone();
-                    task.attempt = attempt_no;
-                    self.round_backoff_s += self.config.fault_plan.stall_backoff_s;
-                    self.report.stall_retries += 1;
-                    if self.obs.enabled() {
-                        self.obs.registry_mut().inc("stall_retries", 1);
-                    }
-                    let exec = self.execute_attempt(global_params, round, &task, &mut scratches[0]);
-                    attempts[i] = self.commit_attempt(round, &task, exec);
-                }
-            }
+        if retry_stalled {
+            self.retry_stalled_attempts(round, global_params, &tasks, &mut attempts, scratches);
         }
         // Fold the workers' telemetry buffers into the central registry,
         // ordered by (cohort slot, attempt) — part of the sequential
@@ -1080,6 +1188,186 @@ impl Experiment {
             .absorb_recorders(scratches.iter_mut().map(|s| &mut s.recorder));
         self.obs.phase_end(round as u64, Phase::Commit, commit_t);
         attempts
+    }
+
+    /// The pipelined engine (`pipeline_rounds = true`): the main thread
+    /// streams each task to the worker pool the moment it is planned, then
+    /// commits results in slot order as they arrive — so planning of slot
+    /// `i+1` overlaps execution of slot `i`, and the commit of slot `i`
+    /// overlaps execution of slots `> i`. Commits stay on the main thread
+    /// in slot order, and workers read only the [`ExecuteCtx`] /
+    /// [`AttemptTask`] snapshots, so the committed state — and therefore
+    /// the report — is byte-identical to the sequential engine's (pinned
+    /// by `tests/pipelined_determinism.rs`).
+    ///
+    /// Phase spans under pipelining: the plan span is the planning prefix;
+    /// the execute span runs from first dispatch to last arrival, with
+    /// `overlapped_us` crediting the plan and commit work that ran under
+    /// it; the commit span is the accumulated commit work (streamed +
+    /// tail), so `Σ wall − Σ overlapped` across the three spans is the
+    /// batch's critical path.
+    fn run_attempts_pipelined(
+        &mut self,
+        round: usize,
+        cohort: &[usize],
+        global_params: &[f32],
+        scratches: &mut [WorkerScratch],
+        retry_stalled: bool,
+    ) -> Vec<Attempt> {
+        let round_u = round as u64;
+        if cohort.is_empty() {
+            // Preserve the three-span-per-batch shape so per-kind event
+            // counts (and obsdump reconciliation) are engine-independent.
+            let t = self.obs.phase_start();
+            self.obs.phase_end(round_u, Phase::Plan, t);
+            self.obs.phase_span(round_u, Phase::Execute, 0, None);
+            self.obs.phase_span(round_u, Phase::Commit, 0, None);
+            return Vec::new();
+        }
+        let timers = self.obs.wall_timers();
+        let ctx = self.execute_ctx(global_params);
+        let n = cohort.len();
+        let workers = scratches.len().min(n);
+        let batch_t = self.obs.phase_start();
+        let (task_tx, task_rx) = mpsc::channel::<(usize, AttemptTask)>();
+        let task_rx = Mutex::new(task_rx);
+        let (res_tx, res_rx) = mpsc::channel::<(usize, AttemptTask, AttemptExec)>();
+        let mut tasks: Vec<Option<AttemptTask>> = (0..n).map(|_| None).collect();
+        let mut attempts: Vec<Option<Attempt>> = (0..n).map(|_| None).collect();
+        let mut plan_us = 0u64;
+        let mut commit_us = 0u64;
+        let mut commit_overlap_us = 0u64;
+        let mut exec_wall_us = 0u64;
+        thread::scope(|scope| {
+            for scratch in scratches[..workers].iter_mut() {
+                let ctx = &ctx;
+                let task_rx = &task_rx;
+                let res_tx = res_tx.clone();
+                scope.spawn(move || loop {
+                    // Hold the lock only for the dequeue, not the work.
+                    let msg = task_rx.lock().expect("task queue lock").recv();
+                    let Ok((slot, task)) = msg else { break };
+                    let exec = ctx.execute(round, &task, scratch);
+                    if res_tx.send((slot, task, exec)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(res_tx);
+            // Plan: hand each task to the pool the moment it exists, so
+            // slot 0 is already executing while slot 1 is being planned.
+            for (slot, &client) in cohort.iter().enumerate() {
+                self.report.selected_count[client] += 1;
+                let mut task = self.plan_attempt(client, round, 0);
+                task.slot = slot as u64;
+                task_tx
+                    .send((slot, task))
+                    .expect("workers outlive dispatch");
+            }
+            drop(task_tx); // workers exit once the queue drains
+            plan_us = batch_t.map_or(0, |t| t.elapsed().as_micros() as u64);
+            self.obs.phase_span(round_u, Phase::Plan, plan_us, None);
+            // Streamed commit: results re-ordered into slot order via a
+            // pending buffer; only the contiguous prefix commits, so the
+            // commit sequence is identical to the sequential engine's.
+            let mut pending: Vec<Option<(AttemptTask, AttemptExec)>> =
+                (0..n).map(|_| None).collect();
+            let mut next = 0usize;
+            for received in 0..n {
+                let (slot, task, exec) = res_rx.recv().expect("worker delivers every task");
+                pending[slot] = Some((task, exec));
+                if received + 1 == n {
+                    // Last result is in: the execute wall stops here, but
+                    // the span event is emitted after the loop — at the
+                    // last arrival an arbitrary (thread-timing dependent)
+                    // number of slots is still pending in the reorder
+                    // buffer, and the event stream must not depend on
+                    // worker count.
+                    exec_wall_us = batch_t.map_or(0, |t| t.elapsed().as_micros() as u64);
+                }
+                let c0 = timers.then(Instant::now);
+                while next < n {
+                    let Some((task, exec)) = pending[next].take() else {
+                        break;
+                    };
+                    attempts[next] = Some(self.commit_attempt(round, &task, exec));
+                    tasks[next] = Some(task);
+                    next += 1;
+                }
+                if let Some(c0) = c0 {
+                    let us = c0.elapsed().as_micros() as u64;
+                    commit_us += us;
+                    if received + 1 < n {
+                        commit_overlap_us += us;
+                    }
+                }
+            }
+        });
+        // Close the execute span (first dispatch → last arrival), crediting
+        // the plan and commit work that ran under it.
+        self.obs.phase_span(
+            round_u,
+            Phase::Execute,
+            exec_wall_us,
+            timers.then_some(plan_us + commit_overlap_us),
+        );
+        let tasks: Vec<AttemptTask> = tasks
+            .into_iter()
+            .map(|t| t.expect("every slot was committed"))
+            .collect();
+        let mut attempts: Vec<Attempt> = attempts
+            .into_iter()
+            .map(|a| a.expect("every slot was committed"))
+            .collect();
+        let tail_t = timers.then(Instant::now);
+        if retry_stalled {
+            self.retry_stalled_attempts(round, global_params, &tasks, &mut attempts, scratches);
+        }
+        self.obs
+            .absorb_recorders(scratches.iter_mut().map(|s| &mut s.recorder));
+        if let Some(t) = tail_t {
+            commit_us += t.elapsed().as_micros() as u64;
+        }
+        self.obs.phase_span(round_u, Phase::Commit, commit_us, None);
+        attempts
+    }
+
+    /// Sequential stall-retry pass shared by both attempt engines: clients
+    /// whose committed outcome was a network stall are re-requested in
+    /// cohort order with a bumped attempt number. Each retry re-snapshots
+    /// the drift state and rebuilds the execute context, because — per the
+    /// historical contract — retries observe the batch's earlier commits.
+    fn retry_stalled_attempts(
+        &mut self,
+        round: usize,
+        global_params: &[f32],
+        tasks: &[AttemptTask],
+        attempts: &mut [Attempt],
+        scratches: &mut [WorkerScratch],
+    ) {
+        let max_retries = self.config.fault_plan.stall_max_retries;
+        if max_retries == 0 {
+            return;
+        }
+        for (i, task0) in tasks.iter().enumerate() {
+            let mut attempt_no = 0u32;
+            while attempts[i].stalled && attempt_no < max_retries {
+                attempt_no += 1;
+                let mut task = task0.clone();
+                task.attempt = attempt_no;
+                let (ef, ci) = self.snapshot_drift_state(task.client, task.action);
+                task.error_feedback = ef;
+                task.scaffold_ci = ci;
+                self.round_backoff_s += self.config.fault_plan.stall_backoff_s;
+                self.report.stall_retries += 1;
+                if self.obs.enabled() {
+                    self.obs.registry_mut().inc("stall_retries", 1);
+                }
+                let ctx = self.execute_ctx(global_params);
+                let exec = ctx.execute(round, &task, &mut scratches[0]);
+                attempts[i] = self.commit_attempt(round, &task, exec);
+            }
+        }
     }
 
     fn worker_scratches(&self) -> Vec<WorkerScratch> {
@@ -1091,9 +1379,28 @@ impl Experiment {
     /// Per-client accuracy of the global model over the evaluation set:
     /// the full population by default, or the fixed `eval_sample` subset
     /// when configured. Test shards are derived on the fly from the pure
-    /// shard spec (never through the training cache), so evaluation stays
-    /// `&self` and cannot perturb the cache's deterministic LRU state.
-    fn eval_all_clients(&self) -> Vec<f64> {
+    /// shard spec (never through the training cache), so evaluation cannot
+    /// perturb the cache's deterministic LRU state.
+    ///
+    /// Each worker evaluates through a persistent model clone
+    /// (`eval_models`) via [`Mlp::evaluate_mut`], so one forward scratch
+    /// and one packed-panel cache are reused across every client in the
+    /// sweep: `set_params` bumps the weight stamps once per pass, the
+    /// first client repacks, and every later client replays the cached
+    /// weight panels. Per-client accuracy is a pure function of the
+    /// parameters, so the result is identical for any worker count.
+    fn eval_all_clients(&mut self) -> Vec<f64> {
+        let mut models = std::mem::take(&mut self.eval_models);
+        let threads = self.config.effective_threads();
+        if models.len() != threads {
+            models.resize_with(threads, || self.global_model.clone());
+        }
+        let mut params = std::mem::take(&mut self.eval_parameters);
+        self.global_model.params_into(&mut params);
+        for m in &mut models {
+            m.set_params(&params)
+                .expect("eval models share the global architecture");
+        }
         let spec = self.data.spec();
         let full: Vec<usize>;
         let clients: &[usize] = if self.eval_set.is_empty() {
@@ -1102,10 +1409,47 @@ impl Experiment {
         } else {
             &self.eval_set
         };
-        let mut scratches = vec![(); self.config.effective_threads()];
-        parallel_map_with(&mut scratches, clients, |_, &c| {
-            self.global_model.evaluate(&spec.test_shard(c)).accuracy as f64
-        })
+        let accs = parallel_map_with(&mut models, clients, |m, &c| {
+            m.evaluate_mut(&spec.test_shard(c)).accuracy as f64
+        });
+        self.eval_parameters = params;
+        self.eval_models = models;
+        accs
+    }
+
+    /// Launch the round's evaluation on a background thread (pipelined
+    /// rounds only). The thread owns clones of the post-aggregation model,
+    /// the shard spec, and the client list, so the next round's work —
+    /// which the evaluation overlaps — cannot influence the result. The
+    /// matching [`RoundRecord`] is pushed with `mean_accuracy: None` and
+    /// patched when [`Experiment::resolve_pending_eval`] joins the thread.
+    fn spawn_eval(&mut self, record: usize) {
+        let spec = self.data.spec().clone();
+        let mut model = self.global_model.clone();
+        let clients: Vec<usize> = if self.eval_set.is_empty() {
+            (0..self.config.num_clients).collect()
+        } else {
+            self.eval_set.clone()
+        };
+        let handle = thread::spawn(move || {
+            clients
+                .iter()
+                .map(|&c| model.evaluate_mut(&spec.test_shard(c)).accuracy as f64)
+                .collect()
+        });
+        self.pending_eval = Some(PendingEval { record, handle });
+    }
+
+    /// Join the outstanding background evaluation (if any) and patch its
+    /// mean accuracy into the report record it belongs to. Called at the
+    /// next round's bookkeeping and at finalization, so every record is
+    /// resolved before anyone reads the report.
+    fn resolve_pending_eval(&mut self) {
+        if let Some(p) = self.pending_eval.take() {
+            let accs = p.handle.join().expect("background eval completes");
+            let mean = accs.iter().sum::<f64>() / accs.len().max(1) as f64;
+            self.report.rounds[p.record].mean_accuracy = Some(mean);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1358,6 +1702,10 @@ impl Experiment {
     }
 
     fn bookkeep_round_refs(&mut self, round: usize, attempts: &[&Attempt]) {
+        // Join the previous round's background evaluation (pipelined runs)
+        // before this round's record is pushed — at most one evaluation is
+        // ever in flight.
+        self.resolve_pending_eval();
         let completed = attempts.iter().filter(|a| a.completed).count();
         let dropped = attempts.len() - completed;
         let quarantined = attempts.iter().filter(|a| a.quarantined).count();
@@ -1395,8 +1743,15 @@ impl Experiment {
         let is_eval =
             round.is_multiple_of(self.config.eval_every) || round + 1 == self.config.rounds;
         let mean_accuracy = if is_eval {
-            let accs = self.eval_all_clients();
-            Some(accs.iter().sum::<f64>() / accs.len().max(1) as f64)
+            if self.config.pipeline_rounds {
+                // Overlap the evaluation with the next round's work; the
+                // placeholder is patched when the thread joins.
+                self.spawn_eval(self.report.rounds.len());
+                None
+            } else {
+                let accs = self.eval_all_clients();
+                Some(accs.iter().sum::<f64>() / accs.len().max(1) as f64)
+            }
         } else {
             None
         };
@@ -1414,6 +1769,7 @@ impl Experiment {
     }
 
     fn finalize(mut self) -> ExperimentReport {
+        self.resolve_pending_eval();
         let accs = self.eval_all_clients();
         self.report.accuracy = AccuracySummary::from_accuracies(&accs);
         self.report.client_accuracies = accs;

@@ -3,8 +3,11 @@
 //! The FL experiments spend nearly all wall-clock inside the three GEMM
 //! variants (`matmul`, `t_matmul`, `matmul_t`) and the convolution loops.
 //! This module is the single place that work happens: a packed-panel GEMM
-//! with a fixed `4×8` register micro-kernel, plus the fused elementwise
-//! passes (bias+ReLU forward, ReLU-mask backward) the layers use.
+//! with register micro-kernels widened per call shape, a packed-panel
+//! reuse cache for operands that recur across calls (weights packed for
+//! forward and again for backward, conv weights re-packed per sample),
+//! plus the fused elementwise passes (bias+ReLU forward, ReLU-mask
+//! backward) the layers use.
 //!
 //! # Design
 //!
@@ -15,21 +18,37 @@
 //!   streams with unit stride regardless of the logical layout — the same
 //!   packing routine serves the `N·N`, `T·N`, and `N·T` variants by
 //!   walking the source with configurable row/column strides.
-//! - **Micro-kernel.** A fixed `MR×NR = 4×8` accumulator block updated
-//!   over the packed depth dimension. All loop bounds are compile-time
+//! - **Micro-kernels.** `MR×NR` accumulator blocks updated over the packed
+//!   depth dimension, monomorphized over the tile shape (`4×8`, `8×8`,
+//!   `4×16`) and selected once per GEMM call as a pure function of
+//!   `(m, n)` — see [`select_tile`]. All loop bounds are compile-time
 //!   constants over fixed-size arrays and `chunks_exact` slices, so LLVM
 //!   fully unrolls and autovectorizes the inner loop; there is no
-//!   per-element branching (the old `a == 0.0` skip defeated both the
-//!   vectorizer and NaN propagation).
+//!   per-element branching. Wider tiles amortize each packed-`B` load over
+//!   more rows of `C`, which pays off once the target has registers for
+//!   the accumulator block (the workspace builds with `target-cpu=native`,
+//!   see `.cargo/config.toml`).
 //! - **Determinism.** For every output element the reduction over the
 //!   depth dimension runs in ascending index order: ascending `p` inside a
 //!   depth panel, panels visited in ascending order, partial sums committed
-//!   to `C` per panel. The order is a pure function of the operand shapes —
-//!   never of thread count or data values — so results are bit-identical
-//!   run-to-run and across the round engine's worker-pool sizes. For
-//!   `k ≤ KC` (every shape on the MLP hot path) the reduction degenerates
-//!   to a single ascending pass, which is bit-identical to the pre-kernel
-//!   naive loops on finite inputs.
+//!   to `C` per panel. The order is a pure function of the operand *shape* —
+//!   never of thread count, data values, tile width, or cache state — so
+//!   results are bit-identical run-to-run, across the round engine's
+//!   worker-pool sizes, and across every micro-kernel variant: widening
+//!   `MR×NR` only changes *which* output elements a register block covers,
+//!   not the order any single element's dot product accumulates in
+//!   (zero-padded edge lanes feed accumulator slots that are never
+//!   committed). For `k ≤ KC` (every shape on the MLP hot path) the
+//!   reduction degenerates to a single ascending pass, which is
+//!   bit-identical to the pre-kernel naive loops on finite inputs.
+//! - **Packed-panel reuse.** Within one training step the same weight
+//!   matrix is packed for the forward pass and again for the backward pass,
+//!   and the conv layers re-pack their weight for every sample of a batch.
+//!   [`PanelCache`] memoizes fully packed operands keyed by *(generation
+//!   stamp, shape, strides, tile width)* — the stamp (see
+//!   [`crate::Tensor`]) changes on every mutation, so a hit is guaranteed
+//!   to replay byte-identical packed panels and results cannot depend on
+//!   cache state.
 //! - **Allocation.** Packing buffers are thread-local and grown once;
 //!   steady-state calls perform zero heap allocation. The `*_into` entry
 //!   points on [`crate::Tensor`] write into caller-owned scratch.
@@ -40,9 +59,10 @@
 
 use std::cell::RefCell;
 
-/// Micro-kernel rows (register-blocked rows of `C`).
+/// Rows of the *reference* micro-kernel (the narrowest tile, used for
+/// small shapes; wider variants are selected by [`select_tile`]).
 pub const MR: usize = 4;
-/// Micro-kernel columns (register-blocked, autovectorized columns of `C`).
+/// Columns of the reference micro-kernel.
 pub const NR: usize = 8;
 /// Row-panel height of packed `A` blocks.
 const MC: usize = 64;
@@ -54,6 +74,51 @@ const NC: usize = 256;
 thread_local! {
     static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
     static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The register tile shapes the dispatcher can pick from.
+///
+/// An `8×16` variant was measured and rejected: its accumulator block
+/// exceeds what LLVM will keep in vector registers here, and the spills
+/// collapse throughput to ~1/10th of the `8×8` tile. The three retained
+/// shapes all fit comfortably (≤ 8 × 256-bit accumulators).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tile {
+    T4x8,
+    T8x8,
+    T4x16,
+}
+
+/// Choose the micro-kernel once per GEMM call. A pure function of the
+/// *output* shape `(m, n)` only — never of `k`, data values, or cache
+/// state — so the packing layout (and therefore the panel-cache key) is
+/// reproducible from the call shape alone.
+///
+/// Tall-enough outputs take the `8×8` tile (each packed-`B` load is
+/// reused across 8 rows of `C` — the fastest measured variant on every
+/// benched hot-path shape); short-and-wide outputs take `4×16` (one
+/// packed-`B` load feeds 16 lanes when there aren't enough rows to go
+/// tall). Small leftovers fall back to the `4×8` reference tile.
+fn select_tile(m: usize, n: usize) -> Tile {
+    if m >= 8 && n >= 8 {
+        Tile::T8x8
+    } else if n >= 16 {
+        Tile::T4x16
+    } else {
+        Tile::T4x8
+    }
+}
+
+/// Dispatch a generic GEMM entry point over the tile selected for
+/// `(m, n)`. The callee is monomorphized per tile shape.
+macro_rules! with_tile {
+    ($m:expr, $n:expr, $f:ident ( $($args:expr),* $(,)? )) => {
+        match select_tile($m, $n) {
+            Tile::T4x8 => $f::<4, 8>($($args),*),
+            Tile::T8x8 => $f::<8, 8>($($args),*),
+            Tile::T4x16 => $f::<4, 16>($($args),*),
+        }
+    };
 }
 
 /// `C[m×n] = A[m×k] · B[k×n]`, all row-major. Overwrites `out`.
@@ -88,6 +153,152 @@ pub fn gemm_nt_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut
     gemm_strided(m, k, n, a, k, 1, b, 1, k, out, true);
 }
 
+/// [`gemm_nn`] with the `B` operand's packed panels memoized in `cache`,
+/// keyed by `b_stamp` (the owning tensor's generation stamp). Used by the
+/// layer forward pass, where the same weight matrix serves every batch of
+/// an evaluation sweep and both passes of a training step.
+#[allow(clippy::too_many_arguments)] // GEMM shape + strides + stamp: splitting loses clarity
+pub fn gemm_nn_b_cached(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    b_stamp: u64,
+    out: &mut [f32],
+    cache: &mut PanelCache,
+) {
+    with_tile!(
+        m,
+        n,
+        gemm_cached(
+            m,
+            k,
+            n,
+            a,
+            k,
+            1,
+            b,
+            n,
+            1,
+            out,
+            false,
+            cache,
+            Side::B,
+            b_stamp
+        )
+    );
+}
+
+/// `C[m×n] = A · Bᵀ` (`B` stored `[n×k]`) with `B`'s packed panels
+/// memoized — the backward input-gradient product, which reuses the same
+/// weight matrix the forward pass just packed (under its transposed
+/// strides, so it occupies a distinct cache entry).
+#[allow(clippy::too_many_arguments)] // GEMM shape + strides + stamp: splitting loses clarity
+pub fn gemm_nt_b_cached(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    b_stamp: u64,
+    out: &mut [f32],
+    cache: &mut PanelCache,
+) {
+    with_tile!(
+        m,
+        n,
+        gemm_cached(
+            m,
+            k,
+            n,
+            a,
+            k,
+            1,
+            b,
+            1,
+            k,
+            out,
+            false,
+            cache,
+            Side::B,
+            b_stamp
+        )
+    );
+}
+
+/// [`gemm_nn`] with the `A` operand's packed panels memoized — the conv
+/// forward product, where one weight matrix is the left operand for every
+/// sample of the batch.
+#[allow(clippy::too_many_arguments)] // GEMM shape + strides + stamp: splitting loses clarity
+pub fn gemm_nn_a_cached(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    a_stamp: u64,
+    b: &[f32],
+    out: &mut [f32],
+    cache: &mut PanelCache,
+) {
+    with_tile!(
+        m,
+        n,
+        gemm_cached(
+            m,
+            k,
+            n,
+            a,
+            k,
+            1,
+            b,
+            n,
+            1,
+            out,
+            false,
+            cache,
+            Side::A,
+            a_stamp
+        )
+    );
+}
+
+/// [`gemm_tn`] (`A` stored `[k×m]`) with `A`'s packed panels memoized —
+/// the conv backward column-gradient product, which replays the same
+/// transposed weight for every sample of the batch.
+#[allow(clippy::too_many_arguments)] // GEMM shape + strides + stamp: splitting loses clarity
+pub fn gemm_tn_a_cached(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    a_stamp: u64,
+    b: &[f32],
+    out: &mut [f32],
+    cache: &mut PanelCache,
+) {
+    with_tile!(
+        m,
+        n,
+        gemm_cached(
+            m,
+            k,
+            n,
+            a,
+            1,
+            m,
+            b,
+            n,
+            1,
+            out,
+            false,
+            cache,
+            Side::A,
+            a_stamp
+        )
+    );
+}
+
 /// Strided GEMM driver: `C[i][j] (+)= Σ_p A'[i][p] · B'[p][j]` where
 /// `A'[i][p] = a[i*a_rs + p*a_cs]` and `B'[p][j] = b[p*b_rs + j*b_cs]`.
 /// `out` is row-major `[m×n]` and is zeroed first unless `accumulate`.
@@ -105,6 +316,141 @@ fn gemm_strided(
     out: &mut [f32],
     accumulate: bool,
 ) {
+    with_tile!(
+        m,
+        n,
+        gemm_blocked(m, k, n, a, a_rs, a_cs, b, b_rs, b_cs, None, None, out, accumulate)
+    );
+}
+
+/// Which operand of a cached GEMM the panel cache memoizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    A,
+    B,
+}
+
+/// Cached-GEMM driver body: resolve (or build) the memoized packed
+/// operand, then run the blocked kernel against it. Monomorphized per
+/// tile shape by [`with_tile!`].
+#[allow(clippy::too_many_arguments)]
+fn gemm_cached<const R: usize, const C: usize>(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    a_rs: usize,
+    a_cs: usize,
+    b: &[f32],
+    b_rs: usize,
+    b_cs: usize,
+    out: &mut [f32],
+    accumulate: bool,
+    cache: &mut PanelCache,
+    side: Side,
+    stamp: u64,
+) {
+    if m == 0 || n == 0 || k == 0 {
+        // Degenerate shapes never touch the cache; the blocked driver
+        // handles the zero-fill contract.
+        gemm_blocked::<R, C>(
+            m, k, n, a, a_rs, a_cs, b, b_rs, b_cs, None, None, out, accumulate,
+        );
+        return;
+    }
+    let idx = match side {
+        Side::A => cache.ensure(
+            PanelKey {
+                stamp,
+                side: Side::A,
+                rows: m,
+                cols: k,
+                rs: a_rs,
+                cs: a_cs,
+                tile: R,
+            },
+            |buf, offsets| pack_a_all::<R>(buf, offsets, a, a_rs, a_cs, m, k),
+        ),
+        Side::B => cache.ensure(
+            PanelKey {
+                stamp,
+                side: Side::B,
+                rows: k,
+                cols: n,
+                rs: b_rs,
+                cs: b_cs,
+                tile: C,
+            },
+            |buf, offsets| pack_b_all::<C>(buf, offsets, b, b_rs, b_cs, k, n),
+        ),
+    };
+    let entry = &cache.entries[idx];
+    let panels = PanelRef {
+        buf: &entry.buf,
+        offsets: &entry.offsets,
+    };
+    match side {
+        Side::A => gemm_blocked::<R, C>(
+            m,
+            k,
+            n,
+            a,
+            a_rs,
+            a_cs,
+            b,
+            b_rs,
+            b_cs,
+            Some(panels),
+            None,
+            out,
+            accumulate,
+        ),
+        Side::B => gemm_blocked::<R, C>(
+            m,
+            k,
+            n,
+            a,
+            a_rs,
+            a_cs,
+            b,
+            b_rs,
+            b_cs,
+            None,
+            Some(panels),
+            out,
+            accumulate,
+        ),
+    }
+}
+
+/// A borrowed, fully packed operand: panel `i` (in driver iteration
+/// order) lives at `buf[offsets[i]..]`.
+#[derive(Clone, Copy)]
+struct PanelRef<'a> {
+    buf: &'a [f32],
+    offsets: &'a [usize],
+}
+
+/// Blocked GEMM over one monomorphized `R×C` tile shape. When a cached
+/// packed operand is supplied its panels are consumed in place of the
+/// thread-local packing buffers; the packed bytes are identical either
+/// way, so results cannot depend on cache state.
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked<const R: usize, const C: usize>(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    a_rs: usize,
+    a_cs: usize,
+    b: &[f32],
+    b_rs: usize,
+    b_cs: usize,
+    cached_a: Option<PanelRef<'_>>,
+    cached_b: Option<PanelRef<'_>>,
+    out: &mut [f32],
+    accumulate: bool,
+) {
     assert!(out.len() >= m * n, "output buffer too small for {m}x{n}");
     if !accumulate {
         out[..m * n].fill(0.0);
@@ -112,19 +458,41 @@ fn gemm_strided(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    let num_pc = k.div_ceil(KC);
+    let num_ic = m.div_ceil(MC);
     PACK_A.with(|pa| {
         PACK_B.with(|pb| {
             let pa = &mut *pa.borrow_mut();
             let pb = &mut *pb.borrow_mut();
-            for jc in (0..n).step_by(NC) {
+            for (ji, jc) in (0..n).step_by(NC).enumerate() {
                 let nc = NC.min(n - jc);
-                for pc in (0..k).step_by(KC) {
+                for (pi, pc) in (0..k).step_by(KC).enumerate() {
                     let kc = KC.min(k - pc);
-                    pack_b(pb, b, b_rs, b_cs, pc, kc, jc, nc);
-                    for ic in (0..m).step_by(MC) {
+                    let bp: &[f32] = match cached_b {
+                        Some(p) => {
+                            let off = p.offsets[ji * num_pc + pi];
+                            &p.buf[off..off + nc.div_ceil(C) * kc * C]
+                        }
+                        None => {
+                            pb.clear();
+                            pack_b_panel::<C>(pb, b, b_rs, b_cs, pc, kc, jc, nc);
+                            &pb[..]
+                        }
+                    };
+                    for (ii, ic) in (0..m).step_by(MC).enumerate() {
                         let mc = MC.min(m - ic);
-                        pack_a(pa, a, a_rs, a_cs, ic, mc, pc, kc);
-                        macro_kernel(pa, pb, mc, kc, nc, out, ic, jc, n);
+                        let ap: &[f32] = match cached_a {
+                            Some(p) => {
+                                let off = p.offsets[pi * num_ic + ii];
+                                &p.buf[off..off + mc.div_ceil(R) * kc * R]
+                            }
+                            None => {
+                                pa.clear();
+                                pack_a_panel::<R>(pa, a, a_rs, a_cs, ic, mc, pc, kc);
+                                &pa[..]
+                            }
+                        };
+                        macro_kernel::<R, C>(ap, bp, mc, kc, nc, out, ic, jc, n);
                     }
                 }
             }
@@ -132,12 +500,12 @@ fn gemm_strided(
     });
 }
 
-/// Pack an `mc×kc` panel of `A'` (rows `ic..`, depth `pc..`) tile-major:
-/// tile `t` holds rows `[t*MR, t*MR+MR)` as `kc` groups of `MR` adjacent
-/// values. Rows past `mc` pad with zeros so the micro-kernel never
-/// branches on the edge.
+/// Append an `mc×kc` panel of `A'` (rows `ic..`, depth `pc..`) to `dst`,
+/// tile-major: tile `t` holds rows `[t*R, t*R+R)` as `kc` groups of `R`
+/// adjacent values. Rows past `mc` pad with zeros so the micro-kernel
+/// never branches on the edge.
 #[allow(clippy::too_many_arguments)]
-fn pack_a(
+fn pack_a_panel<const R: usize>(
     dst: &mut Vec<f32>,
     a: &[f32],
     rs: usize,
@@ -147,28 +515,27 @@ fn pack_a(
     pc: usize,
     kc: usize,
 ) {
-    let tiles = mc.div_ceil(MR);
-    dst.clear();
-    dst.resize(tiles * kc * MR, 0.0);
+    let tiles = mc.div_ceil(R);
+    let base = dst.len();
+    dst.resize(base + tiles * kc * R, 0.0);
+    let dst = &mut dst[base..];
     for t in 0..tiles {
-        let tile = &mut dst[t * kc * MR..(t + 1) * kc * MR];
-        let rows = MR.min(mc - t * MR);
-        for (p, group) in tile.chunks_exact_mut(MR).enumerate() {
+        let tile = &mut dst[t * kc * R..(t + 1) * kc * R];
+        let rows = R.min(mc - t * R);
+        for (p, group) in tile.chunks_exact_mut(R).enumerate() {
             for (r, slot) in group.iter_mut().take(rows).enumerate() {
-                *slot = a[(ic + t * MR + r) * rs + (pc + p) * cs];
+                *slot = a[(ic + t * R + r) * rs + (pc + p) * cs];
             }
-            for slot in group.iter_mut().skip(rows) {
-                *slot = 0.0;
-            }
+            // Slots past `rows` stay at the zero fill from `resize`.
         }
     }
 }
 
-/// Pack a `kc×nc` panel of `B'` (depth `pc..`, columns `jc..`) tile-major:
-/// tile `u` holds columns `[u*NR, u*NR+NR)` as `kc` groups of `NR`
+/// Append a `kc×nc` panel of `B'` (depth `pc..`, columns `jc..`) to `dst`,
+/// tile-major: tile `u` holds columns `[u*C, u*C+C)` as `kc` groups of `C`
 /// adjacent values, zero-padded past `nc`.
 #[allow(clippy::too_many_arguments)]
-fn pack_b(
+fn pack_b_panel<const C: usize>(
     dst: &mut Vec<f32>,
     b: &[f32],
     rs: usize,
@@ -178,19 +545,65 @@ fn pack_b(
     jc: usize,
     nc: usize,
 ) {
-    let tiles = nc.div_ceil(NR);
-    dst.clear();
-    dst.resize(tiles * kc * NR, 0.0);
+    let tiles = nc.div_ceil(C);
+    let base = dst.len();
+    dst.resize(base + tiles * kc * C, 0.0);
+    let dst = &mut dst[base..];
     for u in 0..tiles {
-        let tile = &mut dst[u * kc * NR..(u + 1) * kc * NR];
-        let cols = NR.min(nc - u * NR);
-        for (p, group) in tile.chunks_exact_mut(NR).enumerate() {
+        let tile = &mut dst[u * kc * C..(u + 1) * kc * C];
+        let cols = C.min(nc - u * C);
+        for (p, group) in tile.chunks_exact_mut(C).enumerate() {
             for (c, slot) in group.iter_mut().take(cols).enumerate() {
-                *slot = b[(pc + p) * rs + (jc + u * NR + c) * cs];
+                *slot = b[(pc + p) * rs + (jc + u * C + c) * cs];
             }
-            for slot in group.iter_mut().skip(cols) {
-                *slot = 0.0;
-            }
+        }
+    }
+}
+
+/// Pack every `A'` panel of an `m×k` operand into `dst`, in the exact
+/// order the blocked driver consumes them (`pc` outer, `ic` inner — the
+/// driver indexes panel `(pi, ii)` at `offsets[pi*num_ic + ii]`).
+fn pack_a_all<const R: usize>(
+    dst: &mut Vec<f32>,
+    offsets: &mut Vec<usize>,
+    a: &[f32],
+    rs: usize,
+    cs: usize,
+    m: usize,
+    k: usize,
+) {
+    dst.clear();
+    offsets.clear();
+    for pc in (0..k).step_by(KC) {
+        let kc = KC.min(k - pc);
+        for ic in (0..m).step_by(MC) {
+            let mc = MC.min(m - ic);
+            offsets.push(dst.len());
+            pack_a_panel::<R>(dst, a, rs, cs, ic, mc, pc, kc);
+        }
+    }
+}
+
+/// Pack every `B'` panel of a `k×n` operand into `dst`, in the exact
+/// order the blocked driver consumes them (`jc` outer, `pc` inner — the
+/// driver indexes panel `(ji, pi)` at `offsets[ji*num_pc + pi]`).
+fn pack_b_all<const C: usize>(
+    dst: &mut Vec<f32>,
+    offsets: &mut Vec<usize>,
+    b: &[f32],
+    rs: usize,
+    cs: usize,
+    k: usize,
+    n: usize,
+) {
+    dst.clear();
+    offsets.clear();
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            offsets.push(dst.len());
+            pack_b_panel::<C>(dst, b, rs, cs, pc, kc, jc, nc);
         }
     }
 }
@@ -199,7 +612,7 @@ fn pack_b(
 /// micro-tile's partial sum into `out` (`+=`, `out` pre-zeroed by the
 /// driver on the first depth panel).
 #[allow(clippy::too_many_arguments)]
-fn macro_kernel(
+fn macro_kernel<const R: usize, const C: usize>(
     pa: &[f32],
     pb: &[f32],
     mc: usize,
@@ -210,17 +623,17 @@ fn macro_kernel(
     jc: usize,
     ldc: usize,
 ) {
-    let row_tiles = mc.div_ceil(MR);
-    let col_tiles = nc.div_ceil(NR);
+    let row_tiles = mc.div_ceil(R);
+    let col_tiles = nc.div_ceil(C);
     for t in 0..row_tiles {
-        let ap = &pa[t * kc * MR..(t + 1) * kc * MR];
-        let rows = MR.min(mc - t * MR);
+        let ap = &pa[t * kc * R..(t + 1) * kc * R];
+        let rows = R.min(mc - t * R);
         for u in 0..col_tiles {
-            let bp = &pb[u * kc * NR..(u + 1) * kc * NR];
-            let acc = micro_kernel(ap, bp);
-            let cols = NR.min(nc - u * NR);
+            let bp = &pb[u * kc * C..(u + 1) * kc * C];
+            let acc = micro_kernel::<R, C>(ap, bp);
+            let cols = C.min(nc - u * C);
             for (r, acc_row) in acc.iter().enumerate().take(rows) {
-                let row0 = (ic + t * MR + r) * ldc + jc + u * NR;
+                let row0 = (ic + t * R + r) * ldc + jc + u * C;
                 let crow = &mut out[row0..row0 + cols];
                 for (dst, v) in crow.iter_mut().zip(acc_row) {
                     *dst += v;
@@ -230,14 +643,16 @@ fn macro_kernel(
     }
 }
 
-/// The `MR×NR` register block: `acc[r][c] += ap[p][r] * bp[p][c]` over the
+/// The `R×C` register block: `acc[r][c] += ap[p][r] * bp[p][c]` over the
 /// packed depth dimension, in ascending `p`. Fixed-size arrays and
 /// `chunks_exact` give LLVM exact trip counts, so the two inner loops
-/// unroll into straight-line vector code with no bounds checks.
+/// unroll into straight-line vector code with no bounds checks. Each
+/// accumulator lane is an independent dot product, so the tile shape
+/// never changes any output element's summation order.
 #[inline]
-fn micro_kernel(ap: &[f32], bp: &[f32]) -> [[f32; NR]; MR] {
-    let mut acc = [[0.0f32; NR]; MR];
-    for (av, bv) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+fn micro_kernel<const R: usize, const C: usize>(ap: &[f32], bp: &[f32]) -> [[f32; C]; R] {
+    let mut acc = [[0.0f32; C]; R];
+    for (av, bv) in ap.chunks_exact(R).zip(bp.chunks_exact(C)) {
         for (r, acc_row) in acc.iter_mut().enumerate() {
             let a = av[r];
             for (c, slot) in acc_row.iter_mut().enumerate() {
@@ -246,6 +661,112 @@ fn micro_kernel(ap: &[f32], bp: &[f32]) -> [[f32; NR]; MR] {
         }
     }
     acc
+}
+
+/// Number of memoized packed operands a [`PanelCache`] retains. Sized for
+/// one model's working set: per linear layer the forward (`N·N`) and
+/// backward (`N·T`) packings of the weight, plus the conv layers' forward
+/// and transposed weight packings, with slack for mixed workloads.
+const PANEL_CACHE_CAP: usize = 12;
+
+/// Identity of one memoized packed operand. Two lookups may share an
+/// entry only if every field matches: the generation stamp pins the byte
+/// content of the source tensor, the shape/stride fields pin which logical
+/// operand view was packed, and the tile width pins the packed layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PanelKey {
+    stamp: u64,
+    side: Side,
+    /// Logical rows of the packed operand view (`m` for `A`, `k` for `B`).
+    rows: usize,
+    /// Logical columns of the packed view (`k` for `A`, `n` for `B`).
+    cols: usize,
+    rs: usize,
+    cs: usize,
+    /// Register-tile extent along the packed dimension (`R` for `A`
+    /// panels, `C` for `B` panels) — wider tiles interleave differently.
+    tile: usize,
+}
+
+/// One memoized packed operand (all panels concatenated in driver order).
+#[derive(Debug, Clone, Default)]
+struct PanelEntry {
+    key: Option<PanelKey>,
+    buf: Vec<f32>,
+    offsets: Vec<usize>,
+    last_used: u64,
+}
+
+/// A small memo of fully packed GEMM operands, keyed by the owning
+/// tensor's generation stamp plus the packed view's shape, strides, and
+/// tile width. Lives in model/conv scratch state so one training step (or
+/// one evaluation sweep over many clients) packs each weight matrix once
+/// per view instead of once per GEMM call.
+///
+/// Purely a performance structure: a hit replays byte-identical packed
+/// panels (the stamp changes whenever the source tensor is mutated), so
+/// results never depend on hits, misses, capacity, or eviction order.
+#[derive(Debug, Clone, Default)]
+pub struct PanelCache {
+    entries: Vec<PanelEntry>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl PanelCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PanelCache::default()
+    }
+
+    /// Lookups that replayed an existing packed operand.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to pack (first sight of a stamp/view, or after
+    /// eviction).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drop every memoized operand (counters survive).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Find or build the entry for `key`; returns its index. Eviction is
+    /// least-recently-used over a deterministic insertion order.
+    fn ensure(
+        &mut self,
+        key: PanelKey,
+        pack: impl FnOnce(&mut Vec<f32>, &mut Vec<usize>),
+    ) -> usize {
+        self.clock += 1;
+        if let Some(i) = self.entries.iter().position(|e| e.key == Some(key)) {
+            self.entries[i].last_used = self.clock;
+            self.hits += 1;
+            return i;
+        }
+        self.misses += 1;
+        let i = if self.entries.len() < PANEL_CACHE_CAP {
+            self.entries.push(PanelEntry::default());
+            self.entries.len() - 1
+        } else {
+            self.entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("cache at capacity is non-empty")
+        };
+        let e = &mut self.entries[i];
+        e.key = Some(key);
+        e.last_used = self.clock;
+        pack(&mut e.buf, &mut e.offsets);
+        i
+    }
 }
 
 /// Fused bias-add + ReLU forward over a row-major `[rows×cols]` activation
@@ -325,6 +846,26 @@ mod tests {
         out
     }
 
+    /// The historical fixed-tile kernel: every wider variant must match it
+    /// bit for bit, on every shape and stride pattern.
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_4x8(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        a_rs: usize,
+        a_cs: usize,
+        b: &[f32],
+        b_rs: usize,
+        b_cs: usize,
+        out: &mut [f32],
+    ) {
+        gemm_blocked::<4, 8>(
+            m, k, n, a, a_rs, a_cs, b, b_rs, b_cs, None, None, out, false,
+        );
+    }
+
     fn pseudo(n: usize, salt: u64) -> Vec<f32> {
         (0..n)
             .map(|i| {
@@ -373,6 +914,60 @@ mod tests {
         let mut out = vec![0.0f32; m * n];
         gemm_nn(m, k, n, &a, &b, &mut out);
         assert_eq!(out, reference(m, k, n, &a, &b));
+    }
+
+    #[test]
+    fn widened_tiles_match_4x8_bitwise_across_tile_boundaries() {
+        // Every dispatchable shape class, with m and n straddling each
+        // MR/NR boundary (below / at / above 4, 8, 16) and k crossing the
+        // KC panel boundary: the dispatched kernel must equal the 4×8
+        // reference bit for bit, because widening a register tile never
+        // reorders any single element's reduction.
+        for &m in &[1, 3, 4, 5, 7, 8, 9, 16, 17, 65] {
+            for &n in &[1, 7, 8, 9, 15, 16, 17, 33] {
+                for &k in &[1, 4, 129, 257] {
+                    let a = pseudo(m * k, (m * 31 + n) as u64);
+                    let b = pseudo(k * n, (n * 17 + k) as u64);
+                    let mut got = vec![f32::NAN; m * n];
+                    gemm_nn(m, k, n, &a, &b, &mut got);
+                    let mut want = vec![f32::NAN; m * n];
+                    gemm_4x8(m, k, n, &a, k, 1, &b, n, 1, &mut want);
+                    let gb: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+                    let wb: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(gb, wb, "({m},{k},{n}) diverged from the 4x8 tile");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_variants_match_4x8_bitwise() {
+        // The strided views (T·N reads A column-major, N·T reads B
+        // row-transposed) under every tile the dispatcher can pick.
+        for &(m, k, n) in &[(9, 14, 11), (17, 40, 19), (8, 300, 16), (33, 12, 65)] {
+            let a_tn = pseudo(k * m, 5);
+            let b = pseudo(k * n, 6);
+            let mut got = vec![0.0f32; m * n];
+            gemm_tn(m, k, n, &a_tn, &b, &mut got);
+            let mut want = vec![0.0f32; m * n];
+            gemm_4x8(m, k, n, &a_tn, 1, m, &b, n, 1, &mut want);
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "tn ({m},{k},{n})"
+            );
+            let a = pseudo(m * k, 7);
+            let b_nt = pseudo(n * k, 8);
+            let mut got = vec![0.0f32; m * n];
+            gemm_nt(m, k, n, &a, &b_nt, &mut got);
+            let mut want = vec![0.0f32; m * n];
+            gemm_4x8(m, k, n, &a, k, 1, &b_nt, 1, k, &mut want);
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "nt ({m},{k},{n})"
+            );
+        }
     }
 
     #[test]
@@ -439,6 +1034,97 @@ mod tests {
         let mut out = [0.0f32; 2];
         gemm_nn(1, 2, 2, &a, &b, &mut out);
         assert!(out[0].is_nan(), "0·NaN must stay NaN");
+    }
+
+    #[test]
+    fn panel_cache_hits_replay_bitwise_identical_results() {
+        let (m, k, n) = (16, 24, 128);
+        let a = pseudo(m * k, 11);
+        let b = pseudo(k * n, 12);
+        let mut cache = PanelCache::new();
+        let mut uncached = vec![0.0f32; m * n];
+        gemm_nn(m, k, n, &a, &b, &mut uncached);
+        let mut first = vec![0.0f32; m * n];
+        gemm_nn_b_cached(m, k, n, &a, &b, 77, &mut first, &mut cache);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let mut second = vec![f32::NAN; m * n];
+        gemm_nn_b_cached(m, k, n, &a, &b, 77, &mut second, &mut cache);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        for ((u, f), s) in uncached.iter().zip(&first).zip(&second) {
+            assert_eq!(u.to_bits(), f.to_bits());
+            assert_eq!(u.to_bits(), s.to_bits());
+        }
+    }
+
+    #[test]
+    fn panel_cache_misses_on_stamp_shape_and_view_changes() {
+        let (m, k, n) = (8, 10, 16);
+        let a = pseudo(m * k, 13);
+        let b = pseudo(k * n, 14);
+        let mut cache = PanelCache::new();
+        let mut out = vec![0.0f32; m * n];
+        gemm_nn_b_cached(m, k, n, &a, &b, 1, &mut out, &mut cache);
+        // A new stamp (mutated tensor) must repack.
+        gemm_nn_b_cached(m, k, n, &a, &b, 2, &mut out, &mut cache);
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        // The transposed view of the same stamp is a distinct entry...
+        let bt = pseudo(n * k, 15);
+        let mut out_t = vec![0.0f32; m * n];
+        gemm_nt_b_cached(m, k, n, &a, &bt, 2, &mut out_t, &mut cache);
+        assert_eq!((cache.hits(), cache.misses()), (0, 3));
+        // ...and each repeat lookup hits its own entry.
+        gemm_nn_b_cached(m, k, n, &a, &b, 2, &mut out, &mut cache);
+        gemm_nt_b_cached(m, k, n, &a, &bt, 2, &mut out_t, &mut cache);
+        assert_eq!((cache.hits(), cache.misses()), (2, 3));
+    }
+
+    #[test]
+    fn panel_cache_eviction_keeps_results_correct() {
+        // Thrash far past capacity with distinct stamps; every call must
+        // still match the uncached kernel bit for bit.
+        let (m, k, n) = (5, 7, 9);
+        let a = pseudo(m * k, 16);
+        let mut cache = PanelCache::new();
+        for stamp in 0..(PANEL_CACHE_CAP as u64 * 3) {
+            let b = pseudo(k * n, 100 + stamp);
+            let mut got = vec![0.0f32; m * n];
+            gemm_nn_b_cached(m, k, n, &a, &b, stamp, &mut got, &mut cache);
+            let mut want = vec![0.0f32; m * n];
+            gemm_nn(m, k, n, &a, &b, &mut want);
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "stamp {stamp}"
+            );
+        }
+        assert_eq!(cache.misses(), PANEL_CACHE_CAP as u64 * 3);
+    }
+
+    #[test]
+    fn a_side_cache_matches_uncached_for_conv_views() {
+        // The conv forward (N·N, A cached) and backward (T·N, A cached)
+        // views over one weight stamp.
+        let (oc, fan_in, hw) = (8, 18, 64);
+        let w = pseudo(oc * fan_in, 17);
+        let cols = pseudo(fan_in * hw, 18);
+        let mut cache = PanelCache::new();
+        let mut got = vec![0.0f32; oc * hw];
+        gemm_nn_a_cached(oc, fan_in, hw, &w, 9, &cols, &mut got, &mut cache);
+        let mut want = vec![0.0f32; oc * hw];
+        gemm_nn(oc, fan_in, hw, &w, &cols, &mut want);
+        assert_eq!(got, want);
+        // Backward: fan_in×hw = weightᵀ · g, weight stored [oc × fan_in].
+        let g = pseudo(oc * hw, 19);
+        let mut got_t = vec![0.0f32; fan_in * hw];
+        gemm_tn_a_cached(fan_in, oc, hw, &w, 9, &g, &mut got_t, &mut cache);
+        let mut want_t = vec![0.0f32; fan_in * hw];
+        gemm_tn(fan_in, oc, hw, &w, &g, &mut want_t);
+        assert_eq!(got_t, want_t);
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        // Replaying both views hits both entries.
+        gemm_nn_a_cached(oc, fan_in, hw, &w, 9, &cols, &mut got, &mut cache);
+        gemm_tn_a_cached(fan_in, oc, hw, &w, 9, &g, &mut got_t, &mut cache);
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
     }
 
     #[test]

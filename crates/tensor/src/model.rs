@@ -93,6 +93,12 @@ struct Scratch {
     /// Flat parameter / gradient mirrors for the optimizer step.
     params: Vec<f32>,
     grads: Vec<f32>,
+    /// Packed-panel memo for the GEMM weight operands: the forward and
+    /// backward passes of one step (and every batch of an evaluation
+    /// sweep) reuse the same packed weights instead of re-packing per
+    /// call. Keyed by generation stamp, so `set_params` invalidates it
+    /// implicitly.
+    panels: crate::kernels::PanelCache,
 }
 
 /// A feed-forward classifier: `Linear → ReLU → … → Linear`.
@@ -239,7 +245,7 @@ impl Mlp {
             let (prev, rest) = self.scratch.acts.split_at_mut(i);
             let out = &mut rest[0];
             let input = if i == 0 { x } else { &prev[i - 1] };
-            self.layers[i].forward_matmul_into(input, out)?;
+            self.layers[i].forward_matmul_into_cached(input, out, &mut self.scratch.panels)?;
             if i < n_layers - 1 {
                 if record_masks {
                     self.activations[i].forward_fused_bias(out, &self.layers[i].bias)?;
@@ -277,7 +283,12 @@ impl Mlp {
         } = self;
         let loss = softmax_cross_entropy_into(&scratch.acts[n_layers - 1], y, &mut scratch.grad)?;
         for i in (1..n_layers).rev() {
-            layers[i].backward_into(&scratch.acts[i - 1], &scratch.grad, &mut scratch.grad2)?;
+            layers[i].backward_into_cached(
+                &scratch.acts[i - 1],
+                &scratch.grad,
+                &mut scratch.grad2,
+                &mut scratch.panels,
+            )?;
             activations[i - 1].backward_in_place(&mut scratch.grad2)?;
             std::mem::swap(&mut scratch.grad, &mut scratch.grad2);
         }
@@ -577,6 +588,30 @@ mod tests {
         assert_eq!(by_ref, by_scratch);
         // A second scratch evaluation must be unaffected by buffer reuse.
         assert_eq!(m.evaluate_mut(&data), by_scratch);
+    }
+
+    #[test]
+    fn panel_cache_hits_across_eval_and_training_without_changing_results() {
+        let data = xor_like();
+        let mut m = Mlp::new(&MlpConfig::new(2, &[8], 2), 3);
+        let uncached_eval = m.evaluate(&data);
+        m.evaluate_mut(&data);
+        let misses_after_first = m.scratch.panels.misses();
+        assert!(misses_after_first > 0, "first eval must pack");
+        let second = m.evaluate_mut(&data);
+        assert_eq!(second, uncached_eval);
+        assert_eq!(
+            m.scratch.panels.misses(),
+            misses_after_first,
+            "unchanged weights must not repack"
+        );
+        assert!(m.scratch.panels.hits() > 0);
+        // Training mutates the weights each step, so later evals repack —
+        // and still agree with the allocation-free reference path.
+        let mut opt = Sgd::new(0.2);
+        m.train_epoch(&data, 16, &mut opt, 0);
+        assert!(m.scratch.panels.misses() > misses_after_first);
+        assert_eq!(m.evaluate_mut(&data), m.evaluate(&data));
     }
 
     #[test]

@@ -40,6 +40,13 @@ cargo test -q --offline --test availability_index --test candidate_pool
 step "pipelined-rounds determinism tests"
 cargo test -q --offline --test pipelined_determinism
 
+# Online profiling: profiling off reproduces the pinned goldens
+# byte-for-byte; profiling on is bit-identical across thread counts
+# and across the pipelined/sequential engines; the bounded store's
+# accounting identities hold under eviction and arbitrary sequences.
+step "online-profiling determinism tests"
+cargo test -q --offline --test profiling
+
 if [[ "${1:-}" != "quick" ]]; then
   # Short chaos run with a fixed seed, every fault kind active, and
   # telemetry on: asserts reports *and event streams* stay finite and
@@ -71,6 +78,37 @@ if [[ "${1:-}" != "quick" ]]; then
     --clients 1 > target/obs/obsdump_pipelined_ci.txt
   grep -q "event stream and report reconcile exactly" \
     target/obs/obsdump_pipelined_ci.txt
+
+  # Profiling smoke: sync Oort + async FedBuff with the online client
+  # profiler enabled, fault-free and chaos, each asserted bit-identical
+  # across 1 vs 4 worker threads (the profiler folds observations only
+  # in the sequential commit phase), plus the pipelined==sequential and
+  # label-suffix contracts. Writes the sync chaos run's event stream +
+  # report to target/obs/ for the profile replay gate below.
+  step "profiling smoke (online profiler, 1 vs 4 threads)"
+  cargo run --release --offline --example profiling_smoke
+
+  # Replay the profiled run's event stream through a fresh profiler and
+  # reconcile its accounting against the report: observation counts,
+  # store accounting, completions, and quarantines must all be
+  # derivable from the JSONL alone. obsdump exits 1 on any mismatch.
+  step "profile replay reconcile (obsdump --profiles)"
+  cargo run --release --offline -p float-bench --bin obsdump -- \
+    target/obs/profiling_sync.jsonl \
+    --report target/obs/profiling_sync.report.json \
+    --profiles --clients 1 > target/obs/obsdump_profiles_ci.txt
+  grep -q "profile replay reconciles exactly" target/obs/obsdump_profiles_ci.txt
+  grep -q "event stream and report reconcile exactly" \
+    target/obs/obsdump_profiles_ci.txt
+
+  # Oracle-gap benchmark in quick mode: the Oort chaos cell in all
+  # three estimation modes (oracle / profiled / coldstart), the
+  # 1-vs-4-thread determinism probe, and a parse-back asserting
+  # mode-correct labels and non-empty convergence curves. Writes to
+  # target/ so the checked-in BENCH_profile_gap.json (full grid) is not
+  # clobbered by CI.
+  step "profile gap (quick self-check)"
+  cargo run --release --offline -p float-bench --bin profile_gap -- --quick
 
   # Kernel micro-bench in quick mode: asserts the blocked GEMM stays
   # bit-identical to the ascending-order reference and that the emitted

@@ -4,12 +4,22 @@
 //!
 //! ```text
 //! obsdump EVENTS.jsonl [--report REPORT.json] [--clients N]
-//!         [--client ID] [--async]
+//!         [--client ID] [--async] [--profiles]
 //! ```
 //!
 //! Without flags: prints the stream overview, the `N` busiest client
 //! timelines (default 3), and histograms replayed from the events
 //! themselves (client latency, round utilization).
+//!
+//! With `--profiles`: replays the `ClientOutcome` stream through a fresh
+//! [`float_profile::ClientProfiler`] — the same fold the runtime applies
+//! in its commit phase — and prints the per-client profile table
+//! (estimated latency, reliability, observation counts; witnessed
+//! bandwidth is not derivable from the stream, which carries durations
+//! but not phase rates). The replayed profiler's accounting is then
+//! reconciled against the stream itself and, when `--report` is given,
+//! against the run's ledger (completions, quarantines, per-client
+//! completed counts). Any mismatch exits 1.
 //!
 //! With `--report`: additionally checks the event-count identities that
 //! tie the stream to the run's resource ledger — every committed attempt
@@ -34,11 +44,12 @@ use std::collections::BTreeMap;
 use float_core::ExperimentReport;
 use float_obs::metrics::{Histogram, LATENCY_BUCKETS_S, UTILIZATION_BUCKETS};
 use float_obs::{Event, HistogramSummary, OutcomeKind};
+use float_profile::{ClientProfiler, Observation, ObservedOutcome, ProfilingConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: obsdump EVENTS.jsonl [--report REPORT.json] [--clients N] \
-         [--client ID] [--async]"
+         [--client ID] [--async] [--profiles]"
     );
     std::process::exit(2);
 }
@@ -66,6 +77,7 @@ fn main() {
     let mut top_clients = 3usize;
     let mut only_client: Option<u64> = None;
     let mut async_engine = false;
+    let mut profiles = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut val = || it.next().cloned().unwrap_or_else(|| usage());
@@ -74,6 +86,7 @@ fn main() {
             "--clients" => top_clients = val().parse().unwrap_or_else(|_| usage()),
             "--client" => only_client = Some(val().parse().unwrap_or_else(|_| usage())),
             "--async" => async_engine = true,
+            "--profiles" => profiles = true,
             _ if path.is_none() && !arg.starts_with('-') => path = Some(arg.clone()),
             _ => usage(),
         }
@@ -93,16 +106,150 @@ fn main() {
     }
     histogram_tables(&events);
 
-    if let Some(rp) = report_path {
+    let report: Option<ExperimentReport> = report_path.map(|rp| {
         let body = std::fs::read_to_string(&rp).unwrap_or_else(|e| panic!("cannot read {rp}: {e}"));
-        let report: ExperimentReport = serde_json::from_str(&body)
-            .unwrap_or_else(|e| panic!("{rp} is not an ExperimentReport: {e}"));
-        if reconcile(&events, &report, async_engine) > 0 {
-            eprintln!("obsdump: event stream and report DISAGREE");
-            std::process::exit(1);
-        }
+        serde_json::from_str(&body)
+            .unwrap_or_else(|e| panic!("{rp} is not an ExperimentReport: {e}"))
+    });
+
+    let mut failures = 0u64;
+    if profiles {
+        failures += profile_table(&events, report.as_ref(), async_engine);
+    }
+    if let Some(report) = &report {
+        failures += reconcile(&events, report, async_engine);
+    }
+    if failures > 0 {
+        eprintln!("obsdump: event stream and report DISAGREE");
+        std::process::exit(1);
+    }
+    if profiles {
+        println!("\nobsdump: profile replay reconciles exactly.");
+    }
+    if report.is_some() {
         println!("\nobsdump: event stream and report reconcile exactly.");
     }
+}
+
+/// Map a committed-outcome event kind onto the profiler's observation
+/// kind. Duplicates fold into `Completed` (the client did the work and
+/// the wire carried the bytes); the stream cannot distinguish OOM kills
+/// from other drops, so replayed drops are all `Dropped` — reliability
+/// counters are unaffected, only the OOM split is unavailable offline.
+fn replay_kind(outcome: OutcomeKind) -> ObservedOutcome {
+    match outcome {
+        OutcomeKind::Completed | OutcomeKind::Duplicate => ObservedOutcome::Completed,
+        OutcomeKind::Quarantined => ObservedOutcome::Quarantined,
+        OutcomeKind::Stalled => ObservedOutcome::Stalled,
+        OutcomeKind::Dropped => ObservedOutcome::Dropped,
+    }
+}
+
+/// Replay the outcome stream through a fresh profiler, print the profile
+/// table, and reconcile its accounting against the stream (and the
+/// report's ledger when supplied). Returns the failure count.
+fn profile_table(events: &[Event], report: Option<&ExperimentReport>, async_engine: bool) -> u64 {
+    let clients: std::collections::BTreeSet<u64> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::ClientOutcome { client, .. } => Some(*client),
+            _ => None,
+        })
+        .collect();
+    let mut profiler = ClientProfiler::new(ProfilingConfig::on(), clients.len().max(1));
+    let mut outcome_events = 0u64;
+    for e in events {
+        if let Event::ClientOutcome {
+            round,
+            client,
+            outcome,
+            sim_duration_s,
+            ..
+        } = e
+        {
+            outcome_events += 1;
+            profiler.observe(
+                *client as usize,
+                &Observation::replay(*round, replay_kind(*outcome), *sim_duration_s),
+            );
+        }
+    }
+
+    println!("\nper-client profiles (replayed from the stream):");
+    println!(
+        "  {:>7} {:>4} {:>5} {:>9} {:>9} {:>9} {:>6} {:>6}",
+        "client", "obs", "done", "lat_s", "p50_s", "p90_s", "rel", "gap"
+    );
+    let mut rows = profiler.table();
+    rows.sort_by_key(|&(c, e)| (std::cmp::Reverse(e.observations), c));
+    let shown = rows.len().min(12);
+    for (c, est) in rows.iter().take(shown) {
+        let f = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.1}"));
+        // Oracle gap: |estimated reliability − empirical completion rate
+        // from the report's per-client ledger| (needs the report).
+        let gap = report
+            .and_then(|r| {
+                let sel = *r.selected_count.get(*c)?;
+                let done = *r.completed_count.get(*c)?;
+                (sel > 0).then(|| (est.reliability - done as f64 / sel as f64).abs())
+            })
+            .map_or("-".to_string(), |g| format!("{g:.2}"));
+        println!(
+            "  {c:>7} {:>4} {:>5} {:>9} {:>9} {:>9} {:>6.2} {:>6}",
+            est.observations,
+            est.completions,
+            f(est.latency_s),
+            f(est.latency_p50_s),
+            f(est.latency_p90_s),
+            est.reliability,
+            gap
+        );
+    }
+    if rows.len() > shown {
+        println!("  ... {} more clients", rows.len() - shown);
+    }
+
+    let stats = profiler.stats();
+    println!("\nreconciling profile replay:");
+    let mut c = Checker { failures: 0 };
+    c.eq_u64(
+        "profiler observations == client_outcome events",
+        stats.observations,
+        outcome_events,
+    );
+    c.eq_u64(
+        "profiler store accounting: inserted == evictions + resident",
+        stats.inserted,
+        stats.evictions + stats.resident as u64,
+    );
+    if let Some(report) = report {
+        c.eq_u64(
+            "profiler completions == ledger completions",
+            stats.completed,
+            report.resources.completions,
+        );
+        c.eq_u64(
+            "profiler quarantines == report quarantined",
+            stats.quarantined,
+            report.total_quarantined,
+        );
+        if async_engine {
+            println!("  skip per-client completions (--async: in-flight attempts at run end)");
+        } else {
+            let mismatches = rows
+                .iter()
+                .filter(|(id, est)| {
+                    report.completed_count.get(*id).copied().unwrap_or(0) != est.completions
+                })
+                .count() as u64;
+            c.eq_u64(
+                "clients whose profiled completions disagree with the report",
+                mismatches,
+                0,
+            );
+        }
+    }
+    c.failures
 }
 
 fn overview(path: &str, events: &[Event]) {

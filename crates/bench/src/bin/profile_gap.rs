@@ -1,0 +1,450 @@
+//! `profile_gap` — how far is online profiling from the trace oracle?
+//!
+//! Sweeps the profiling-aware selectors (Oort, REFL, TiFL) across fault
+//! levels (fault-free, chaos) in three estimation modes on the small
+//! CIFAR-10 configuration:
+//!
+//! - `oracle`    — profiling off: selection reads the trace snapshot
+//!   directly (today's default path; the upper bound).
+//! - `profiled`  — profiling on: selection reads only the online
+//!   estimates folded from committed outcomes.
+//! - `coldstart` — cold-only: estimates are folded but never consulted,
+//!   so every decision uses the cold-start policy (the lower bound —
+//!   what selection knows on round 0, forever).
+//!
+//! Every trial runs with telemetry on; afterwards the harness replays
+//! the trial's ClientOutcome stream through a fresh profiler and scores
+//! each completed attempt against the estimate available *before* the
+//! outcome was folded, emitting per-round relative-error quantiles (the
+//! convergence curve). The committed JSON pairs each (selector, fault)
+//! cell's three modes into a gap table — the question the harness
+//! exists to answer: does profiled selection converge to oracle-quality
+//! cohorts, and how much does cold-start alone give up?
+//!
+//! ```text
+//! profile_gap [--rounds N] [--seed S] [--out PATH] [--quick]
+//! ```
+//!
+//! `--quick` is the CI mode: the Oort chaos cell only (all three
+//! modes), six rounds, output under `target/`, same determinism probe
+//! and parse-back self-check as the full run.
+
+use std::time::Instant;
+
+use float_core::{AccelMode, Experiment, ExperimentConfig, SelectorChoice};
+use float_obs::event::{Event, OutcomeKind};
+use float_obs::ObsConfig;
+use float_profile::{ClientProfiler, Observation, ObservedOutcome, ProfilingConfig};
+use float_sim::FaultPlan;
+use float_tensor::rng::split_seed;
+use serde::{Deserialize, Serialize};
+
+/// The profiling-aware selectors: each consults per-client estimates
+/// (utility, availability windows, tiers) that profiling replaces.
+const SELECTORS: [SelectorChoice; 3] = [
+    SelectorChoice::Oort,
+    SelectorChoice::Refl,
+    SelectorChoice::Tifl,
+];
+
+const MODES: [&str; 3] = ["oracle", "profiled", "coldstart"];
+
+fn profiling_for(mode: &str) -> ProfilingConfig {
+    match mode {
+        "oracle" => ProfilingConfig::off(),
+        "profiled" => ProfilingConfig::on(),
+        "coldstart" => ProfilingConfig::cold_only(),
+        other => panic!("unknown estimation mode {other}"),
+    }
+}
+
+fn fault_plan(fault: &str) -> FaultPlan {
+    match fault {
+        "none" => FaultPlan::none(),
+        "chaos" => FaultPlan::chaos(),
+        other => panic!("unknown fault level {other}"),
+    }
+}
+
+/// Per-round estimate-error quantiles, replayed from the event stream.
+#[derive(Serialize, Deserialize)]
+struct ErrorRound {
+    round: u64,
+    /// Completed attempts scored this round (those with a prior estimate).
+    predictions: u64,
+    /// Median relative error `|predicted − actual| / actual`.
+    p50: f64,
+    /// 90th-percentile relative error.
+    p90: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct TrialRow {
+    selector: String,
+    fault: String,
+    mode: String,
+    seed: u64,
+    /// The runtime's own label — `+prof` / `+prof0` suffixes included,
+    /// so a trial running in the wrong mode is caught by the self-check.
+    label: String,
+    rounds: usize,
+    mean_accuracy: f64,
+    bottom10_accuracy: f64,
+    completions: u64,
+    dropouts: u64,
+    quarantined: u64,
+    wall_clock_h: f64,
+    seconds: f64,
+    /// Observations the runtime's profiler folded (0 in oracle mode).
+    profile_observations: u64,
+    /// Per-round error quantiles from the event-stream replay. Present
+    /// for every mode — the replay asks "how well would an online
+    /// profiler have predicted these durations?", so the oracle rows
+    /// double as a control: same estimator, oracle-chosen cohorts.
+    error_rounds: Vec<ErrorRound>,
+}
+
+/// One (selector, fault) cell's oracle / profiled / coldstart pairing.
+#[derive(Serialize, Deserialize)]
+struct GapRow {
+    selector: String,
+    fault: String,
+    oracle_mean_accuracy: f64,
+    profiled_mean_accuracy: f64,
+    coldstart_mean_accuracy: f64,
+    /// Oracle minus profiled — the price of learning estimates online.
+    profiled_gap: f64,
+    /// Oracle minus coldstart — the price of never learning at all.
+    coldstart_gap: f64,
+    oracle_completions: u64,
+    profiled_completions: u64,
+    coldstart_completions: u64,
+    /// Median relative estimate error over the profiled trial's final
+    /// quarter of rounds — where the convergence curve should flatten.
+    profiled_late_p50: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct BenchReport {
+    benchmark: String,
+    rounds: usize,
+    root_seed: u64,
+    deterministic_across_threads: bool,
+    rows: Vec<TrialRow>,
+    gaps: Vec<GapRow>,
+}
+
+fn trial_config(
+    selector: SelectorChoice,
+    fault: &str,
+    mode: &str,
+    rounds: usize,
+    seed: u64,
+) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::small(selector, AccelMode::Rlhf, rounds);
+    cfg.fault_plan = fault_plan(fault);
+    cfg.seed = seed;
+    cfg.obs = ObsConfig::on();
+    cfg.profiling = profiling_for(mode);
+    cfg
+}
+
+/// Nearest-rank quantile of an unsorted sample (q in [0, 1]).
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Replay a trial's ClientOutcome stream through a fresh profiler and
+/// score each completed attempt against the latency estimate available
+/// before its outcome was folded. Mirrors `obsdump --profiles` (replay
+/// in stream order == commit order), but keeps per-round error samples.
+fn replay_error_rounds(events: &[Event], num_clients: usize) -> Vec<ErrorRound> {
+    let mut profiler = ClientProfiler::new(ProfilingConfig::on(), num_clients.max(1));
+    let mut per_round: Vec<(u64, Vec<f64>)> = Vec::new();
+    for event in events {
+        let Event::ClientOutcome {
+            round,
+            client,
+            outcome,
+            sim_duration_s,
+            ..
+        } = event
+        else {
+            continue;
+        };
+        let kind = match outcome {
+            OutcomeKind::Completed | OutcomeKind::Duplicate => ObservedOutcome::Completed,
+            OutcomeKind::Quarantined => ObservedOutcome::Quarantined,
+            OutcomeKind::Stalled => ObservedOutcome::Stalled,
+            OutcomeKind::Dropped => ObservedOutcome::Dropped,
+        };
+        let client = *client as usize;
+        if kind == ObservedOutcome::Completed && *sim_duration_s > 0.0 {
+            if let Some(pred) = profiler.estimate(client).and_then(|e| e.latency_s) {
+                let err = ((pred - sim_duration_s) / sim_duration_s).abs();
+                match per_round.iter_mut().find(|(r, _)| r == round) {
+                    Some((_, errs)) => errs.push(err),
+                    None => per_round.push((*round, vec![err])),
+                }
+            }
+        }
+        profiler.observe(client, &Observation::replay(*round, kind, *sim_duration_s));
+    }
+    per_round.sort_by_key(|&(round, _)| round);
+    per_round
+        .into_iter()
+        .map(|(round, mut errs)| {
+            errs.sort_by(f64::total_cmp);
+            ErrorRound {
+                round,
+                predictions: errs.len() as u64,
+                p50: quantile(&errs, 0.5),
+                p90: quantile(&errs, 0.9),
+            }
+        })
+        .collect()
+}
+
+fn run_trial(
+    selector: SelectorChoice,
+    fault: &str,
+    mode: &str,
+    rounds: usize,
+    seed: u64,
+) -> TrialRow {
+    let cfg = trial_config(selector, fault, mode, rounds, seed);
+    let num_clients = cfg.num_clients;
+    eprintln!(
+        "profile_gap: {} fault={fault} mode={mode} seed={seed} ...",
+        selector.name()
+    );
+    let start = Instant::now();
+    let (report, telemetry) = Experiment::new(cfg)
+        .expect("valid trial config")
+        .run_traced();
+    let seconds = start.elapsed().as_secs_f64();
+    assert!(
+        report.is_finite(),
+        "{}/{fault}/{mode} produced non-finite report",
+        selector.name()
+    );
+    let error_rounds = replay_error_rounds(&telemetry.events, num_clients);
+    eprintln!(
+        "  {seconds:7.3}s  mean acc {:.4}  {} completions  label {}",
+        report.accuracy.mean, report.total_completions, report.label
+    );
+    TrialRow {
+        selector: selector.name().to_string(),
+        fault: fault.to_string(),
+        mode: mode.to_string(),
+        seed,
+        label: report.label.clone(),
+        rounds,
+        mean_accuracy: report.accuracy.mean,
+        bottom10_accuracy: report.accuracy.bottom10,
+        completions: report.total_completions,
+        dropouts: report.total_dropouts,
+        quarantined: report.total_quarantined,
+        wall_clock_h: report.wall_clock_h,
+        seconds,
+        profile_observations: telemetry.summary.counter("profile_observations"),
+        error_rounds,
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: profile_gap [--rounds N] [--seed S] [--out PATH] [--quick]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut rounds: Option<usize> = None;
+    let mut root_seed = 42u64;
+    let mut out = "BENCH_profile_gap.json".to_string();
+    let mut quick = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = || it.next().cloned().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--rounds" => rounds = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--seed" => root_seed = val().parse().unwrap_or_else(|_| usage()),
+            "--out" => out = val(),
+            "--quick" => quick = true,
+            _ => usage(),
+        }
+    }
+    if quick && out == "BENCH_profile_gap.json" {
+        out = "target/BENCH_profile_gap_ci.json".to_string();
+    }
+    let rounds = rounds.unwrap_or(if quick { 6 } else { 40 });
+    let (selectors, faults): (&[SelectorChoice], &[&str]) = if quick {
+        (&[SelectorChoice::Oort], &["chaos"])
+    } else {
+        (&SELECTORS, &["none", "chaos"])
+    };
+
+    // Determinism probe: the profiler folds observations only in the
+    // sequential commit phase, so a profiled chaos run must be
+    // bit-identical across 1 vs 4 worker threads.
+    let deterministic = {
+        let cfg = trial_config(
+            SelectorChoice::Oort,
+            "chaos",
+            "profiled",
+            rounds.min(8),
+            root_seed,
+        );
+        let mut one = cfg;
+        one.num_threads = 1;
+        let mut four = cfg;
+        four.num_threads = 4;
+        let a = Experiment::new(one).expect("valid config").run();
+        let b = Experiment::new(four).expect("valid config").run();
+        let ok = a == b;
+        eprintln!(
+            "determinism probe (oort profiled, chaos, 1 vs 4 threads): {}",
+            if ok { "bit-identical" } else { "DIVERGED" }
+        );
+        ok
+    };
+
+    let mut rows = Vec::new();
+    let mut trial_idx = 0u64;
+    for &selector in selectors {
+        for fault in faults {
+            // All three modes of a cell share one seed: same traces,
+            // same faults, same data — only the estimates differ.
+            let seed = split_seed(root_seed, trial_idx);
+            trial_idx += 1;
+            for mode in MODES {
+                rows.push(run_trial(selector, fault, mode, rounds, seed));
+            }
+        }
+    }
+
+    // Pair each cell's three modes into the gap table.
+    let mut gaps = Vec::new();
+    for &selector in selectors {
+        for fault in faults {
+            let find = |mode: &str| {
+                rows.iter()
+                    .find(|r| r.selector == selector.name() && r.fault == *fault && r.mode == mode)
+                    .expect("grid cell present")
+            };
+            let (oracle, profiled, cold) = (find("oracle"), find("profiled"), find("coldstart"));
+            let late: Vec<f64> = profiled
+                .error_rounds
+                .iter()
+                .filter(|e| e.round >= (rounds as u64).saturating_mul(3) / 4)
+                .map(|e| e.p50)
+                .collect();
+            let profiled_late_p50 = if late.is_empty() {
+                0.0
+            } else {
+                let mut sorted = late;
+                sorted.sort_by(f64::total_cmp);
+                quantile(&sorted, 0.5)
+            };
+            gaps.push(GapRow {
+                selector: selector.name().to_string(),
+                fault: fault.to_string(),
+                oracle_mean_accuracy: oracle.mean_accuracy,
+                profiled_mean_accuracy: profiled.mean_accuracy,
+                coldstart_mean_accuracy: cold.mean_accuracy,
+                profiled_gap: oracle.mean_accuracy - profiled.mean_accuracy,
+                coldstart_gap: oracle.mean_accuracy - cold.mean_accuracy,
+                oracle_completions: oracle.completions,
+                profiled_completions: profiled.completions,
+                coldstart_completions: cold.completions,
+                profiled_late_p50,
+            });
+        }
+    }
+
+    let (row_count, gap_count) = (rows.len(), gaps.len());
+    let report = BenchReport {
+        benchmark: "profile_gap".to_string(),
+        rounds,
+        root_seed,
+        deterministic_across_threads: deterministic,
+        rows,
+        gaps,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out, format!("{json}\n")).expect("write benchmark output");
+    eprintln!("wrote {out} ({row_count} trials, {gap_count} gap cells)");
+
+    // Parse-back self-check: the emitted JSON must round-trip, carry
+    // finite numbers, mode-correct labels, and non-empty convergence
+    // curves for every trial.
+    let parsed: BenchReport =
+        serde_json::from_str(&std::fs::read_to_string(&out).expect("read back benchmark output"))
+            .expect("benchmark output parses");
+    assert_eq!(parsed.rows.len(), row_count);
+    assert_eq!(parsed.gaps.len(), gap_count);
+    for row in &parsed.rows {
+        let cell = format!("{}/{}/{}", row.selector, row.fault, row.mode);
+        assert!(
+            row.mean_accuracy.is_finite() && (0.0..=1.0).contains(&row.mean_accuracy),
+            "{cell}: mean accuracy {} out of range",
+            row.mean_accuracy
+        );
+        assert!(row.completions > 0, "{cell}: trial completed nothing");
+        match row.mode.as_str() {
+            "oracle" => assert!(
+                !row.label.contains("+prof") && row.profile_observations == 0,
+                "{cell}: oracle trial ran a profiler (label {})",
+                row.label
+            ),
+            "profiled" => assert!(
+                row.label.ends_with("+prof") && row.profile_observations > 0,
+                "{cell}: profiled trial mislabeled or idle (label {})",
+                row.label
+            ),
+            _ => assert!(
+                row.label.ends_with("+prof0") && row.profile_observations > 0,
+                "{cell}: coldstart trial mislabeled or idle (label {})",
+                row.label
+            ),
+        }
+        assert!(
+            !row.error_rounds.is_empty(),
+            "{cell}: replay scored no predictions"
+        );
+        for e in &row.error_rounds {
+            assert!(
+                e.predictions > 0 && e.p50.is_finite() && e.p90.is_finite() && e.p50 <= e.p90,
+                "{cell}: malformed error quantiles at round {}",
+                e.round
+            );
+        }
+    }
+    for gap in &parsed.gaps {
+        assert!(
+            gap.profiled_gap.is_finite()
+                && gap.coldstart_gap.is_finite()
+                && gap.profiled_late_p50.is_finite(),
+            "{}/{}: non-finite gap cell",
+            gap.selector,
+            gap.fault
+        );
+    }
+    eprintln!(
+        "self-check passed: {row_count} trials, labels mode-correct, \
+         convergence curves non-empty, {gap_count} gap cells finite"
+    );
+    if !deterministic {
+        std::process::exit(1);
+    }
+}

@@ -6,6 +6,7 @@ use float_data::federated::FederatedConfig;
 use float_data::Task;
 use float_models::Architecture;
 use float_obs::ObsConfig;
+use float_profile::ProfilingConfig;
 use float_sim::FaultPlan;
 use float_traces::InterferenceModel;
 
@@ -226,6 +227,17 @@ pub struct ExperimentConfig {
     /// contract and the pinned pipelined-vs-sequential golden tests.
     #[serde(default)]
     pub pipeline_rounds: bool,
+    /// Online client profiling: estimate per-client latency, bandwidth,
+    /// and reliability from *observed* round outcomes and feed those
+    /// estimates — instead of trace oracles — to the selectors and the
+    /// accel agent's state features. Off by default (the historical
+    /// oracle path, byte-identical to pinned goldens). The profiler is
+    /// updated only in the sequential commit phase, so enabling it keeps
+    /// every run bit-identical across worker-thread counts. See
+    /// `DESIGN.md` §17 for estimator definitions and the cold-start
+    /// policy.
+    #[serde(default)]
+    pub profiling: ProfilingConfig,
 }
 
 impl ExperimentConfig {
@@ -274,6 +286,7 @@ impl ExperimentConfig {
             prox_mu: 0.0,
             scaffold: false,
             pipeline_rounds: false,
+            profiling: ProfilingConfig::off(),
         }
     }
 
@@ -312,6 +325,7 @@ impl ExperimentConfig {
             prox_mu: 0.0,
             scaffold: false,
             pipeline_rounds: false,
+            profiling: ProfilingConfig::off(),
         }
     }
 
@@ -460,6 +474,7 @@ impl ExperimentConfig {
         self.server_optim.validate()?;
         self.fault_plan.validate()?;
         self.obs.validate()?;
+        self.profiling.validate()?;
         Ok(())
     }
 }
@@ -538,6 +553,12 @@ mod tests {
         c.server_optim.server_lr = 0.0;
         assert!(c.validate().is_err());
         let mut c = base;
+        c.profiling.cold_only = true; // without enabled
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.profiling = ProfilingConfig::on();
+        c.validate().expect("profiling preset must validate");
+        let mut c = base;
         c.server_optim =
             crate::optim::ServerOptimConfig::with(crate::optim::ServerOptimizerChoice::FedYogi);
         c.prox_mu = 0.1;
@@ -594,6 +615,27 @@ mod tests {
         c.server_optim.beta1 = 1.25;
         let err = c.validate().expect_err("bad beta1");
         assert!(err.contains("1.25"), "message: {err}");
+        let mut c = base;
+        c.profiling = ProfilingConfig::on();
+        c.profiling.latency_alpha = 2.5;
+        let err = c.validate().expect_err("bad latency_alpha");
+        assert!(err.contains("2.5"), "message: {err}");
+    }
+
+    #[test]
+    fn profiling_defaults_to_off_and_deserializes_from_old_configs() {
+        let c = ExperimentConfig::small(SelectorChoice::FedAvg, AccelMode::Off, 5);
+        assert!(!c.profiling.enabled, "presets must keep the oracle path");
+        // A config serialized before the profiling field existed still
+        // deserializes (serde default) to profiling off. The profiling
+        // object is flat, so trimming from its key to the next `}` cuts
+        // exactly the field an old config would lack.
+        let json = serde_json::to_string(&c).expect("serializes");
+        let start = json.find(",\"profiling\":{").expect("field serialized");
+        let end = json[start..].find('}').expect("flat object") + start;
+        let old = format!("{}{}", &json[..start], &json[end + 1..]);
+        let back: ExperimentConfig = serde_json::from_str(&old).expect("old config deserializes");
+        assert_eq!(back.profiling, ProfilingConfig::off());
     }
 
     #[test]

@@ -14,8 +14,13 @@ use float_accel::apply::transform_update;
 use float_accel::{apply_action_protected, AccelAction, ActionCatalogue, ErrorFeedback};
 use float_data::{ShardCache, ShardCacheStats, ShardSpec};
 use float_models::RoundCost;
-use float_obs::metrics::{LATENCY_BUCKETS_S, PAYLOAD_BUCKETS_BYTES, UTILIZATION_BUCKETS};
+use float_obs::metrics::{
+    ESTIMATE_ERROR_BUCKETS, LATENCY_BUCKETS_S, PAYLOAD_BUCKETS_BYTES, UTILIZATION_BUCKETS,
+};
 use float_obs::{Collector, Event, OutcomeKind, Phase, Recorder, Telemetry};
+use float_profile::{
+    ClientEstimate, ClientProfiler, ColdStartPolicy, Observation, ObservedOutcome, ProfilerStats,
+};
 use float_rl::{AgentConfig, DeadlineLevel, GlobalState, LocalState, RlhfAgent};
 use float_select::{
     ClientSelector, FedAvgSelector, FedBuffSelector, HeuristicPolicy, OortSelector, ReflSelector,
@@ -123,6 +128,15 @@ pub struct Experiment {
     /// Resolved at the next round's bookkeeping (or at finalization), so
     /// at most one evaluation is ever outstanding.
     pending_eval: Option<PendingEval>,
+    /// Online client profiler ([`ExperimentConfig::profiling`], DESIGN.md
+    /// §17): the commit-phase fold of observed outcomes into per-client
+    /// estimates that replace the trace oracle in selection and in the
+    /// accel decision features. `None` with profiling off — the
+    /// byte-identical historical path. Mutated only in the sequential
+    /// commit phase (slot order) and read only in the sequential
+    /// plan/select phases, so profiler state — and everything selection
+    /// derives from it — is bit-identical for any worker-thread count.
+    profiler: Option<ClientProfiler>,
 }
 
 /// A background evaluation pass launched by a pipelined round. The thread
@@ -198,6 +212,10 @@ struct AttemptExec {
     /// only); folded into the server variate and stored at commit time,
     /// in cohort order.
     scaffold_ci: Option<Vec<f32>>,
+    /// The executed plan's cost model (post-acceleration), carried back so
+    /// the commit phase can invert the simulator's phase formulas into
+    /// witnessed-throughput observations for the online profiler.
+    cost: RoundCost,
 }
 
 /// Per-worker reusable buffers for the execute phase. Contents are fully
@@ -311,6 +329,7 @@ impl ExecuteCtx {
                 duplicate: false,
                 fault,
                 scaffold_ci: None,
+                cost: plan.cost,
             };
         }
 
@@ -448,8 +467,107 @@ impl ExecuteCtx {
             duplicate: fault == Some(FaultKind::DuplicateDelivery),
             fault,
             scaffold_ci,
+            cost: plan.cost,
         }
     }
+}
+
+/// Resource-availability fraction assumed for every component under the
+/// `Pessimistic` cold-start policy (a quarter of peak — a deliberately
+/// conservative device until proven otherwise).
+const PESSIMISTIC_FRACTION: f64 = 0.25;
+
+/// Per-component `(cpu, mem, net)` availability fractions derivable from
+/// one profiled estimate; `None` where the estimate has no evidence yet.
+/// Compute capability is witnessed GFLOP/s relative to the device's
+/// spec-sheet peak (the one static rating a real deployment does know);
+/// network is witnessed throughput relative to the client's best-ever
+/// link; memory is the complement of the Beta-mean OOM probability.
+fn fraction_components(
+    est: &ClientEstimate,
+    peak_gflops: f64,
+) -> (Option<f64>, Option<f64>, Option<f64>) {
+    let cpu = est
+        .compute_gflops
+        .map(|g| (g / peak_gflops.max(1e-9)).clamp(0.0, 1.0));
+    let mem = (est.observations > 0).then(|| (1.0 - est.oom_p).clamp(0.0, 1.0));
+    let net = match (est.bandwidth_mbps, est.bandwidth_peak_mbps) {
+        (Some(b), Some(p)) if p > 0.0 => Some((b / p).clamp(0.0, 1.0)),
+        _ => None,
+    };
+    (cpu, mem, net)
+}
+
+/// The profiled replacement for the oracle snapshot fractions feeding the
+/// accel agent's [`LocalState`] and the heuristic policy. Components the
+/// client's own estimate cannot supply fall back to the cold-start
+/// policy: the population's running estimate under `GlobalPrior` (full
+/// fractions before any data exists), full fractions under `Optimistic`,
+/// quarter fractions under `Pessimistic`. A pure read — never perturbs
+/// profiler state.
+fn profiled_fractions(
+    profiler: &ClientProfiler,
+    client: usize,
+    peak_gflops: f64,
+) -> (f64, f64, f64) {
+    let cold = match profiler.config().cold_start {
+        ColdStartPolicy::Optimistic => (1.0, 1.0, 1.0),
+        ColdStartPolicy::Pessimistic => (
+            PESSIMISTIC_FRACTION,
+            PESSIMISTIC_FRACTION,
+            PESSIMISTIC_FRACTION,
+        ),
+        ColdStartPolicy::GlobalPrior => profiler.global_estimate().map_or((1.0, 1.0, 1.0), |g| {
+            let (c, m, n) = fraction_components(&g, peak_gflops);
+            (c.unwrap_or(1.0), m.unwrap_or(1.0), n.unwrap_or(1.0))
+        }),
+    };
+    let (c, m, n) = profiler
+        .estimate(client)
+        .map_or((None, None, None), |e| fraction_components(&e, peak_gflops));
+    (
+        c.unwrap_or(cold.0),
+        m.unwrap_or(cold.1),
+        n.unwrap_or(cold.2),
+    )
+}
+
+/// The profiled replacement for [`estimate_round_time_s`] in the
+/// human-feedback overrun signal: predict the vanilla round time from the
+/// client's witnessed throughput estimates, mirroring the oracle
+/// formula's floors (`mbps ≥ 1e-3`, `gflops ≥ 1e-4`). Unknown components
+/// fall back per the cold-start policy: the global estimate under
+/// `GlobalPrior`, an instant phase under `Optimistic` (no overrun signal
+/// until evidence), three-quarters of the deadline per phase under
+/// `Pessimistic` (two unknown phases ⇒ a 1.5× deadline assumption).
+fn profiled_round_time_s(
+    profiler: &ClientProfiler,
+    client: usize,
+    cost: &RoundCost,
+    deadline_s: f64,
+) -> f64 {
+    let est = profiler.estimate(client);
+    let global = profiler.global_estimate();
+    let global_prior = profiler.config().cold_start == ColdStartPolicy::GlobalPrior;
+    let pick =
+        |local: Option<f64>, glob: Option<f64>| local.or(if global_prior { glob } else { None });
+    let mbps = pick(
+        est.and_then(|e| e.bandwidth_mbps),
+        global.and_then(|g| g.bandwidth_mbps),
+    );
+    let gflops = pick(
+        est.and_then(|e| e.compute_gflops),
+        global.and_then(|g| g.compute_gflops),
+    );
+    let cold_term = match profiler.config().cold_start {
+        ColdStartPolicy::Pessimistic => 0.75 * deadline_s,
+        ColdStartPolicy::Optimistic | ColdStartPolicy::GlobalPrior => 0.0,
+    };
+    let net_term = mbps.map_or(cold_term, |m| {
+        (cost.download_bytes + cost.upload_bytes) * 8.0 / (m.max(1e-3) * 1e6)
+    });
+    let compute_term = gflops.map_or(cold_term, |g| cost.train_flops / (g.max(1e-4) * 1e9));
+    net_term + compute_term
 }
 
 /// Registry counter name for one committed-attempt outcome kind (counter
@@ -568,6 +686,15 @@ impl Experiment {
         if config.scaffold {
             label.push_str("+scaffold");
         }
+        if config.profiling.enabled {
+            // `+prof0` marks the cold-start ablation (observations
+            // suppressed), `+prof` the full online-profiling path.
+            label.push_str(if config.profiling.cold_only {
+                "+prof0"
+            } else {
+                "+prof"
+            });
+        }
         let report = ExperimentReport {
             label,
             accuracy: AccuracySummary::from_accuracies(&[]),
@@ -631,6 +758,10 @@ impl Experiment {
             eval_models: Vec::new(),
             eval_parameters: Vec::new(),
             pending_eval: None,
+            profiler: config
+                .profiling
+                .enabled
+                .then(|| ClientProfiler::for_population(config.profiling, config.num_clients)),
         })
     }
 
@@ -715,6 +846,16 @@ impl Experiment {
     pub fn run_with_cache_stats(mut self) -> (ExperimentReport, ShardCacheStats) {
         self.run_engine();
         let stats = self.data.stats();
+        (self.finalize(), stats)
+    }
+
+    /// Run to completion and also return the online profiler's store
+    /// accounting (`None` with profiling off), so harnesses can assert the
+    /// bounded store's identities (`inserted == evictions + resident`,
+    /// `resident ≤ capacity`) at population scale.
+    pub fn run_with_profiler_stats(mut self) -> (ExperimentReport, Option<ProfilerStats>) {
+        self.run_engine();
+        let stats = self.profiler.as_ref().map(ClientProfiler::stats);
         (self.finalize(), stats)
     }
 
@@ -814,16 +955,65 @@ impl Experiment {
         }
     }
 
-    /// Decide the acceleration action for a client given its snapshot.
-    /// When telemetry is on, emits the [`Event::AccelDecision`] for this
-    /// attempt — still inside the sequential plan phase, so decision
-    /// events appear in cohort order.
+    /// Select a cohort for `round` out of `eligible_buf`. The profiled
+    /// path hands the selector a read-only view of the online estimates
+    /// ([`ClientSelector::select_profiled`]); the oracle path is the
+    /// historical `select_into`, byte for byte. When telemetry is on,
+    /// cohort coverage — the fraction of selected clients the profiler
+    /// has at least one resident observation for — is recorded before
+    /// the round runs, so the metric describes the estimates selection
+    /// actually acted on.
+    fn select_cohort(&mut self, round: usize, target: usize, cohort: &mut Vec<usize>) {
+        match &self.profiler {
+            Some(p) => {
+                self.selector
+                    .select_profiled(round, &self.eligible_buf, target, &p.view(), cohort)
+            }
+            None => self
+                .selector
+                .select_into(round, &self.eligible_buf, target, cohort),
+        }
+        if self.obs.enabled() && !cohort.is_empty() {
+            if let Some(p) = &self.profiler {
+                let covered = cohort.iter().filter(|&&c| p.observed(c)).count();
+                let reg = self.obs.registry_mut();
+                reg.inc("profile_selected_clients", cohort.len() as u64);
+                reg.inc("profile_covered_clients", covered as u64);
+                reg.set_gauge(
+                    "profile_cohort_coverage",
+                    covered as f64 / cohort.len() as f64,
+                );
+            }
+        }
+    }
+
+    /// The attempt duration a selector may learn from. With profiling on,
+    /// a non-completer's wall time is censored at the deadline: a real
+    /// server never observes a no-show's counterfactual full duration
+    /// (the oracle leak audited by ISSUE 9's feedback sweep). With
+    /// profiling off the historical uncensored value flows through,
+    /// byte for byte.
+    fn feedback_duration_s(&self, a: &Attempt) -> f64 {
+        if self.profiler.is_some() && !a.completed {
+            a.duration_s.min(self.config.deadline_s)
+        } else {
+            a.duration_s
+        }
+    }
+
+    /// Decide the acceleration action for a client given its `(cpu, mem,
+    /// net)` availability fractions — the oracle snapshot's with profiling
+    /// off, the profiler's witnessed estimates with it on. When telemetry
+    /// is on, emits the [`Event::AccelDecision`] for this attempt — still
+    /// inside the sequential plan phase, so decision events appear in
+    /// cohort order.
     fn choose_action(
         &mut self,
         client: usize,
-        snap: &ResourceSnapshot,
+        fractions: (f64, f64, f64),
         round: usize,
     ) -> AccelAction {
+        let (cpu_f, mem_f, net_f) = fractions;
         let (action, agent_state, q, explore) = match self.config.accel {
             AccelMode::Off => (AccelAction::NoOp, None, 0.0, false),
             AccelMode::Static(idx) => (
@@ -837,20 +1027,11 @@ impl Experiment {
                     .heuristic
                     .as_mut()
                     .expect("heuristic mode implies a policy");
-                (
-                    h.choose(snap.cpu_fraction, snap.net_fraction),
-                    None,
-                    0.0,
-                    false,
-                )
+                (h.choose(cpu_f, net_f), None, 0.0, false)
             }
             AccelMode::Rl | AccelMode::Rlhf | AccelMode::RlhfExtended => {
                 let global = self.global_state();
-                let local = LocalState::from_fractions(
-                    snap.cpu_fraction,
-                    snap.mem_fraction,
-                    snap.net_fraction,
-                );
+                let local = LocalState::from_fractions(cpu_f, mem_f, net_f);
                 let hf = DeadlineLevel::from_overrun(
                     self.hf_overrun_ema.get(&client).copied().unwrap_or(0.0),
                 );
@@ -896,6 +1077,7 @@ impl Experiment {
     /// in cohort order, so the parallel phase inherits a fixed plan.
     fn plan_attempt(&mut self, client: usize, round: usize, staleness: u64) -> AttemptTask {
         let snap = self.sampler.snapshot(client, round);
+        let device = self.sampler.client(client).profile;
         // Pin the client's shards for the execute phase. The cache is only
         // touched here, in the sequential plan phase, so its LRU state
         // (and therefore its hit/miss/eviction sequence) is deterministic.
@@ -909,31 +1091,40 @@ impl Experiment {
         );
         // Human feedback: fold this round's *vanilla* overrun estimate into
         // the client's running deadline-difference profile before deciding.
-        let vanilla_overrun = ((estimate_round_time_s(&snap, &base_cost) - self.config.deadline_s)
-            / self.config.deadline_s)
-            .max(0.0);
+        // With profiling off the estimate reads the trace oracle (the
+        // historical path, byte for byte); with it on, only witnessed
+        // throughput — the runtime's own observations — may be consulted.
+        let vanilla_time_s = match &self.profiler {
+            None => estimate_round_time_s(&snap, &base_cost),
+            Some(p) => profiled_round_time_s(p, client, &base_cost, self.config.deadline_s),
+        };
+        let vanilla_overrun =
+            ((vanilla_time_s - self.config.deadline_s) / self.config.deadline_s).max(0.0);
         let ema = self.hf_overrun_ema.entry(client).or_insert(0.0);
         *ema = 0.7 * *ema + 0.3 * vanilla_overrun;
-        let action = self.choose_action(client, &snap, round);
+        // The accel decision's resource features: oracle fractions, or the
+        // profiler's witnessed estimates under the cold-start policy.
+        let fractions = match &self.profiler {
+            None => (snap.cpu_fraction, snap.mem_fraction, snap.net_fraction),
+            Some(p) => profiled_fractions(p, client, device.gflops),
+        };
+        let action = self.choose_action(client, fractions, round);
         let (error_feedback, scaffold_ci) = self.snapshot_drift_state(client, action);
+        let (cpu_f, mem_f, net_f) = fractions;
         AttemptTask {
             client,
             staleness,
             slot: 0, // assigned by run_attempts once the cohort is fixed
             attempt: 0,
             snap,
-            profile: self.sampler.client(client).profile,
+            profile: device,
             action,
             base_cost,
             shard_len,
             train,
             test,
             global: self.global_state(),
-            local: LocalState::from_fractions(
-                snap.cpu_fraction,
-                snap.mem_fraction,
-                snap.net_fraction,
-            ),
+            local: LocalState::from_fractions(cpu_f, mem_f, net_f),
             hf: DeadlineLevel::from_overrun(
                 self.hf_overrun_ema.get(&client).copied().unwrap_or(0.0),
             ),
@@ -1101,6 +1292,57 @@ impl Experiment {
             self.obs
                 .registry_mut()
                 .inc(outcome_counter(outcome_kind), 1);
+        }
+        // Online profiling: fold the committed outcome into the profiler.
+        // Commit phase, slot order — so profiler state (and everything
+        // selection later reads from it) is thread-count invariant. A
+        // quarantined or dropped attempt teaches reliability only; the
+        // witnessed throughputs invert the simulator's phase formulas
+        // (`upload_s = bytes·8 / (mbps·1e6)`, `train_s = flops /
+        // (gflops·1e9)`) so estimates converge on the effective rates.
+        if let Some(profiler) = self.profiler.as_mut() {
+            let kind = if quarantined {
+                ObservedOutcome::Quarantined
+            } else if completed {
+                ObservedOutcome::Completed
+            } else if stalled {
+                ObservedOutcome::Stalled
+            } else if exec.outcome.dropped == Some(DropReason::OutOfMemory) {
+                ObservedOutcome::DroppedOom
+            } else {
+                ObservedOutcome::Dropped
+            };
+            let upload_mbps = (completed && exec.outcome.upload_s > 0.0)
+                .then(|| exec.cost.upload_bytes * 8.0 / (exec.outcome.upload_s * 1e6));
+            let compute_gflops = (completed && exec.outcome.train_s > 0.0)
+                .then(|| exec.cost.train_flops / (exec.outcome.train_s * 1e9));
+            // Estimate error against the *pre-update* prediction: how far
+            // off was the latency the selector just acted on?
+            let prior_latency = profiler.estimate(task.client).and_then(|e| e.latency_s);
+            profiler.observe(
+                task.client,
+                &Observation {
+                    round: round as u64,
+                    kind,
+                    duration_s: exec.outcome.total_s(),
+                    upload_mbps,
+                    compute_gflops,
+                },
+            );
+            if self.obs.enabled() {
+                let reg = self.obs.registry_mut();
+                reg.inc("profile_observations", 1);
+                if completed && exec.outcome.total_s() > 0.0 {
+                    if let Some(pred) = prior_latency {
+                        let actual = exec.outcome.total_s();
+                        reg.observe(
+                            "profile_estimate_error",
+                            ESTIMATE_ERROR_BUCKETS,
+                            ((pred - actual) / actual).abs(),
+                        );
+                    }
+                }
+            }
         }
         Attempt {
             client: task.client,
@@ -1461,12 +1703,7 @@ impl Experiment {
         for round in 0..self.config.rounds {
             self.refresh_eligible(round);
             let mut cohort = std::mem::take(&mut self.cohort_buf);
-            self.selector.select_into(
-                round,
-                &self.eligible_buf,
-                self.config.cohort_size,
-                &mut cohort,
-            );
+            self.select_cohort(round, self.config.cohort_size, &mut cohort);
             self.obs.record(Event::RoundStart {
                 round: round as u64,
                 sim_s: self.clock.now_s(),
@@ -1580,12 +1817,7 @@ impl Experiment {
             let mut round_started = false;
             loop {
                 let mut launched = std::mem::take(&mut self.cohort_buf);
-                self.selector.select_into(
-                    agg_round,
-                    &self.eligible_buf,
-                    self.config.cohort_size,
-                    &mut launched,
-                );
+                self.select_cohort(agg_round, self.config.cohort_size, &mut launched);
                 if !round_started {
                     round_started = true;
                     self.obs.record(Event::RoundStart {
@@ -1626,13 +1858,14 @@ impl Experiment {
                 let dt = (ev.at_s - self.clock.now_s()).max(0.0);
                 self.clock.advance(dt);
                 let attempt = &attempts_store[ev.attempt_idx];
+                let duration_s = self.feedback_duration_s(attempt);
                 // Free the slot in the FedBuff selector.
                 self.selector.feedback(
                     agg_round,
                     &[SelectionFeedback {
                         client: ev.client,
                         completed: ev.completed,
-                        duration_s: attempt.duration_s,
+                        duration_s,
                         utility: attempt.utility,
                         was_available: attempt.was_available,
                         quarantined: attempt.quarantined,
@@ -1690,7 +1923,7 @@ impl Experiment {
             .map(|a| SelectionFeedback {
                 client: a.client,
                 completed: a.completed,
-                duration_s: a.duration_s,
+                duration_s: self.feedback_duration_s(a),
                 utility: a.utility,
                 was_available: a.was_available,
                 quarantined: a.quarantined,

@@ -7,7 +7,7 @@
 //! key order.
 
 use crate::event::{Event, Phase};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
 /// Summarize one round of an event stream as a single line. Events whose
@@ -29,6 +29,21 @@ pub fn round_digest(round: u64, events: &[Event]) -> String {
     let mut faults: BTreeMap<&str, u64> = BTreeMap::new();
     let mut phase_us: BTreeMap<&'static str, u64> = BTreeMap::new();
     let mut saw_any = false;
+
+    // Profiler cohort coverage, reconstructed purely from the stream: a
+    // client counts as covered in round N if any earlier round committed
+    // an outcome for it — exactly the "has a prior observation" predicate
+    // the online profiler applies at selection time.
+    let prior_clients: BTreeSet<u64> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::ClientOutcome {
+                round: r, client, ..
+            } if *r < round => Some(*client),
+            _ => None,
+        })
+        .collect();
+    let mut round_clients: BTreeSet<u64> = BTreeSet::new();
 
     for e in events.iter().filter(|e| e.round() == round) {
         saw_any = true;
@@ -59,7 +74,10 @@ pub fn round_digest(round: u64, events: &[Event]) -> String {
             Event::FaultInjected { kind, .. } => {
                 *faults.entry(kind.as_str()).or_insert(0) += 1;
             }
-            Event::ClientOutcome { attempt, .. } => {
+            Event::ClientOutcome {
+                attempt, client, ..
+            } => {
+                round_clients.insert(*client);
                 if *attempt > 0 {
                     retries += 1;
                 }
@@ -106,6 +124,17 @@ pub fn round_digest(round: u64, events: &[Event]) -> String {
     }
     if retries > 0 {
         let _ = write!(line, " retry {retries}");
+    }
+    if !round_clients.is_empty() {
+        let covered = round_clients
+            .iter()
+            .filter(|c| prior_clients.contains(c))
+            .count();
+        let _ = write!(
+            line,
+            " | cov {:.2}",
+            covered as f64 / round_clients.len() as f64
+        );
     }
     let _ = write!(line, " | agg {agg_updates}");
     if agg_suppressed > 0 {
@@ -218,8 +247,27 @@ mod tests {
         assert!(line.contains("quant8:1"), "line was: {line}");
         assert!(line.contains("explore 1"), "line was: {line}");
         assert!(line.contains("network-stall:1"), "line was: {line}");
+        assert!(line.contains("cov 0.00"), "no prior rounds: {line}");
         assert!(!line.contains("wall"), "timer-less stream: {line}");
         assert!(!line.contains("drop 8"), "round 3 leaked in: {line}");
+    }
+
+    #[test]
+    fn coverage_counts_clients_seen_in_earlier_rounds() {
+        let outcome = |round: u64, client: u64| Event::ClientOutcome {
+            round,
+            client,
+            attempt: 0,
+            outcome: OutcomeKind::Completed,
+            sim_duration_s: 10.0,
+        };
+        // Round 1 re-selects client 1 (seen in round 0) and client 2
+        // (never seen) → coverage 1/2. Later rounds must not leak in.
+        let events = vec![outcome(0, 1), outcome(1, 1), outcome(1, 2), outcome(2, 3)];
+        let line = round_digest(1, &events);
+        assert!(line.contains("cov 0.50"), "line was: {line}");
+        let line0 = round_digest(0, &events);
+        assert!(line0.contains("cov 0.00"), "line was: {line0}");
     }
 
     #[test]

@@ -25,6 +25,12 @@ pub const PAYLOAD_BUCKETS_BYTES: &[f64] = &[
 /// selected, in `[0, 1]`).
 pub const UTILIZATION_BUCKETS: &[f64] = &[0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
 
+/// Upper bucket bounds for the profiler's relative estimate error,
+/// `|predicted − actual| / actual` on completed attempts. Geometric
+/// spacing: the first bucket is "within 5%", the overflow bucket is
+/// "off by more than 160%" (cold or badly drifted estimates).
+pub const ESTIMATE_ERROR_BUCKETS: &[f64] = &[0.05, 0.1, 0.2, 0.4, 0.8, 1.6];
+
 /// A fixed-bucket histogram. Buckets are cumulative-style upper bounds
 /// with an implicit `+inf` overflow bucket; `min`/`max`/`sum` track the
 /// raw observations for summary statistics.

@@ -1,0 +1,168 @@
+//! Profiling configuration: the `ExperimentConfig::profiling` knob.
+//!
+//! Everything here is `Copy` because `ExperimentConfig` is `Copy` (it is
+//! snapshotted into the per-attempt execute context).
+
+use serde::{Deserialize, Serialize};
+
+/// What the runtime should assume about a client it has never observed.
+///
+/// This only governs the *accel-agent / pacing* features (local resource
+/// fractions and the overrun estimate). Selectors keep their own
+/// cold-start behaviour: a `None` estimate routes the client through the
+/// selector's existing exploration / prior path (Oort's untried pool,
+/// REFL's 0.5 availability prior, TiFL's unprofiled tier watermark).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ColdStartPolicy {
+    /// Use population-level running estimates (the mean of everything
+    /// observed so far); before any observation exists at all, behave
+    /// like [`ColdStartPolicy::Optimistic`]. This is the default: new
+    /// clients are assumed to look like the fleet.
+    #[default]
+    GlobalPrior,
+    /// Assume a healthy client: full resource fractions, no overrun.
+    /// First contact runs the heaviest plan the policy allows.
+    Optimistic,
+    /// Assume a constrained client: quarter resource fractions and a
+    /// 1.5x-deadline latency guess. First contact runs conservatively.
+    Pessimistic,
+}
+
+/// Configuration for the online client profiler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfilingConfig {
+    /// Master switch. Off means the runtime keeps today's oracle path,
+    /// byte-identical to the pinned goldens.
+    pub enabled: bool,
+    /// Bounded-store capacity in clients. `0` means auto: the population
+    /// size clamped to [`ProfilingConfig::AUTO_CAPACITY_CAP`], so the
+    /// store stays O(MB) even at the 1M/10M presets.
+    pub capacity: usize,
+    /// EWMA smoothing factor for latency estimates, in (0, 1].
+    pub latency_alpha: f64,
+    /// EWMA smoothing factor for bandwidth/compute estimates, in (0, 1].
+    pub bandwidth_alpha: f64,
+    /// Policy for never-observed clients (see [`ColdStartPolicy`]).
+    pub cold_start: ColdStartPolicy,
+    /// Evaluation knob: record nothing and answer every query with the
+    /// cold-start prior. This is the "cold start forever" lower bound in
+    /// the `profile_gap` bench; it requires `enabled`.
+    pub cold_only: bool,
+}
+
+impl ProfilingConfig {
+    /// Cap applied to the auto-sized store (`capacity == 0`).
+    pub const AUTO_CAPACITY_CAP: usize = 8192;
+
+    /// Profiling disabled — the oracle path. This is the default.
+    pub fn off() -> Self {
+        Self {
+            enabled: false,
+            capacity: 0,
+            latency_alpha: 0.3,
+            bandwidth_alpha: 0.3,
+            cold_start: ColdStartPolicy::GlobalPrior,
+            cold_only: false,
+        }
+    }
+
+    /// Profiling enabled with default estimator constants.
+    pub fn on() -> Self {
+        Self {
+            enabled: true,
+            ..Self::off()
+        }
+    }
+
+    /// The cold-start-forever evaluation mode (see `cold_only`).
+    pub fn cold_only() -> Self {
+        Self {
+            cold_only: true,
+            ..Self::on()
+        }
+    }
+
+    /// The store capacity to use for a population of `num_clients`.
+    pub fn resolved_capacity(&self, num_clients: usize) -> usize {
+        if self.capacity > 0 {
+            self.capacity
+        } else {
+            num_clients.clamp(1, Self::AUTO_CAPACITY_CAP)
+        }
+    }
+
+    /// Validate ranges; errors carry the offending value.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.latency_alpha > 0.0 && self.latency_alpha <= 1.0) {
+            return Err(format!(
+                "profiling.latency_alpha must be in (0, 1], got {}",
+                self.latency_alpha
+            ));
+        }
+        if !(self.bandwidth_alpha > 0.0 && self.bandwidth_alpha <= 1.0) {
+            return Err(format!(
+                "profiling.bandwidth_alpha must be in (0, 1], got {}",
+                self.bandwidth_alpha
+            ));
+        }
+        if self.cold_only && !self.enabled {
+            return Err("profiling.cold_only = true requires profiling.enabled = true".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ProfilingConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        ProfilingConfig::off().validate().unwrap();
+        ProfilingConfig::on().validate().unwrap();
+        ProfilingConfig::cold_only().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_values_are_rejected_with_the_value_in_the_message() {
+        let mut cfg = ProfilingConfig::on();
+        cfg.latency_alpha = 0.0;
+        assert!(cfg.validate().unwrap_err().contains("got 0"));
+        let mut cfg = ProfilingConfig::on();
+        cfg.bandwidth_alpha = 1.5;
+        assert!(cfg.validate().unwrap_err().contains("got 1.5"));
+        let mut cfg = ProfilingConfig::off();
+        cfg.cold_only = true;
+        assert!(cfg.validate().unwrap_err().contains("cold_only"));
+    }
+
+    #[test]
+    fn auto_capacity_tracks_population_up_to_the_cap() {
+        let cfg = ProfilingConfig::on();
+        assert_eq!(cfg.resolved_capacity(100), 100);
+        assert_eq!(
+            cfg.resolved_capacity(10_000_000),
+            ProfilingConfig::AUTO_CAPACITY_CAP
+        );
+        assert_eq!(cfg.resolved_capacity(0), 1);
+        let mut pinned = cfg;
+        pinned.capacity = 64;
+        assert_eq!(pinned.resolved_capacity(10_000_000), 64);
+    }
+
+    #[test]
+    fn default_round_trips_through_serde_as_off() {
+        let cfg = ProfilingConfig::default();
+        assert!(!cfg.enabled);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ProfilingConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

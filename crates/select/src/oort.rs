@@ -14,6 +14,7 @@ use std::collections::{HashMap, HashSet};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+use float_profile::{ClientEstimate, ProfileView};
 use float_tensor::rng::{seed_rng, split_seed};
 
 use crate::selector::{top_k_by, ClientSelector, SelectionFeedback, SelectorKind};
@@ -111,19 +112,33 @@ impl OortSelector {
         }
     }
 
-    /// Priority score of client `c` at `round`.
+    /// Priority score of client `c` at `round` from internal records only.
+    #[cfg(test)]
     fn priority(&self, c: usize, round: usize) -> f64 {
+        self.priority_with(c, round, None)
+    }
+
+    /// Priority score of client `c` at `round`. When a profiled estimate
+    /// is supplied, the *system* terms — measured duration and completion
+    /// reliability — come from it instead of the selector's own feedback
+    /// records; statistical utility, exploration, and staleness remain
+    /// internal (they are defined by selection history, not resources).
+    fn priority_with(&self, c: usize, round: usize, est: Option<&ClientEstimate>) -> f64 {
         let r = self.records.get(&c).copied().unwrap_or_default();
         if r.selected == 0 {
             return 0.0; // untried clients go through the exploration pool
         }
         let mut util = r.stat_utility;
         // System utility: penalize clients slower than the target.
-        if r.last_duration_s > self.preferred_duration_s && r.last_duration_s > 0.0 {
-            util *= (self.preferred_duration_s / r.last_duration_s).powf(self.alpha);
+        let duration_s = est.and_then(|e| e.latency_s).unwrap_or(r.last_duration_s);
+        if duration_s > self.preferred_duration_s && duration_s > 0.0 {
+            util *= (self.preferred_duration_s / duration_s).powf(self.alpha);
         }
         // Reliability: clients that keep dropping lose priority.
-        let reliability = (r.completed as f64 + 1.0) / (r.selected as f64 + 2.0);
+        let reliability = est.map_or_else(
+            || (r.completed as f64 + 1.0) / (r.selected as f64 + 2.0),
+            |e| e.reliability,
+        );
         util *= reliability;
         // Staleness bonus keeps long-unselected clients from starving
         // entirely (Oort's temporal uncertainty term).
@@ -162,6 +177,57 @@ impl ClientSelector for OortSelector {
         target: usize,
         cohort: &mut Vec<usize>,
     ) {
+        self.select_impl(round, eligible, target, None, cohort);
+    }
+
+    fn select_profiled(
+        &mut self,
+        round: usize,
+        eligible: &[usize],
+        target: usize,
+        profiles: &ProfileView<'_>,
+        cohort: &mut Vec<usize>,
+    ) {
+        self.select_impl(round, eligible, target, Some(profiles), cohort);
+    }
+
+    fn feedback(&mut self, _round: usize, results: &[SelectionFeedback]) {
+        let mut round_utility = 0.0;
+        for f in results {
+            let r = self.records.entry(f.client).or_default();
+            if f.completed {
+                r.completed += 1;
+                r.stat_utility = 0.7 * r.stat_utility + 0.3 * f.utility;
+                r.last_duration_s = f.duration_s;
+                round_utility += f.utility;
+            } else if f.quarantined {
+                // A quarantined payload is worse than slowness: the client
+                // consumed a slot and shipped poison. Decay its utility
+                // harder than an ordinary dropout — but say nothing about
+                // its speed: the payload was rejected, so its duration is
+                // not a measurement of this client's pace and must not
+                // feed the system-utility penalty.
+                r.stat_utility *= 0.5;
+            } else {
+                // A dropout tells Oort the client is slow/unreliable.
+                r.last_duration_s = r.last_duration_s.max(f.duration_s);
+                r.stat_utility *= 0.8;
+            }
+        }
+        self.round_utilities.push(round_utility);
+        self.run_pacer();
+    }
+}
+
+impl OortSelector {
+    fn select_impl(
+        &mut self,
+        round: usize,
+        eligible: &[usize],
+        target: usize,
+        profiles: Option<&ProfileView<'_>>,
+        cohort: &mut Vec<usize>,
+    ) {
         cohort.clear();
         let target = target.min(eligible.len());
         let mut rng = seed_rng(split_seed(self.seed, round as u64));
@@ -180,12 +246,10 @@ impl ClientSelector for OortSelector {
         // scrambling the comparison.
         let mut scored = std::mem::take(&mut self.scored);
         scored.clear();
-        scored.extend(
-            eligible
-                .iter()
-                .enumerate()
-                .map(|(pos, &c)| (self.priority(c, round), pos)),
-        );
+        scored.extend(eligible.iter().enumerate().map(|(pos, &c)| {
+            let est = profiles.and_then(|v| v.estimate(c));
+            (self.priority_with(c, round, est.as_ref()), pos)
+        }));
         top_k_by(&mut scored, exploit_n, |a, b| {
             b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1))
         });
@@ -225,31 +289,6 @@ impl ClientSelector for OortSelector {
 
         self.commit_selection_into(cohort, round);
         let _ = rng.gen::<u64>();
-    }
-
-    fn feedback(&mut self, _round: usize, results: &[SelectionFeedback]) {
-        let mut round_utility = 0.0;
-        for f in results {
-            let r = self.records.entry(f.client).or_default();
-            if f.completed {
-                r.completed += 1;
-                r.stat_utility = 0.7 * r.stat_utility + 0.3 * f.utility;
-                r.last_duration_s = f.duration_s;
-                round_utility += f.utility;
-            } else if f.quarantined {
-                // A quarantined payload is worse than slowness: the client
-                // consumed a slot and shipped poison. Decay its utility
-                // harder than an ordinary dropout.
-                r.last_duration_s = r.last_duration_s.max(f.duration_s);
-                r.stat_utility *= 0.5;
-            } else {
-                // A dropout tells Oort the client is slow/unreliable.
-                r.last_duration_s = r.last_duration_s.max(f.duration_s);
-                r.stat_utility *= 0.8;
-            }
-        }
-        self.round_utilities.push(round_utility);
-        self.run_pacer();
     }
 }
 
@@ -454,6 +493,53 @@ mod tests {
 
         let picked = s.select(round, &eligible, target);
         assert_eq!(picked, expected);
+    }
+
+    #[test]
+    fn quarantine_never_updates_measured_duration() {
+        // Regression: the quarantined branch used to max-update
+        // `last_duration_s`, so a poisoned payload taught Oort the client
+        // was *slow* — but a rejected payload says nothing about pace.
+        let mut s = OortSelector::new(6, 60.0);
+        s.feedback(0, &[feedback(0, true, 30.0, 1.0)]);
+        let mut q = feedback(0, false, 900.0, 0.0);
+        q.quarantined = true;
+        s.feedback(1, &[q]);
+        assert_eq!(
+            s.records[&0].last_duration_s, 30.0,
+            "quarantined duration leaked into the latency record"
+        );
+        // An ordinary dropout still widens the duration estimate.
+        s.feedback(2, &[feedback(0, false, 900.0, 0.0)]);
+        assert_eq!(s.records[&0].last_duration_s, 900.0);
+    }
+
+    #[test]
+    fn profiled_estimates_drive_the_system_terms() {
+        use float_profile::{ClientProfiler, Observation, ObservedOutcome, ProfilingConfig};
+        let mut s = OortSelector::new(8, 60.0);
+        // Internal records say both clients are identical...
+        let _ = s.select(0, &pool(2), 2);
+        s.feedback(
+            0,
+            &[feedback(0, true, 30.0, 1.0), feedback(1, true, 30.0, 1.0)],
+        );
+        assert_eq!(s.priority(0, 1), s.priority(1, 1));
+        // ...but the profiler observed client 1 running 20x slower.
+        let mut p = ClientProfiler::new(ProfilingConfig::on(), 8);
+        p.observe(0, &Observation::replay(0, ObservedOutcome::Completed, 30.0));
+        p.observe(
+            1,
+            &Observation::replay(0, ObservedOutcome::Completed, 600.0),
+        );
+        let view = p.view();
+        let (est0, est1) = (view.estimate(0), view.estimate(1));
+        assert!(s.priority_with(0, 1, est0.as_ref()) > s.priority_with(1, 1, est1.as_ref()));
+        // select_profiled ranks accordingly: the single exploit slot goes
+        // to the observed-fast client.
+        let mut cohort = Vec::new();
+        s.select_profiled(1, &pool(2), 1, &view, &mut cohort);
+        assert_eq!(cohort, vec![0]);
     }
 
     #[test]

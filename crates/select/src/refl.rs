@@ -14,6 +14,7 @@ use std::collections::HashMap;
 
 use rand::seq::SliceRandom;
 
+use float_profile::{ClientEstimate, ProfileView};
 use float_tensor::rng::{seed_rng, split_seed};
 
 use crate::selector::{top_k_by, ClientSelector, SelectionFeedback, SelectorKind};
@@ -84,9 +85,19 @@ impl ReflSelector {
         self.ensured = self.ensured.max(num_clients);
     }
 
-    /// REFL's selection score: predicted availability, discounted when the
-    /// client's observed speed would overflow the window.
+    /// REFL's selection score from internal records only.
+    #[cfg(test)]
     fn score(&self, c: usize) -> f64 {
+        self.score_with(c, None)
+    }
+
+    /// REFL's selection score: predicted availability, discounted when the
+    /// client's observed speed would overflow the window. When a profiled
+    /// estimate is supplied, the *measured* quantities — duration and the
+    /// completion track record — come from it; the availability ring stays
+    /// internal (it is REFL's own windowed prediction model, fed by
+    /// check-in observations, not a trace oracle).
+    fn score_with(&self, c: usize, est: Option<&ClientEstimate>) -> f64 {
         let Some(h) = self.histories.get(&c) else {
             // Never observed: the uninformative prior, with no speed
             // discount and no track record — exactly what a default
@@ -94,29 +105,30 @@ impl ReflSelector {
             return 0.5;
         };
         let mut s = h.predicted_availability();
-        if h.last_duration_s > self.deadline_s && h.last_duration_s > 0.0 {
+        let duration_s = est.and_then(|e| e.latency_s).unwrap_or(h.last_duration_s);
+        if duration_s > self.deadline_s && duration_s > 0.0 {
             // Predicted to overflow its window: heavily discounted. This is
             // the "prefers faster clients" bias.
-            s *= self.deadline_s / h.last_duration_s;
+            s *= self.deadline_s / duration_s;
         }
         // Completion track record sharpens the prediction.
-        if h.selected > 0 {
-            s *= (h.completed as f64 + 1.0) / (h.selected as f64 + 1.0);
+        match est {
+            Some(e) => s *= e.reliability,
+            None => {
+                if h.selected > 0 {
+                    s *= (h.completed as f64 + 1.0) / (h.selected as f64 + 1.0);
+                }
+            }
         }
         s
     }
-}
 
-impl ClientSelector for ReflSelector {
-    fn kind(&self) -> SelectorKind {
-        SelectorKind::Refl
-    }
-
-    fn select_into(
+    fn select_impl(
         &mut self,
         round: usize,
         eligible: &[usize],
         target: usize,
+        profiles: Option<&ProfileView<'_>>,
         cohort: &mut Vec<usize>,
     ) {
         cohort.clear();
@@ -136,7 +148,10 @@ impl ClientSelector for ReflSelector {
         // sort this replaces did.
         let mut scored = std::mem::take(&mut self.scored);
         scored.clear();
-        scored.extend(ids.iter().enumerate().map(|(pos, &c)| (self.score(c), pos)));
+        scored.extend(ids.iter().enumerate().map(|(pos, &c)| {
+            let est = profiles.and_then(|v| v.estimate(c));
+            (self.score_with(c, est.as_ref()), pos)
+        }));
         top_k_by(&mut scored, target, |a, b| {
             b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1))
         });
@@ -147,6 +162,33 @@ impl ClientSelector for ReflSelector {
         }
         self.scored = scored;
         self.ids = ids;
+    }
+}
+
+impl ClientSelector for ReflSelector {
+    fn kind(&self) -> SelectorKind {
+        SelectorKind::Refl
+    }
+
+    fn select_into(
+        &mut self,
+        round: usize,
+        eligible: &[usize],
+        target: usize,
+        cohort: &mut Vec<usize>,
+    ) {
+        self.select_impl(round, eligible, target, None, cohort);
+    }
+
+    fn select_profiled(
+        &mut self,
+        round: usize,
+        eligible: &[usize],
+        target: usize,
+        profiles: &ProfileView<'_>,
+        cohort: &mut Vec<usize>,
+    ) {
+        self.select_impl(round, eligible, target, Some(profiles), cohort);
     }
 
     fn feedback(&mut self, _round: usize, results: &[SelectionFeedback]) {
@@ -162,7 +204,10 @@ impl ClientSelector for ReflSelector {
             if f.completed {
                 h.completed += 1;
                 h.last_duration_s = f.duration_s;
-            } else if f.duration_s > 0.0 {
+            } else if !f.quarantined && f.duration_s > 0.0 {
+                // A quarantined attempt's duration is not a speed
+                // measurement (the payload was rejected); only genuine
+                // dropouts teach REFL the client overflows its window.
                 h.last_duration_s = f.duration_s;
             }
         }
@@ -267,6 +312,49 @@ mod tests {
         s.feedback(0, &[fb(2, true, 10.0, true), fb(9, true, 10.0, true)]);
         assert!(s.histories.contains_key(&2), "in-range feedback recorded");
         assert!(!s.histories.contains_key(&9), "beyond watermark dropped");
+    }
+
+    #[test]
+    fn quarantine_never_updates_measured_duration() {
+        // Regression: a quarantined attempt's duration used to land in
+        // `last_duration_s` through the dropout arm, discounting the
+        // client as slow when its payload was merely rejected.
+        let mut s = ReflSelector::new(5, 100.0);
+        let _ = s.select(0, &pool(2), 2);
+        s.feedback(0, &[fb(0, true, 50.0, true)]);
+        let mut q = fb(0, false, 900.0, true);
+        q.quarantined = true;
+        s.feedback(1, &[q]);
+        assert_eq!(
+            s.histories[&0].last_duration_s, 50.0,
+            "quarantined duration leaked into the latency record"
+        );
+        // A genuine dropout still updates it.
+        s.feedback(2, &[fb(0, false, 900.0, true)]);
+        assert_eq!(s.histories[&0].last_duration_s, 900.0);
+    }
+
+    #[test]
+    fn profiled_estimates_drive_the_measured_terms() {
+        use float_profile::{ClientProfiler, Observation, ObservedOutcome, ProfilingConfig};
+        let mut s = ReflSelector::new(6, 100.0);
+        let _ = s.select(0, &pool(2), 2);
+        // Identical internal histories...
+        s.feedback(0, &[fb(0, true, 50.0, true), fb(1, true, 50.0, true)]);
+        assert_eq!(s.score(0), s.score(1));
+        // ...but observations say client 1 overflows the window 5x.
+        let mut p = ClientProfiler::new(ProfilingConfig::on(), 8);
+        p.observe(0, &Observation::replay(0, ObservedOutcome::Completed, 50.0));
+        p.observe(
+            1,
+            &Observation::replay(0, ObservedOutcome::Completed, 500.0),
+        );
+        let view = p.view();
+        let (e0, e1) = (view.estimate(0), view.estimate(1));
+        assert!(s.score_with(0, e0.as_ref()) > s.score_with(1, e1.as_ref()));
+        let mut cohort = Vec::new();
+        s.select_profiled(1, &pool(2), 1, &view, &mut cohort);
+        assert_eq!(cohort, vec![0]);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::cmp::Ordering;
 
+use float_profile::ProfileView;
 use serde::{Deserialize, Serialize};
 
 /// Reduce `v` to its top `k` elements under `cmp` (the comparator's
@@ -107,6 +108,28 @@ pub trait ClientSelector {
         target: usize,
         cohort: &mut Vec<usize>,
     );
+
+    /// Like [`ClientSelector::select_into`], but with access to online
+    /// profiled estimates (FLOAT's observability-as-control-input path,
+    /// `ExperimentConfig::profiling`). Selectors that score clients on
+    /// oracle-fed internal state (Oort's measured durations, REFL's
+    /// reliability, TiFL's latency tiers) override this to read the
+    /// [`ProfileView`] instead; a client with no estimate (`None`) goes
+    /// through the selector's own cold-start path — Oort's untried
+    /// exploration pool, REFL's 0.5 availability prior, TiFL's
+    /// unprofiled tier. The default ignores the view, so purely random
+    /// baselines (FedAvg, FedBuff) are unchanged by profiling.
+    fn select_profiled(
+        &mut self,
+        round: usize,
+        eligible: &[usize],
+        target: usize,
+        profiles: &ProfileView<'_>,
+        cohort: &mut Vec<usize>,
+    ) {
+        let _ = profiles;
+        self.select_into(round, eligible, target, cohort);
+    }
 
     /// Allocating convenience wrapper around
     /// [`ClientSelector::select_into`].

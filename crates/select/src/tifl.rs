@@ -11,6 +11,7 @@
 
 use std::collections::HashMap;
 
+use float_profile::ProfileView;
 use float_tensor::rng::{seed_rng, split_seed};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -110,17 +111,27 @@ impl TiflSelector {
     }
 
     /// Recompute tier boundaries by latency quantiles over profiled
-    /// clients; unprofiled clients go to the middle tier.
-    fn retier(&mut self) {
+    /// clients; unprofiled clients go to the middle tier. When a
+    /// [`ProfileView`] is supplied, a client's latency comes from its
+    /// online estimate (observed completions) in preference to the
+    /// selector's own feedback EMA — TiFL's tiers then reflect measured
+    /// behaviour rather than whatever the feedback channel reported.
+    fn retier(&mut self, profiles: Option<&ProfileView<'_>>) {
+        let lat = |c: usize, p: &ClientProfile| -> Option<f64> {
+            profiles
+                .and_then(|v| v.estimate(c).and_then(|e| e.latency_s))
+                .or(p.latency_s)
+        };
         // Quarantine-style degradation: a non-finite latency sample (a
         // poisoned EMA, a simulated sensor glitch) is excluded from the
         // quantile computation instead of panicking the whole run, and
         // `total_cmp` gives the sort a total order — identical to the old
-        // comparator on all-finite data.
+        // comparator on all-finite data. HashMap iteration order feeds a
+        // sort, so the cuts are order-independent and deterministic.
         let mut latencies: Vec<f64> = self
             .profiles
-            .values()
-            .filter_map(|p| p.latency_s)
+            .iter()
+            .filter_map(|(&c, p)| lat(c, p))
             .filter(|l| l.is_finite())
             .collect();
         if latencies.len() < NUM_TIERS {
@@ -134,11 +145,12 @@ impl TiflSelector {
         let cuts: Vec<f64> = (1..NUM_TIERS)
             .map(|i| boundary(i as f64 / NUM_TIERS as f64))
             .collect();
-        for p in self.profiles.values_mut() {
-            p.tier = match p.latency_s {
-                Some(l) if l.is_finite() => {
-                    cuts.iter().position(|&c| l <= c).unwrap_or(NUM_TIERS - 1)
-                }
+        for (&c, p) in self.profiles.iter_mut() {
+            p.tier = match lat(c, p) {
+                Some(l) if l.is_finite() => cuts
+                    .iter()
+                    .position(|&cut| l <= cut)
+                    .unwrap_or(NUM_TIERS - 1),
                 // No usable latency (never observed, or quarantined as
                 // non-finite): the middle tier, like any unprofiled client.
                 _ => NUM_TIERS / 2,
@@ -206,12 +218,68 @@ impl ClientSelector for TiflSelector {
         target: usize,
         cohort: &mut Vec<usize>,
     ) {
+        self.select_impl(round, eligible, target, None, cohort);
+    }
+
+    fn select_profiled(
+        &mut self,
+        round: usize,
+        eligible: &[usize],
+        target: usize,
+        profiles: &ProfileView<'_>,
+        cohort: &mut Vec<usize>,
+    ) {
+        self.select_impl(round, eligible, target, Some(profiles), cohort);
+    }
+
+    fn feedback(&mut self, _round: usize, results: &[SelectionFeedback]) {
+        if let Some(max_id) = results.iter().map(|f| f.client).max() {
+            self.ensure(max_id + 1);
+        }
+        for f in results {
+            // Materialize with the tier the client *currently* holds (per
+            // the watermark rule), not the raw default — tiers only move
+            // at retier time.
+            let tier = self.unprofiled_tier(f.client);
+            let p = self.profiles.entry(f.client).or_insert(ClientProfile {
+                tier,
+                ..ClientProfile::default()
+            });
+            // Quarantine non-finite samples at the source: folding a NaN
+            // or infinite duration into the EMA would poison the latency
+            // profile for every future re-tiering. A quarantined payload
+            // says nothing about the client's pace either — it updates
+            // utility only, never the latency EMA.
+            if !f.quarantined && f.duration_s > 0.0 && f.duration_s.is_finite() {
+                p.latency_s = Some(match p.latency_s {
+                    Some(l) => 0.7 * l + 0.3 * f.duration_s,
+                    None => f.duration_s,
+                });
+            }
+            if f.completed {
+                p.utility = 0.7 * p.utility + 0.3 * f.utility;
+            } else {
+                p.utility *= 0.9;
+            }
+        }
+    }
+}
+
+impl TiflSelector {
+    fn select_impl(
+        &mut self,
+        round: usize,
+        eligible: &[usize],
+        target: usize,
+        profiles: Option<&ProfileView<'_>>,
+        cohort: &mut Vec<usize>,
+    ) {
         cohort.clear();
         let max_id = eligible.iter().copied().max().map_or(0, |m| m + 1);
         self.ensure(max_id);
         self.rounds_seen += 1;
         if self.rounds_seen.is_multiple_of(RETIER_EVERY) {
-            self.retier();
+            self.retier(profiles);
         }
         if self.credits.iter().all(|&c| c == 0) {
             self.credits = vec![INITIAL_CREDITS; NUM_TIERS];
@@ -257,36 +325,6 @@ impl ClientSelector for TiflSelector {
                 cohort.push(eligible[pos]);
             }
             self.rest = rest;
-        }
-    }
-
-    fn feedback(&mut self, _round: usize, results: &[SelectionFeedback]) {
-        if let Some(max_id) = results.iter().map(|f| f.client).max() {
-            self.ensure(max_id + 1);
-        }
-        for f in results {
-            // Materialize with the tier the client *currently* holds (per
-            // the watermark rule), not the raw default — tiers only move
-            // at retier time.
-            let tier = self.unprofiled_tier(f.client);
-            let p = self.profiles.entry(f.client).or_insert(ClientProfile {
-                tier,
-                ..ClientProfile::default()
-            });
-            // Quarantine non-finite samples at the source: folding a NaN
-            // or infinite duration into the EMA would poison the latency
-            // profile for every future re-tiering.
-            if f.duration_s > 0.0 && f.duration_s.is_finite() {
-                p.latency_s = Some(match p.latency_s {
-                    Some(l) => 0.7 * l + 0.3 * f.duration_s,
-                    None => f.duration_s,
-                });
-            }
-            if f.completed {
-                p.utility = 0.7 * p.utility + 0.3 * f.utility;
-            } else {
-                p.utility *= 0.9;
-            }
         }
     }
 }
@@ -412,6 +450,60 @@ mod tests {
         }
         // Selection still produces full cohorts after the poisoned rounds.
         assert_eq!(s.select(99, &pool(50), 8).len(), 8);
+    }
+
+    #[test]
+    fn quarantine_never_updates_the_latency_ema() {
+        // Regression: quarantined feedback used to fold its duration into
+        // the latency EMA, re-tiering the client as slow because its
+        // payload was rejected.
+        let mut s = TiflSelector::new(8);
+        s.feedback(0, &[fb(0, 20.0, 1.0)]);
+        let mut q = fb(0, 800.0, 0.0);
+        q.completed = false;
+        q.quarantined = true;
+        s.feedback(1, &[q]);
+        assert_eq!(
+            s.profiles[&0].latency_s,
+            Some(20.0),
+            "quarantined duration leaked into the latency EMA"
+        );
+        // A genuine dropout still moves it.
+        let mut d = fb(0, 800.0, 0.0);
+        d.completed = false;
+        s.feedback(2, &[d]);
+        assert_eq!(s.profiles[&0].latency_s, Some(0.7 * 20.0 + 0.3 * 800.0));
+    }
+
+    #[test]
+    fn profiled_latencies_drive_retiering() {
+        use float_profile::{ClientProfiler, Observation, ObservedOutcome, ProfilingConfig};
+        // Internal EMAs say latency grows with id, but the profiler has
+        // observed the opposite ordering; with the view supplied, tiers
+        // must follow the observations.
+        let mut s = TiflSelector::new(9);
+        let mut p = ClientProfiler::new(ProfilingConfig::on(), 64);
+        for round in 0..RETIER_EVERY {
+            let results: Vec<SelectionFeedback> = (0..20)
+                .map(|c| fb(c, 10.0 + c as f64 * 10.0, 1.0))
+                .collect();
+            s.feedback(round, &results);
+            for c in 0..20usize {
+                let observed = 10.0 + (19 - c) as f64 * 10.0;
+                p.observe(
+                    c,
+                    &Observation::replay(round as u64, ObservedOutcome::Completed, observed),
+                );
+            }
+            let mut cohort = Vec::new();
+            s.select_profiled(round, &pool(20), 4, &p.view(), &mut cohort);
+        }
+        let fast = s.tier_of(19).expect("profiled");
+        let slow = s.tier_of(0).expect("profiled");
+        assert!(
+            fast < slow,
+            "observed-fast client tier {fast} !< observed-slow tier {slow}"
+        );
     }
 
     #[test]

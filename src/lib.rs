@@ -23,6 +23,7 @@
 //! | [`accel`] | `float-accel` | acceleration techniques |
 //! | [`rl`] | `float-rl` | the Q-learning RLHF agent |
 //! | [`obs`] | `float-obs` | deterministic telemetry: events, metrics, digests |
+//! | [`profile`] | `float-profile` | online client profiling: EWMA/quantile/reliability estimators |
 //! | [`select`] | `float-select` | FedAvg/Oort/REFL/FedBuff baselines |
 //! | [`core`] | `float-core` | the FLOAT runtime and metrics |
 //! | [`vfl`] | `float-vfl` | vertical-FL substrate (split training) |
@@ -50,6 +51,7 @@ pub use float_core as core;
 pub use float_data as data;
 pub use float_models as models;
 pub use float_obs as obs;
+pub use float_profile as profile;
 pub use float_rl as rl;
 pub use float_select as select;
 pub use float_sim as sim;

@@ -47,6 +47,12 @@ cargo test -q --offline --test pipelined_determinism
 step "online-profiling determinism tests"
 cargo test -q --offline --test profiling
 
+# Sweep orchestrator: per-trial reports invariant to worker count, trial
+# interleaving, and pruning (for survivors), plus the pinned small-grid
+# golden guarding the whole stack against drift.
+step "sweep-orchestrator determinism tests"
+cargo test -q --offline --test sweep_determinism
+
 if [[ "${1:-}" != "quick" ]]; then
   # Short chaos run with a fixed seed, every fault kind active, and
   # telemetry on: asserts reports *and event streams* stay finite and
@@ -148,6 +154,16 @@ if [[ "${1:-}" != "quick" ]]; then
   # not clobbered by CI.
   step "algorithm comparison (quick self-check)"
   cargo run --release --offline -p float-bench --bin algo_compare -- --quick
+
+  # Sweep orchestrator in quick mode: a 2x2 grid (cohort x epochs) with
+  # eta=2 successive halving, a 1-vs-4-worker bit-identity probe over
+  # the shared population, per-trial JSONL under target/obs/sweep_ci,
+  # and a parse-back asserting in-range accuracies, positive trials/hour,
+  # a non-empty Pareto frontier, and replayable event streams. Writes to
+  # target/ so the checked-in BENCH_sweep.json (full 3x3 grid) is not
+  # clobbered by CI.
+  step "sweep orchestrator (quick self-check)"
+  cargo run --release --offline -p float-bench --bin sweepexp -- --quick
 fi
 
 step "CI green"

@@ -22,6 +22,7 @@
 
 use std::time::Instant;
 
+use float_bench::selfcheck;
 use float_core::optim::{ServerOptimConfig, ServerOptimizerChoice};
 use float_core::{AccelMode, Experiment, ExperimentConfig, SelectorChoice};
 use float_obs::{sink, ObsConfig};
@@ -305,30 +306,17 @@ fn main() {
         rows,
         interactions,
     };
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    if let Some(dir) = std::path::Path::new(&out).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("create output directory");
-        }
-    }
-    std::fs::write(&out, format!("{json}\n")).expect("write benchmark output");
-    eprintln!("wrote {out} ({row_count} trials, {interaction_count} interaction cells)");
+    selfcheck::write_report(&out, &report);
+    eprintln!("({row_count} trials, {interaction_count} interaction cells)");
 
     // Parse-back self-check: the emitted JSON must round-trip, carry
     // finite accuracies, correctly suffixed labels, and event streams
     // that replay from disk.
-    let parsed: BenchReport =
-        serde_json::from_str(&std::fs::read_to_string(&out).expect("read back benchmark output"))
-            .expect("benchmark output parses");
+    let parsed: BenchReport = selfcheck::parse_back(&out);
     assert_eq!(parsed.rows.len(), row_count);
     assert_eq!(parsed.interactions.len(), interaction_count);
     for row in &parsed.rows {
-        assert!(
-            row.mean_accuracy.is_finite() && (0.0..=1.0).contains(&row.mean_accuracy),
-            "{}: mean accuracy {} out of range",
-            row.algo,
-            row.mean_accuracy
-        );
+        selfcheck::assert_unit(row.mean_accuracy, &format!("{}: mean accuracy", row.algo));
         assert!(
             row.completions + row.dropouts > 0,
             "{}: trial did no work",

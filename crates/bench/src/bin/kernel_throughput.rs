@@ -25,6 +25,8 @@
 use std::hint::black_box;
 use std::time::Instant;
 
+use float_bench::selfcheck;
+
 use float_tensor::conv::{Conv2d, FeatureShape};
 use float_tensor::kernels::PanelCache;
 use float_tensor::{kernels, seed_rng, Tensor};
@@ -310,14 +312,11 @@ fn main() {
         geomean_speedup_vs_pr3,
         conv_fwd_bwd_gflops: conv_gflops,
     };
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(&out_path, format!("{json}\n")).expect("write benchmark output");
-    eprintln!("wrote {out_path}");
+    selfcheck::write_report(&out_path, &report);
 
     // Self-check: the file must parse back and every rate must be a
     // positive finite number — this is what CI's quick run asserts.
-    let text = std::fs::read_to_string(&out_path).expect("benchmark output readable");
-    let v: serde_json::Value = serde_json::from_str(&text).expect("benchmark output parses");
+    let v: serde_json::Value = selfcheck::parse_back(&out_path);
     let parsed = v
         .get("results")
         .and_then(|r| r.as_array())
@@ -329,14 +328,14 @@ fn main() {
                 .get(field)
                 .and_then(|g| g.as_f64())
                 .expect("rate present");
-            assert!(g.is_finite() && g > 0.0, "non-positive {field} in report");
+            selfcheck::assert_positive(g, field);
         }
     }
     let cg = v
         .get("conv_fwd_bwd_gflops")
         .and_then(|g| g.as_f64())
         .expect("conv rate present");
-    assert!(cg.is_finite() && cg > 0.0, "non-positive conv GFLOP/s");
+    selfcheck::assert_positive(cg, "conv fwd+bwd GFLOP/s");
     eprintln!("self-check OK: report parses, all rates positive");
 
     if gate {

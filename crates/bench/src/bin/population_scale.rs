@@ -28,7 +28,7 @@
 
 use std::time::Instant;
 
-use float_bench::Scale;
+use float_bench::{selfcheck, Scale};
 use float_core::{AccelMode, Experiment, SelectorChoice};
 use float_data::Task;
 use serde::{Deserialize, Serialize};
@@ -257,27 +257,16 @@ fn main() {
         deterministic_at_10k_across_threads: deterministic,
         rows,
     };
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    if let Some(dir) = std::path::Path::new(&out).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("create output directory");
-        }
-    }
-    std::fs::write(&out, format!("{json}\n")).expect("write benchmark output");
-    eprintln!("wrote {out}");
+    selfcheck::write_report(&out, &report);
 
     // Parse-back self-check: the file we just wrote must round-trip and
     // carry sane numbers — positive throughput everywhere, caches bounded.
-    let parsed: BenchReport =
-        serde_json::from_str(&std::fs::read_to_string(&out).expect("read back benchmark output"))
-            .expect("benchmark output parses");
+    let parsed: BenchReport = selfcheck::parse_back(&out);
     assert_eq!(parsed.rows.len(), row_count);
     for row in &parsed.rows {
-        assert!(
-            row.rounds_per_sec > 0.0,
-            "non-positive throughput at {} clients ({})",
-            row.clients,
-            row.mode
+        selfcheck::assert_positive(
+            row.rounds_per_sec,
+            &format!("throughput at {} clients ({})", row.clients, row.mode),
         );
         assert!(
             row.cache_peak_resident <= row.cache_capacity,
@@ -291,10 +280,7 @@ fn main() {
             row.candidate_pool <= row.clients,
             "pool larger than the population in emitted report"
         );
-        assert!(
-            row.index_heap_mb > 0.0 && row.index_heap_mb.is_finite(),
-            "availability index footprint missing from emitted report"
-        );
+        selfcheck::assert_positive(row.index_heap_mb, "availability index footprint");
         assert!(
             row.avail_transitions_per_round.is_finite(),
             "transition rate not finite in emitted report"

@@ -31,6 +31,7 @@
 
 use std::time::Instant;
 
+use float_bench::selfcheck;
 use float_core::{AccelMode, Experiment, ExperimentConfig, SelectorChoice};
 use float_obs::event::{Event, OutcomeKind};
 use float_obs::ObsConfig;
@@ -376,30 +377,18 @@ fn main() {
         rows,
         gaps,
     };
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    if let Some(dir) = std::path::Path::new(&out).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("create output directory");
-        }
-    }
-    std::fs::write(&out, format!("{json}\n")).expect("write benchmark output");
-    eprintln!("wrote {out} ({row_count} trials, {gap_count} gap cells)");
+    selfcheck::write_report(&out, &report);
+    eprintln!("({row_count} trials, {gap_count} gap cells)");
 
     // Parse-back self-check: the emitted JSON must round-trip, carry
     // finite numbers, mode-correct labels, and non-empty convergence
     // curves for every trial.
-    let parsed: BenchReport =
-        serde_json::from_str(&std::fs::read_to_string(&out).expect("read back benchmark output"))
-            .expect("benchmark output parses");
+    let parsed: BenchReport = selfcheck::parse_back(&out);
     assert_eq!(parsed.rows.len(), row_count);
     assert_eq!(parsed.gaps.len(), gap_count);
     for row in &parsed.rows {
         let cell = format!("{}/{}/{}", row.selector, row.fault, row.mode);
-        assert!(
-            row.mean_accuracy.is_finite() && (0.0..=1.0).contains(&row.mean_accuracy),
-            "{cell}: mean accuracy {} out of range",
-            row.mean_accuracy
-        );
+        selfcheck::assert_unit(row.mean_accuracy, &format!("{cell}: mean accuracy"));
         assert!(row.completions > 0, "{cell}: trial completed nothing");
         match row.mode.as_str() {
             "oracle" => assert!(

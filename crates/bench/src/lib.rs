@@ -18,6 +18,7 @@
 
 pub mod figs;
 pub mod scale;
+pub mod selfcheck;
 
 pub use scale::Scale;
 

@@ -1,0 +1,120 @@
+//! Shared write / parse-back self-check plumbing for the benchmark
+//! binaries.
+//!
+//! Every bench bin ends the same way: serialize its report as pretty
+//! JSON, write it, then *read the file back* and assert the numbers are
+//! sane — so a benchmark that emits garbage fails in CI rather than
+//! committing a broken artifact. The JSON round-trip and the common
+//! numeric guards live here; each bin keeps only its report-specific
+//! assertions.
+
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Serialize `report` as pretty JSON (newline-terminated) and write it to
+/// `path`, creating parent directories as needed. Logs the path written
+/// to stderr, matching the long-standing bin convention.
+///
+/// # Panics
+///
+/// Panics on serialization or I/O failure — bench bins treat an
+/// unwritable report as fatal.
+pub fn write_report<T: Serialize, P: AsRef<Path>>(path: P, report: &T) {
+    let path = path.as_ref();
+    let json = serde_json::to_string_pretty(report).expect("report serializes");
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create benchmark output dir");
+        }
+    }
+    std::fs::write(path, format!("{json}\n")).expect("write benchmark output");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Read `path` back and parse it as `T` — the shared half of every bench
+/// bin's parse-back self-check. Always re-reads from disk (never reuses
+/// the in-memory report) so the check covers the bytes actually
+/// committed.
+///
+/// # Panics
+///
+/// Panics if the file is unreadable or does not parse as `T`.
+pub fn parse_back<T: Deserialize, P: AsRef<Path>>(path: P) -> T {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read back benchmark output {}: {e}", path.display()));
+    serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("benchmark output {} does not parse: {e}", path.display()))
+}
+
+/// Assert `v` is a finite number in `[0, 1]` (accuracies, fractions).
+///
+/// # Panics
+///
+/// Panics with `what` in the message otherwise.
+pub fn assert_unit(v: f64, what: &str) {
+    assert!(
+        v.is_finite() && (0.0..=1.0).contains(&v),
+        "{what} must be in [0, 1], got {v}"
+    );
+}
+
+/// Assert `v` is a finite, strictly positive number (rates, durations,
+/// byte counts).
+///
+/// # Panics
+///
+/// Panics with `what` in the message otherwise.
+pub fn assert_positive(v: f64, what: &str) {
+    assert!(
+        v.is_finite() && v > 0.0,
+        "{what} must be finite and positive, got {v}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Sample {
+        rate: f64,
+        label: String,
+    }
+
+    #[test]
+    fn write_then_parse_back_round_trips() {
+        let dir = std::env::temp_dir().join("float_bench_selfcheck_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("report.json");
+        let report = Sample {
+            rate: 12.5,
+            label: "ok".into(),
+        };
+        write_report(&path, &report);
+        let text = std::fs::read_to_string(&path).expect("readable");
+        assert!(text.ends_with('\n'), "report must be newline-terminated");
+        let parsed: Sample = parse_back(&path);
+        assert_eq!(parsed, report);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn numeric_guards_accept_sane_values() {
+        assert_unit(0.0, "acc");
+        assert_unit(1.0, "acc");
+        assert_positive(1e-9, "rate");
+    }
+
+    #[test]
+    #[should_panic(expected = "accuracy must be in [0, 1]")]
+    fn unit_guard_rejects_out_of_range() {
+        assert_unit(1.5, "accuracy");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be finite and positive")]
+    fn positive_guard_rejects_nan() {
+        assert_positive(f64::NAN, "rate");
+    }
+}

@@ -147,6 +147,17 @@ pub struct ExperimentConfig {
     pub assume_no_dropouts: bool,
     /// Root seed; every stochastic subsystem derives from it.
     pub seed: u64,
+    /// Population seed override for the *data/trace* streams (`0` ⇒ use
+    /// `seed`, the historical behaviour bit for bit). When nonzero, the
+    /// shard partition and the availability/trace calendar derive from
+    /// this seed while every runtime stream (selection, agent, model
+    /// init, faults, evaluation sample, candidate pools) stays on `seed`.
+    /// This is the seed split a sweep needs: trials keep independent
+    /// runtime randomness via `split_seed(root, trial_idx)` yet share one
+    /// population — and therefore one shard store and one availability
+    /// calendar — keyed by `data_seed`. See `DESIGN.md` §18.
+    #[serde(default)]
+    pub data_seed: u64,
     /// Worker threads for the parallel attempt phase of each round
     /// (`0` ⇒ one per available CPU core). The `FLOAT_THREADS`
     /// environment variable overrides this at runtime. The thread count
@@ -276,6 +287,7 @@ impl ExperimentConfig {
             failure_hazard_per_s: 2.0e-5,
             assume_no_dropouts: false,
             seed: 20240422,
+            data_seed: 0,
             num_threads: 0,
             fault_plan: FaultPlan::none(),
             obs: ObsConfig::off(),
@@ -315,6 +327,7 @@ impl ExperimentConfig {
             failure_hazard_per_s: 2.0e-5,
             assume_no_dropouts: false,
             seed: 7,
+            data_seed: 0,
             num_threads: 0,
             fault_plan: FaultPlan::none(),
             obs: ObsConfig::off(),
@@ -363,6 +376,42 @@ impl ExperimentConfig {
         }
         self.num_clients
             .min((4 * self.cohort_size).max(self.async_concurrency).max(64))
+    }
+
+    /// The seed the data/trace streams actually derive from: the
+    /// [`ExperimentConfig::data_seed`] override when set, else the root
+    /// seed (the historical single-seed behaviour, bit for bit).
+    pub fn population_seed(&self) -> u64 {
+        if self.data_seed != 0 {
+            self.data_seed
+        } else {
+            self.seed
+        }
+    }
+
+    /// A compact, deterministic description of the runtime knobs a sweep
+    /// varies — the per-trial label used by trial records, JSONL sink
+    /// filenames, and the frontier report. Population knobs (task, client
+    /// count, data skew) are deliberately absent: trials in one sweep
+    /// share them.
+    pub fn knob_label(&self) -> String {
+        let mut label = format!(
+            "cohort{}-ep{}-lr{}-dl{}s-{}",
+            self.cohort_size,
+            self.local_epochs,
+            self.learning_rate,
+            self.deadline_s,
+            self.selector.name(),
+        );
+        if self.server_optim.optimizer != crate::optim::ServerOptimizerChoice::FedAvg {
+            label.push('@');
+            label.push_str(self.server_optim.optimizer.name());
+        }
+        if self.accel != AccelMode::Off {
+            label.push('+');
+            label.push_str(self.accel.name());
+        }
+        label
     }
 
     /// Derived federated-dataset configuration.

@@ -23,9 +23,11 @@ pub mod engine;
 pub mod metrics;
 pub mod optim;
 pub mod runtime;
+pub mod trial;
 
 pub use config::{AccelMode, ExperimentConfig, SelectorChoice};
 pub use float_data::ShardCacheStats;
 pub use metrics::{AccuracySummary, ExperimentReport, RoundRecord, TechniqueStats};
 pub use optim::{ServerOptimConfig, ServerOptimizer, ServerOptimizerChoice};
 pub use runtime::Experiment;
+pub use trial::{run_trial, run_trial_traced, SharedPopulation};

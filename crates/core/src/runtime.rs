@@ -12,7 +12,7 @@ use rand::seq::SliceRandom;
 
 use float_accel::apply::transform_update;
 use float_accel::{apply_action_protected, AccelAction, ActionCatalogue, ErrorFeedback};
-use float_data::{ShardCache, ShardCacheStats, ShardSpec};
+use float_data::{ShardCache, ShardCacheStats, ShardSpec, SharedShardCache};
 use float_models::RoundCost;
 use float_obs::metrics::{
     ESTIMATE_ERROR_BUCKETS, LATENCY_BUCKETS_S, PAYLOAD_BUCKETS_BYTES, UTILIZATION_BUCKETS,
@@ -39,6 +39,7 @@ use crate::config::{AccelMode, ExperimentConfig, SelectorChoice};
 use crate::engine::parallel_map_with;
 use crate::metrics::{AccuracySummary, ExperimentReport, RoundRecord};
 use crate::optim::{ServerOptimizer, ServerOptimizerChoice};
+use crate::trial::SharedPopulation;
 
 /// Hidden width of the proxy model used for the accuracy side of the
 /// simulation. Kept modest so full 300-round runs stay fast.
@@ -47,12 +48,13 @@ const PROXY_HIDDEN: usize = 128;
 /// A fully assembled experiment, ready to run.
 pub struct Experiment {
     config: ExperimentConfig,
-    /// Lazy per-client shards behind a bounded LRU cache. Client datasets
-    /// are derived on first touch (a pure function of `(seed, client)` —
-    /// bit-identical to eager generation, pinned by the `lazy_shards`
-    /// proptest), so training-data memory is O(cache capacity), not
-    /// O(population).
-    data: ShardCache,
+    /// Lazy per-client shards behind a bounded LRU cache (standalone
+    /// runs) or a sweep-wide shared store (trials built through
+    /// [`Experiment::new_shared`]). Client datasets are derived on first
+    /// touch (a pure function of `(seed, client)` — bit-identical to
+    /// eager generation, pinned by the `lazy_shards` proptest), so
+    /// training-data memory is O(cache capacity), not O(population).
+    data: ShardSource,
     sampler: ResourceSampler,
     selector: Box<dyn ClientSelector + Send + Sync>,
     catalogue: ActionCatalogue,
@@ -601,6 +603,39 @@ struct Attempt {
     stalled: bool,
 }
 
+/// Where a run's client shards come from: a private bounded LRU cache
+/// (every standalone run — the historical path, byte for byte), or one
+/// sweep-wide [`SharedShardCache`] serving many concurrent trials over
+/// the same population. Both serve bit-identical values — shards are pure
+/// functions of `(spec, client)` — so the choice never changes a report.
+enum ShardSource {
+    Owned(ShardCache),
+    Shared(Arc<SharedShardCache>),
+}
+
+impl ShardSource {
+    fn get(&mut self, client: usize) -> (Arc<Dataset>, Arc<Dataset>) {
+        match self {
+            ShardSource::Owned(cache) => cache.get(client),
+            ShardSource::Shared(store) => store.get(client),
+        }
+    }
+
+    fn spec(&self) -> &ShardSpec {
+        match self {
+            ShardSource::Owned(cache) => cache.spec(),
+            ShardSource::Shared(store) => store.spec(),
+        }
+    }
+
+    fn stats(&self) -> ShardCacheStats {
+        match self {
+            ShardSource::Owned(cache) => cache.stats(),
+            ShardSource::Shared(store) => store.stats(),
+        }
+    }
+}
+
 impl Experiment {
     /// Build an experiment from a validated configuration.
     ///
@@ -608,21 +643,54 @@ impl Experiment {
     ///
     /// Returns the configuration error string if `config.validate()` fails.
     pub fn new(config: ExperimentConfig) -> Result<Self, String> {
+        Self::build(config, None)
+    }
+
+    /// Build a sweep trial against a pre-built [`SharedPopulation`]: the
+    /// trial reads shards through the sweep-wide shared store and clones
+    /// the already-built availability calendar instead of re-deriving
+    /// either. The resulting run is bit-identical to `Experiment::new`
+    /// with the same config — sharing amortizes cost, never changes bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error string, or a mismatch description if
+    /// `config` describes a different population than `shared` was built
+    /// for.
+    pub fn new_shared(config: ExperimentConfig, shared: &SharedPopulation) -> Result<Self, String> {
+        Self::build(config, Some(shared))
+    }
+
+    fn build(config: ExperimentConfig, shared: Option<&SharedPopulation>) -> Result<Self, String> {
         config.validate()?;
         let seed = config.seed;
-        let data = ShardCache::new(
-            ShardSpec::new(config.federated_config(), split_seed(seed, 1)),
-            config.resolved_shard_cache(),
-        );
-        let mut sampler =
-            ResourceSampler::new(config.num_clients, config.interference, split_seed(seed, 2));
-        if config.candidate_pool == 0 {
-            // Full-sweep runs touch every client's availability model each
-            // round; materialize them now so the cost lands at build time,
-            // not inside the first round. Pooled runs skip this entirely
-            // (it is the only remaining O(population) allocation).
-            sampler.prewarm_full_sweep();
-        }
+        let pop_seed = config.population_seed();
+        let (data, sampler) = match shared {
+            None => {
+                let data = ShardSource::Owned(ShardCache::new(
+                    ShardSpec::new(config.federated_config(), split_seed(pop_seed, 1)),
+                    config.resolved_shard_cache(),
+                ));
+                let mut sampler = ResourceSampler::new(
+                    config.num_clients,
+                    config.interference,
+                    split_seed(pop_seed, 2),
+                );
+                if config.candidate_pool == 0 {
+                    // Full-sweep runs touch every client's availability
+                    // model each round; materialize them now so the cost
+                    // lands at build time, not inside the first round.
+                    // Pooled runs skip this entirely (it is the only
+                    // remaining O(population) allocation).
+                    sampler.prewarm_full_sweep();
+                }
+                (data, sampler)
+            }
+            Some(sp) => {
+                sp.check(&config)?;
+                (ShardSource::Shared(sp.shards()), sp.sampler_for(&config))
+            }
+        };
         let selector: Box<dyn ClientSelector + Send + Sync> = match config.selector {
             SelectorChoice::FedAvg => Box::new(FedAvgSelector::new(split_seed(seed, 3))),
             SelectorChoice::Oort => Box::new(OortSelector::new(

@@ -7,7 +7,7 @@
 use crate::event::Event;
 use std::fs;
 use std::io::{self, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Encode events as JSONL: one event per line, in stream order.
 pub fn to_jsonl(events: &[Event]) -> String {
@@ -55,6 +55,48 @@ pub fn write_jsonl<P: AsRef<Path>>(path: P, events: &[Event]) -> io::Result<()> 
     let mut file = fs::File::create(path)?;
     file.write_all(to_jsonl(events).as_bytes())?;
     file.flush()
+}
+
+/// Slugify a free-form trial label for use in a filename: lowercase
+/// alphanumerics, runs of anything else collapsed to single dashes, outer
+/// dashes trimmed. Deterministic, so trial filenames are stable across
+/// runs and worker counts.
+fn slug(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('-') {
+            out.push('-');
+        }
+    }
+    out.trim_matches('-').to_string()
+}
+
+/// Trial-scoped sink: write one trial's event stream under `dir` as
+/// `trial_<idx>_<label-slug>.jsonl` and return the path written. The
+/// sweep orchestrator gives each concurrent trial its own file, so
+/// streams never interleave and a trial's JSONL is replayable in
+/// isolation (`obsdump`-compatible).
+///
+/// # Errors
+///
+/// Propagates any I/O failure from directory creation or the write.
+pub fn write_trial_jsonl<P: AsRef<Path>>(
+    dir: P,
+    trial_idx: usize,
+    label: &str,
+    events: &[Event],
+) -> io::Result<PathBuf> {
+    let slugged = slug(label);
+    let name = if slugged.is_empty() {
+        format!("trial_{trial_idx:03}.jsonl")
+    } else {
+        format!("trial_{trial_idx:03}_{slugged}.jsonl")
+    };
+    let path = dir.as_ref().join(name);
+    write_jsonl(&path, events)?;
+    Ok(path)
 }
 
 #[cfg(test)]
@@ -113,6 +155,28 @@ mod tests {
 
         let err = from_jsonl("{\"NotAnEvent\":{}}").expect_err("must fail");
         assert!(err.contains("line 1"), "error was: {err}");
+    }
+
+    #[test]
+    fn trial_sink_slugs_labels_and_replays() {
+        let dir = std::env::temp_dir().join("float_obs_trial_sink_test");
+        let _ = fs::remove_dir_all(&dir);
+        let events = sample_events();
+        let path = write_trial_jsonl(&dir, 7, "cohort10-ep2-lr0.05/Oort @fedyogi", &events)
+            .expect("writes");
+        assert_eq!(
+            path.file_name().and_then(|n| n.to_str()),
+            Some("trial_007_cohort10-ep2-lr0-05-oort-fedyogi.jsonl")
+        );
+        let text = fs::read_to_string(&path).expect("readable");
+        assert_eq!(from_jsonl(&text).expect("replays"), events);
+        // Empty/degenerate labels still produce a valid, indexed name.
+        let path = write_trial_jsonl(&dir, 3, "///", &events).expect("writes");
+        assert_eq!(
+            path.file_name().and_then(|n| n.to_str()),
+            Some("trial_003.jsonl")
+        );
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

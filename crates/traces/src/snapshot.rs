@@ -11,6 +11,7 @@
 //! replaced: same RNG streams, same values, same iteration order.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -140,8 +141,10 @@ pub struct ResourceSampler {
     /// makes).
     index: AvailabilityIndex,
     /// Availability models for the full-sweep path, built on first use
-    /// (never built when only pooled queries are served).
-    sweep_models: Option<Vec<AvailabilityModel>>,
+    /// (never built when only pooled queries are served). `Arc`-shared so
+    /// a sweep of trials over the same population pays the O(population)
+    /// derivation once instead of once per trial.
+    sweep_models: Option<Arc<Vec<AvailabilityModel>>>,
     /// Sparse battery state: absent ⇒ exactly full (a client that never
     /// drained can never leave full, since charging saturates).
     batteries: HashMap<usize, LazyBattery>,
@@ -169,16 +172,56 @@ impl ResourceSampler {
     /// Network profiles are assigned 60% 4G / 40% 5G with mixed mobility,
     /// mirroring the mix in the paper's trace set.
     pub fn new(n: usize, interference: InterferenceModel, seed: u64) -> Self {
-        let index = AvailabilityIndex::build(n, |i| {
+        Self::with_shared(n, interference, seed, Self::build_index(n, seed), None)
+    }
+
+    /// The event-driven availability calendar `new` builds eagerly — a
+    /// pure function of `(n, seed)`, exposed so a sweep orchestrator can
+    /// build it once and hand clones to every trial over the same
+    /// population via [`ResourceSampler::with_shared`].
+    pub fn build_index(n: usize, seed: u64) -> AvailabilityIndex {
+        AvailabilityIndex::build(n, |i| {
             AvailabilityModel::new(split_seed(split_seed(seed, 0x1000 + i as u64), 2))
-        });
+        })
+    }
+
+    /// The full-sweep availability models `prewarm_full_sweep` builds — a
+    /// pure function of `(n, seed)`, exposed for the same cross-trial
+    /// amortization as [`ResourceSampler::build_index`].
+    pub fn build_sweep_models(n: usize, seed: u64) -> Vec<AvailabilityModel> {
+        (0..n)
+            .map(|i| AvailabilityModel::new(split_seed(split_seed(seed, 0x1000 + i as u64), 2)))
+            .collect()
+    }
+
+    /// Build a sampler around a pre-built availability calendar (and,
+    /// optionally, pre-built full-sweep models). Behaviour is bit-identical
+    /// to [`ResourceSampler::new`] *provided* the handles were derived
+    /// from the same `(n, seed)` — both are pure functions of those two
+    /// values, which is what makes sharing them across a sweep's trials
+    /// value-transparent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a handle's population size disagrees with `n`.
+    pub fn with_shared(
+        n: usize,
+        interference: InterferenceModel,
+        seed: u64,
+        index: AvailabilityIndex,
+        sweep_models: Option<Arc<Vec<AvailabilityModel>>>,
+    ) -> Self {
+        assert_eq!(index.num_clients(), n, "availability index population");
+        if let Some(models) = &sweep_models {
+            assert_eq!(models.len(), n, "sweep-model population");
+        }
         ResourceSampler {
             num_clients: n,
             interference,
             seed,
             pop_seed: split_seed(seed, 0xDE7),
             index,
-            sweep_models: None,
+            sweep_models,
             batteries: HashMap::new(),
             peak_batteries: 0,
             charge_epochs: 0,
@@ -304,9 +347,10 @@ impl ResourceSampler {
     /// Pooled samplers never pay this (32 B × population) cost.
     fn ensure_sweep_models(&mut self) {
         if self.sweep_models.is_none() {
-            let models: Vec<AvailabilityModel> =
-                (0..self.num_clients).map(|i| self.avail_model(i)).collect();
-            self.sweep_models = Some(models);
+            self.sweep_models = Some(Arc::new(Self::build_sweep_models(
+                self.num_clients,
+                self.seed,
+            )));
         }
     }
 

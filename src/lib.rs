@@ -26,6 +26,7 @@
 //! | [`profile`] | `float-profile` | online client profiling: EWMA/quantile/reliability estimators |
 //! | [`select`] | `float-select` | FedAvg/Oort/REFL/FedBuff baselines |
 //! | [`core`] | `float-core` | the FLOAT runtime and metrics |
+//! | [`sweep`] | `float-sweep` | concurrent sweep orchestrator (grid + successive halving) |
 //! | [`vfl`] | `float-vfl` | vertical-FL substrate (split training) |
 //!
 //! # Quickstart
@@ -55,6 +56,7 @@ pub use float_profile as profile;
 pub use float_rl as rl;
 pub use float_select as select;
 pub use float_sim as sim;
+pub use float_sweep as sweep;
 pub use float_tensor as tensor;
 pub use float_traces as traces;
 pub use float_vfl as vfl;
